@@ -1,0 +1,529 @@
+// Package repro holds the benchmark harness: one benchmark per table and
+// figure of the paper (regenerating the artifact per iteration from live
+// experiment runs), plus microbenchmarks of the substrate operations and
+// the ablations DESIGN.md §5 calls out.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/cpu"
+	"repro/internal/device"
+	"repro/internal/exploits"
+	"repro/internal/fieldstudy"
+	"repro/internal/hv"
+	"repro/internal/inject"
+	"repro/internal/mm"
+	"repro/internal/pagetable"
+	"repro/internal/report"
+	"repro/internal/txstore"
+	"repro/internal/workload"
+)
+
+// --- One benchmark per table and figure ---
+
+// BenchmarkTableI regenerates Table I: classify the 100-advisory dataset
+// and render the class/functionality table.
+func BenchmarkTableI(b *testing.B) {
+	ds := fieldstudy.Dataset()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := fieldstudy.Classify(ds)
+		if err := t.Verify(); err != nil {
+			b.Fatal(err)
+		}
+		_ = report.TableI(t)
+	}
+}
+
+// BenchmarkTableII regenerates Table II from the use-case intrusion
+// models.
+func BenchmarkTableII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = report.TableII(inject.UseCaseModels())
+	}
+}
+
+// BenchmarkTableIII runs the full RQ2/RQ3 injection campaign (4 use
+// cases x 2 non-vulnerable versions, fresh environment each) and renders
+// the table.
+func BenchmarkTableIII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := campaign.RunTable3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = report.TableIII(rows, []string{"4.8", "4.13"})
+	}
+}
+
+// BenchmarkFig1 and BenchmarkFig2 regenerate the conceptual diagrams.
+func BenchmarkFig1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = report.Fig1()
+	}
+}
+
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = report.Fig2()
+	}
+}
+
+// BenchmarkFig3 builds both intrusion state machines and runs the
+// equivalence check.
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = report.Fig3(inject.GuestWritablePageTableEntry)
+	}
+}
+
+// BenchmarkFig4 runs the full RQ1 validation (4 use cases x exploit and
+// injection on 4.6) and renders the comparison.
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := campaign.RunFig4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = report.Fig4(rows)
+	}
+}
+
+// BenchmarkFullMatrix runs the complete 24-run campaign the repro binary
+// prints with -matrix.
+func BenchmarkFullMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		entries, err := campaign.RunMatrix()
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = report.Matrix(entries)
+	}
+}
+
+// --- Substrate microbenchmarks ---
+
+func benchEnv(b *testing.B, v hv.Version, mode campaign.Mode) *campaign.Environment {
+	b.Helper()
+	e, err := campaign.NewEnvironment(v, mode)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+// BenchmarkBootEnvironment measures building one full environment:
+// hypervisor boot plus four domains with page tables and kernels.
+func BenchmarkBootEnvironment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := campaign.NewEnvironment(hv.Version46(), campaign.ModeInjection); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPageWalk measures one 4-level guest translation.
+func BenchmarkPageWalk(b *testing.B) {
+	e := benchEnv(b, hv.Version46(), campaign.ModeExploit)
+	d := e.Attacker.Domain()
+	va := d.PhysmapVA(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.HV.Walker().Translate(d.CR3(), va, pagetable.AccessRead, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHypercallDispatch measures the cheapest hypercall round trip.
+func BenchmarkHypercallDispatch(b *testing.B) {
+	e := benchEnv(b, hv.Version46(), campaign.ModeExploit)
+	d := e.Attacker.Domain()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Hypercall(hv.HypercallConsoleIO, "bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMMUUpdate measures one validated PTE update (map + unmap so
+// reference counts stay balanced across iterations).
+func BenchmarkMMUUpdate(b *testing.B) {
+	e := benchEnv(b, hv.Version48(), campaign.ModeExploit)
+	d := e.Attacker.Domain()
+	pfn, err := d.AllocPage()
+	if err != nil {
+		b.Fatal(err)
+	}
+	target, err := d.P2M().Lookup(pfn)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base, err := pagetable.LeafEntryAddr(e.HV.Memory(), d.CR3(), d.PhysmapVA(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ptr := base + mm.PhysAddr((uint64(d.Frames())+30)*pagetable.EntrySize)
+	entry := pagetable.NewEntry(target, pagetable.FlagPresent|pagetable.FlagRW|pagetable.FlagUser)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Hypercall(hv.HypercallMMUUpdate, &hv.MMUUpdateArgs{
+			Updates: []hv.MMUUpdate{{Ptr: ptr, Val: entry}, {Ptr: ptr, Val: 0}},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMemoryExchange measures the XSA-212 hypercall on its benign
+// path (populate + exchange per iteration).
+func BenchmarkMemoryExchange(b *testing.B) {
+	e := benchEnv(b, hv.Version46(), campaign.ModeExploit)
+	d := e.Attacker.Domain()
+	dstPFN, err := d.AllocPage()
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := d.PhysmapVA(dstPFN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pop := &hv.PopulatePhysmapArgs{PFN: mm.PFN(0x20000 + i)}
+		if err := d.Hypercall(hv.HypercallMemoryOp, pop); err != nil {
+			b.Fatal(err)
+		}
+		if err := d.Hypercall(hv.HypercallMemoryOp, &hv.ExchangeArgs{
+			In: []mm.PFN{pop.PFN}, OutStart: dst,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		// Release the exchanged frame so the machine does not fill up.
+		if err := d.Hypercall(hv.HypercallMemoryOp, &hv.DecreaseReservationArgs{PFN: pop.PFN}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExceptionDelivery measures one #PF delivery through the
+// in-memory IDT to the builtin handler.
+func BenchmarkExceptionDelivery(b *testing.B) {
+	e := benchEnv(b, hv.Version46(), campaign.ModeExploit)
+	vcpu := e.Attacker.Domain().VCPU()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := vcpu.DeliverException(cpu.VectorPageFault); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInjectorWriteLinear measures the injector's linear-mode write
+// (hypercall dispatch + layout translation + store).
+func BenchmarkInjectorWriteLinear(b *testing.B) {
+	e := benchEnv(b, hv.Version46(), campaign.ModeInjection)
+	dst := e.HV.IDTR().Base + 0x700 // an unused IDT slot's bytes
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Injector.WriteLinear64(dst, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExploitScenario measures one full XSA-182-test run in a fresh
+// environment (the per-run cost of a campaign cell).
+func BenchmarkExploitScenario(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := campaign.Run(hv.Version46(), "XSA-182-test", campaign.ModeExploit); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §5) ---
+
+// BenchmarkAblationInjectorPath compares the injector's guest-facing
+// hypercall route against a direct in-hypervisor write: the cost of the
+// portable interface the paper argues for.
+func BenchmarkAblationInjectorPath(b *testing.B) {
+	b.Run("hypercall", func(b *testing.B) {
+		e := benchEnv(b, hv.Version46(), campaign.ModeInjection)
+		dst := e.HV.IDTR().Base + 0x700
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := e.Injector.WriteLinear64(dst, uint64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("direct", func(b *testing.B) {
+		e := benchEnv(b, hv.Version46(), campaign.ModeInjection)
+		dst := e.HV.IDTR().Base + 0x700
+		buf := make([]byte, 8)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := e.HV.WriteHV(dst, buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationLinearVsPhysMode compares the injector's two address
+// modes: linear (translate per page) vs physical (direct after the
+// map_domain_page-style mapping).
+func BenchmarkAblationLinearVsPhysMode(b *testing.B) {
+	e := benchEnv(b, hv.Version46(), campaign.ModeInjection)
+	heap := e.HV.HeapBase() + 1
+	linear := uint64(0xffff830000000000) + uint64(heap)*mm.PageSize // directmap VA
+	buf := make([]byte, 64)
+	b.Run("linear", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := e.Injector.ArbitraryAccess(linear, buf, inject.WriteLinear); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("physical", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := e.Injector.ArbitraryAccess(uint64(heap.Addr()), buf, inject.WritePhys); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationValidationByVersion compares mmu_update cost across
+// version profiles: the price of the added validation and hardening.
+func BenchmarkAblationValidationByVersion(b *testing.B) {
+	for _, v := range hv.Versions() {
+		b.Run(v.Name, func(b *testing.B) {
+			e := benchEnv(b, v, campaign.ModeExploit)
+			d := e.Attacker.Domain()
+			pfn, err := d.AllocPage()
+			if err != nil {
+				b.Fatal(err)
+			}
+			target, err := d.P2M().Lookup(pfn)
+			if err != nil {
+				b.Fatal(err)
+			}
+			base, err := pagetable.LeafEntryAddr(e.HV.Memory(), d.CR3(), d.PhysmapVA(0))
+			if err != nil {
+				b.Fatal(err)
+			}
+			ptr := base + mm.PhysAddr((uint64(d.Frames())+31)*pagetable.EntrySize)
+			entry := pagetable.NewEntry(target, pagetable.FlagPresent|pagetable.FlagRW|pagetable.FlagUser)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := d.Hypercall(hv.HypercallMMUUpdate, &hv.MMUUpdateArgs{
+					Updates: []hv.MMUUpdate{{Ptr: ptr, Val: entry}, {Ptr: ptr, Val: 0}},
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationScanGranularity varies how the XSA-148 scan reads the
+// window (per-page fingerprint read vs whole-window read), the kind of
+// design choice an injector campaign tunes.
+func BenchmarkAblationScanGranularity(b *testing.B) {
+	newWindow := func(b *testing.B) (*campaign.Environment, *exploits.Outcome) {
+		b.Helper()
+		e, err := campaign.NewEnvironment(hv.Version46(), campaign.ModeExploit)
+		if err != nil {
+			b.Fatal(err)
+		}
+		env, err := e.ScenarioEnv(campaign.ModeExploit)
+		if err != nil {
+			b.Fatal(err)
+		}
+		scen, err := exploits.ScenarioByName("XSA-148-priv")
+		if err != nil {
+			b.Fatal(err)
+		}
+		return e, scen.Run(env)
+	}
+	b.Run("per-page-64B", func(b *testing.B) {
+		e, o := newWindow(b)
+		sig := make([]byte, 64)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for p := 0; p < 512; p++ {
+				if err := e.Attacker.Peek(o.Artifacts.WindowVA+uint64(p)*mm.PageSize, sig); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("whole-window", func(b *testing.B) {
+		e, o := newWindow(b)
+		buf := make([]byte, pagetable.SuperpageSize)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := e.Attacker.Peek(o.Artifacts.WindowVA, buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkBaselineComparison runs the randomized-injection and
+// hypercall-baseline campaigns head to head (the coverage argument of
+// the fuzz extension, DESIGN.md §5).
+func BenchmarkBaselineComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := campaign.CompareWithBaseline(hv.Version413(), 10, 2023); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStateInjector measures the second injector's cheapest
+// operation (keep-page-access induction).
+func BenchmarkStateInjector(b *testing.B) {
+	mem, err := mm.NewMemory(1 << 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, err := hv.New(mem, hv.Version413())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := inject.EnableStateOps(h); err != nil {
+		b.Fatal(err)
+	}
+	d, err := h.CreateDomain("guest01", 64, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := inject.NewStateClient(d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		leaked, err := c.KeepPageAccess()
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Reap the leaked frame between iterations so the bench does not
+		// exhaust the machine (reaping is not part of the measured op's
+		// semantics, but it is symmetrical and cheap).
+		if err := h.Memory().PutRef(leaked); err != nil {
+			b.Fatal(err)
+		}
+		if err := h.Memory().PutType(leaked); err != nil {
+			b.Fatal(err)
+		}
+		if err := h.Memory().Free(leaked); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVenomInjection measures the Section III running example's
+// injection path end to end: payload write, handler overwrite, trigger.
+func BenchmarkVenomInjection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := benchEnv(b, hv.Version413(), campaign.ModeInjection)
+		fdc, err := device.New(e.HV, e.Dom0, e.Attacker.Domain().ID())
+		if err != nil {
+			b.Fatal(err)
+		}
+		o := device.RunVenomInjection(fdc, e.Attacker, e.Injector)
+		if o.Err != nil || !o.Escalated {
+			b.Fatalf("venom injection failed: %v", o.Err)
+		}
+	}
+}
+
+// BenchmarkTxstoreTransfer measures one journaled transfer of the tenant
+// database (guest-memory reads/writes through real page walks).
+func BenchmarkTxstoreTransfer(b *testing.B) {
+	e := benchEnv(b, hv.Version413(), campaign.ModeInjection)
+	s, err := txstore.New(e.Attacker, 8, 1<<40)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Transfer(i%8, (i+1)%8, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTxstoreACIDAudit measures the full consistency audit.
+func BenchmarkTxstoreACIDAudit(b *testing.B) {
+	e := benchEnv(b, hv.Version413(), campaign.ModeInjection)
+	s, err := txstore.New(e.Attacker, 8, 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Check(8 * 1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationTLB measures guest memory access with and without the
+// translation cache: the simulator-level analogue of the hardware TLB's
+// value, and the knob WithTLBCapacity exposes.
+func BenchmarkAblationTLB(b *testing.B) {
+	run := func(b *testing.B, capacity int) {
+		mem, err := mm.NewMemory(2048)
+		if err != nil {
+			b.Fatal(err)
+		}
+		h, err := hv.New(mem, hv.Version48(), hv.WithTLBCapacity(capacity))
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := h.CreateDomain("guest01", 64, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf := make([]byte, 8)
+		va := d.PhysmapVA(5)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := d.VCPU().ReadVirt(va, buf, true); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("tlb-64", func(b *testing.B) { run(b, 64) })
+	b.Run("tlb-off", func(b *testing.B) { run(b, 0) })
+}
+
+// BenchmarkWorkload measures the mixed guest workload's throughput over
+// one persistent session.
+func BenchmarkWorkload(b *testing.B) {
+	e := benchEnv(b, hv.Version413(), campaign.ModeInjection)
+	session, err := workload.NewSession(e.Guests[1])
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := workload.Config{Ops: 100, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := session.Run(cfg)
+		if res.Stopped {
+			b.Fatal(res.StopReason)
+		}
+	}
+}
+
+// BenchmarkAvailabilityExperiment measures the full availability-under-
+// injection experiment on one version.
+func BenchmarkAvailabilityExperiment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := campaign.AvailabilityUnderInjection(hv.Version413(), workload.Config{Ops: 40, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

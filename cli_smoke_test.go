@@ -1,0 +1,60 @@
+package repro
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCLIs compiles the three command-line tools once per test binary.
+func buildCLIs(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	for _, tool := range []string{"repro", "xsalab", "iinject"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool)
+		cmd.Env = os.Environ()
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", tool, err, out)
+		}
+	}
+	return dir
+}
+
+// TestCLISmoke exercises the shipped binaries end to end: the artifact a
+// user actually runs, not just the libraries underneath.
+func TestCLISmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := buildCLIs(t)
+	tests := []struct {
+		name string
+		tool string
+		args []string
+		want []string
+	}{
+		{"table2", "repro", []string{"-table", "2"}, []string{"TABLE II", "Write Page Table Entries"}},
+		{"fig3", "repro", []string{"-figure", "3"}, []string{"equivalence", "true"}},
+		{"score", "repro", []string{"-score"}, []string{"SECURITY BENCHMARK", "0.50"}},
+		{"xsalab", "xsalab", []string{"-version", "4.8", "-case", "XSA-182-test"}, []string{"not vulnerable", "err-state=no"}},
+		{"iinject", "iinject", []string{"-version", "4.13", "-case", "XSA-182-test"}, []string{"handled by the system"}},
+		{"iinject-models", "iinject", []string{"-models"}, []string{"Guest-Writable Page Table Entry", "grant-status-leak"}},
+		{"iinject-ext", "iinject", []string{"-case", "interrupt-flood"}, []string{"unconsumed events"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			out, err := exec.Command(filepath.Join(dir, tt.tool), tt.args...).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s %v: %v\n%s", tt.tool, tt.args, err, out)
+			}
+			for _, want := range tt.want {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("output missing %q:\n%s", want, out)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,117 @@
+// Command iinject runs an intrusion-injection script against a chosen
+// hypervisor version: the Section VI-B workflow. It prints the intrusion
+// model being instantiated, the injection transcript, and the monitor's
+// verdict on the induced erroneous state and any security violation.
+//
+// Usage:
+//
+//	iinject -version 4.13 -case XSA-212-priv
+//	iinject -models           # list the available intrusion models
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/campaign"
+	"repro/internal/exploits"
+	"repro/internal/hv"
+	"repro/internal/inject"
+	"repro/internal/monitor"
+	"repro/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("iinject: ")
+	versionName := flag.String("version", "4.13", "hypervisor version (4.6, 4.8, 4.13)")
+	useCase := flag.String("case", "XSA-212-crash", "use case (XSA-212-crash, XSA-212-priv, XSA-148-priv, XSA-182-test)")
+	listModels := flag.Bool("models", false, "list intrusion models and exit")
+	flag.Parse()
+
+	if *listModels {
+		fmt.Println("Use-case intrusion models (Table II):")
+		for _, m := range inject.UseCaseModels() {
+			fmt.Printf("  %s\n    erroneous state: %s\n    advisories: %v\n", m, m.ErroneousState, m.Advisories)
+		}
+		fmt.Println("Extension intrusion models:")
+		for _, m := range inject.ExtensionModels() {
+			fmt.Printf("  %s\n    erroneous state: %s\n", m, m.ErroneousState)
+		}
+		return
+	}
+
+	v, err := hv.VersionByName(*versionName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range inject.ExtensionModels() {
+		if m.Name == *useCase {
+			runExtension(v, m)
+			return
+		}
+	}
+	scen, err := exploits.ScenarioByName(*useCase)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range inject.UseCaseModels() {
+		if m.Name == *useCase {
+			fmt.Printf("intrusion model: %s\n  erroneous state: %s\n\n", m, m.ErroneousState)
+		}
+	}
+	e, err := campaign.NewEnvironment(v, campaign.ModeInjection)
+	if err != nil {
+		log.Fatal(err)
+	}
+	env, err := e.ScenarioEnv(campaign.ModeInjection)
+	if err != nil {
+		log.Fatal(err)
+	}
+	outcome := scen.Run(env)
+	verdict := monitor.Assess(e.HV, e.Guests, outcome)
+	fmt.Print(report.Transcript(&campaign.RunResult{Outcome: outcome, Verdict: verdict}, e.HV.Console()))
+}
+
+// runExtension drives one of the extension intrusion models through the
+// state injector and reports the health probe's findings.
+func runExtension(v hv.Version, m inject.IntrusionModel) {
+	fmt.Printf("intrusion model: %s\n  erroneous state: %s\n\n", m, m.ErroneousState)
+	e, err := campaign.NewEnvironment(v, campaign.ModeInjection)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := inject.EnableStateOps(e.HV); err != nil {
+		log.Fatal(err)
+	}
+	sc := inject.NewStateClient(e.Attacker.Domain())
+	switch m.Name {
+	case "grant-status-leak":
+		leaked, err := sc.KeepPageAccess()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("injected: %s retains hypervisor frame %#x\n", e.Attacker.Hostname(), uint64(leaked))
+	case "interrupt-flood":
+		victim := e.Guests[1]
+		if err := sc.InterruptFlood(victim.Domain().ID(), 0, 500); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("injected: 500 unsolicited events pending on %s\n", victim.Hostname())
+	case "hang-state":
+		if err := sc.HangState(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("injected: hypervisor wedged in a non-terminating handler")
+	case "fatal-exception":
+		if err := sc.FatalException("arch/x86/mm.c:1337"); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("injected: fatal assertion reached")
+	default:
+		log.Fatalf("no driver for extension model %q", m.Name)
+	}
+	fmt.Println("\nhealth probe:")
+	fmt.Print(monitor.Probe(e.HV, e.Guests).Summary())
+}

@@ -1,0 +1,117 @@
+// Command repro regenerates every table and figure of the paper from
+// live experiment runs against the simulated hypervisor.
+//
+// Usage:
+//
+//	repro               # everything
+//	repro -table 3      # one table (1..3)
+//	repro -figure 4     # one figure (1..4)
+//	repro -matrix       # the full 24-run campaign matrix
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/campaign"
+	"repro/internal/fieldstudy"
+	"repro/internal/hv"
+	"repro/internal/inject"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("repro: ")
+	table := flag.Int("table", 0, "render only this table (1..3)")
+	figure := flag.Int("figure", 0, "render only this figure (1..4)")
+	matrix := flag.Bool("matrix", false, "render only the full campaign matrix")
+	fuzz := flag.Int("fuzz", 0, "run the randomized-injection vs hypercall-baseline comparison with this many trials")
+	score := flag.Bool("score", false, "run the per-version security benchmark")
+	jsonOut := flag.Bool("json", false, "emit the full campaign as a JSON artifact")
+	avail := flag.Bool("availability", false, "run the availability-under-injection experiment")
+	flag.Parse()
+
+	all := *table == 0 && *figure == 0 && !*matrix && *fuzz == 0 && !*score && !*jsonOut && !*avail
+	out := os.Stdout
+
+	if all || *table == 1 {
+		t := fieldstudy.Classify(fieldstudy.Dataset())
+		if err := t.Verify(); err != nil {
+			log.Fatalf("table I verification: %v", err)
+		}
+		fmt.Fprintln(out, report.TableI(t))
+	}
+	if all || *table == 2 {
+		fmt.Fprintln(out, report.TableII(inject.UseCaseModels()))
+	}
+	if all || *table == 3 {
+		rows, err := campaign.RunTable3()
+		if err != nil {
+			log.Fatalf("table III campaign: %v", err)
+		}
+		versions := make([]string, 0, 2)
+		for _, v := range campaign.Table3Versions() {
+			versions = append(versions, v.Name)
+		}
+		fmt.Fprintln(out, report.TableIII(rows, versions))
+	}
+	if all || *figure == 1 {
+		fmt.Fprintln(out, report.Fig1())
+		fmt.Fprintln(out)
+	}
+	if all || *figure == 2 {
+		fmt.Fprintln(out, report.Fig2())
+		fmt.Fprintln(out)
+	}
+	if all || *figure == 3 {
+		fmt.Fprintln(out, report.Fig3(inject.GuestWritablePageTableEntry))
+	}
+	if all || *figure == 4 {
+		rows, err := campaign.RunFig4()
+		if err != nil {
+			log.Fatalf("figure 4 campaign: %v", err)
+		}
+		fmt.Fprintln(out, report.Fig4(rows))
+	}
+	if all || *matrix {
+		entries, err := campaign.RunMatrix()
+		if err != nil {
+			log.Fatalf("full matrix: %v", err)
+		}
+		fmt.Fprintln(out, report.Matrix(entries))
+	}
+	if *fuzz > 0 {
+		for _, v := range hv.Versions() {
+			cmp, err := campaign.CompareWithBaseline(v, *fuzz, 2023)
+			if err != nil {
+				log.Fatalf("fuzz comparison on %s: %v", v.Name, err)
+			}
+			fmt.Fprintln(out, report.BaselineComparison(cmp))
+		}
+	}
+	if *score {
+		scores, err := campaign.SecurityBenchmark()
+		if err != nil {
+			log.Fatalf("security benchmark: %v", err)
+		}
+		fmt.Fprintln(out, report.Scoreboard(scores))
+	}
+	if *jsonOut {
+		if err := campaign.ExportMatrix(out); err != nil {
+			log.Fatalf("json export: %v", err)
+		}
+	}
+	if *avail {
+		for _, v := range hv.Versions() {
+			rows, err := campaign.AvailabilityUnderInjection(v, workload.DefaultConfig())
+			if err != nil {
+				log.Fatalf("availability on %s: %v", v.Name, err)
+			}
+			fmt.Fprintln(out, report.Availability(rows))
+		}
+	}
+}

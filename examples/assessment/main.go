@@ -1,0 +1,100 @@
+// Assessment: the forward-looking uses of intrusion injection the paper
+// sketches in Sections IV-C and IX —
+//
+//  1. the second injector covering non-memory intrusion models
+//     (keep-page-access, interrupt floods, hang states, fatal
+//     exceptions), and
+//  2. the randomized ("fuzzing-like, post-attack") injection campaign,
+//     compared against a hypercall-attack-injection baseline in the
+//     style of the related work.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/campaign"
+	"repro/internal/hv"
+	"repro/internal/inject"
+	"repro/internal/mm"
+	"repro/internal/report"
+	"repro/internal/vnet"
+
+	guestos "repro/internal/guest"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// --- Part 1: the state injector on a hardened build ---
+	mem, err := mm.NewMemory(2048)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h, err := hv.New(mem, hv.Version413())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := inject.EnableStateOps(h); err != nil {
+		log.Fatal(err)
+	}
+	net := vnet.New()
+	attackerDom, err := h.CreateDomain("guest01", 64, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	guestos.New(attackerDom, net, "10.3.1.178")
+	victimDom, err := h.CreateDomain("guest02", 64, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	guestos.New(victimDom, net, "10.3.1.179")
+
+	sc := inject.NewStateClient(attackerDom)
+	fmt.Println("state injector on", h.Version(), "— models:", len(inject.ExtensionModels()))
+
+	leaked, err := sc.KeepPageAccess()
+	if err != nil {
+		log.Fatal(err)
+	}
+	pi, err := h.Memory().Info(leaked)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  keep-page-access: dom%d retains hv frame %#x (owner dom%d, refs %d)\n",
+		attackerDom.ID(), uint64(leaked), pi.Owner, pi.RefCount)
+
+	if err := sc.InterruptFlood(victimDom.ID(), 0, 1000); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  interrupt-flood: victim %s has %d unsolicited pending events\n",
+		victimDom.Name(), victimDom.PendingEvents())
+
+	// The hang and fatal states are demonstrated on a scratch build so
+	// this one stays alive.
+	mem2, _ := mm.NewMemory(512)
+	h2, err := hv.New(mem2, hv.Version413())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := inject.EnableStateOps(h2); err != nil {
+		log.Fatal(err)
+	}
+	d2, err := h2.CreateDomain("guest01", 64, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc2 := inject.NewStateClient(d2)
+	if err := sc2.FatalException("arch/x86/traps.c:911"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  fatal-exception: scratch hypervisor panicked: %q\n", h2.CrashReason())
+
+	// --- Part 2: randomized campaign vs hypercall-attack baseline ---
+	fmt.Println()
+	cmp, err := campaign.CompareWithBaseline(hv.Version413(), 60, 2023)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(report.BaselineComparison(cmp))
+}

@@ -1,0 +1,75 @@
+// Crossversion: the paper's security-assessment workflow (RQ2/RQ3).
+// The same four erroneous states are injected into every hypervisor
+// version; comparing which versions suffer the security violation and
+// which handle the state yields the security comparison of Section VIII
+// — the scenario the paper motivates of a provider evaluating
+// alternative systems or configurations against intrusions.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/campaign"
+	"repro/internal/exploits"
+	"repro/internal/hv"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("Injection campaign across versions (fresh environment per run):")
+	fmt.Println()
+	type cell struct{ errState, secViol, handled bool }
+	results := make(map[string]map[string]cell)
+
+	for _, v := range hv.Versions() {
+		for _, s := range exploits.Scenarios() {
+			res, err := campaign.Run(v, s.Name, campaign.ModeInjection)
+			if err != nil {
+				log.Fatalf("%s on %s: %v", s.Name, v.Name, err)
+			}
+			if results[s.Name] == nil {
+				results[s.Name] = make(map[string]cell)
+			}
+			results[s.Name][v.Name] = cell{
+				errState: res.Verdict.ErroneousState,
+				secViol:  res.Verdict.SecurityViolation,
+				handled:  res.Verdict.Handled,
+			}
+		}
+	}
+
+	mark := func(b bool) string {
+		if b {
+			return "yes"
+		}
+		return "no "
+	}
+	fmt.Printf("%-16s", "use case")
+	for _, v := range hv.Versions() {
+		fmt.Printf(" | %-7s state viol", v.Name)
+	}
+	fmt.Println()
+	for _, s := range exploits.Scenarios() {
+		fmt.Printf("%-16s", s.Name)
+		for _, v := range hv.Versions() {
+			c := results[s.Name][v.Name]
+			fmt.Printf(" |         %s   %s", mark(c.errState), mark(c.secViol))
+		}
+		fmt.Println()
+	}
+
+	// The assessment conclusion of Section VIII.
+	fmt.Println()
+	handled := 0
+	for _, s := range exploits.Scenarios() {
+		if results[s.Name]["4.13"].handled {
+			handled++
+			fmt.Printf("Xen 4.13 handles the %s erroneous state (4.6/4.8 do not)\n", s.Name)
+		}
+	}
+	fmt.Printf("\nassessment: 4.13 tolerates %d of 4 injected states -> a measurably "+
+		"different security level,\nlater attributable to the XSA-213..315 "+
+		"follow-up hardening (Section VIII).\n", handled)
+}

@@ -1,0 +1,98 @@
+// Venom: the paper's Section III running example, end to end. The
+// XSA-133 (VENOM) buffer overflow in the emulated floppy disk controller
+// corrupts the device model's memory; the intrusion injector induces the
+// identical erroneous state — "overwriting the FDC request handler
+// method" — on versions where the overflow is patched, and an ordinary
+// I/O request then triggers the same guest escape.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/device"
+	"repro/internal/guest"
+	"repro/internal/hv"
+	"repro/internal/inject"
+	"repro/internal/mm"
+	"repro/internal/vnet"
+)
+
+type stack struct {
+	h        *hv.Hypervisor
+	dom0     *guest.Kernel
+	attacker *guest.Kernel
+	fdc      *device.FDC
+	injector *inject.Client
+}
+
+func build(v hv.Version, withInjector bool) (*stack, error) {
+	mem, err := mm.NewMemory(2048)
+	if err != nil {
+		return nil, err
+	}
+	h, err := hv.New(mem, v)
+	if err != nil {
+		return nil, err
+	}
+	if withInjector {
+		if err := inject.Enable(h); err != nil {
+			return nil, err
+		}
+	}
+	net := vnet.New()
+	d0, err := h.CreateDomain("xen3", 64, true)
+	if err != nil {
+		return nil, err
+	}
+	dom0 := guest.New(d0, net, "10.3.1.1")
+	ad, err := h.CreateDomain("guest01", 64, false)
+	if err != nil {
+		return nil, err
+	}
+	attacker := guest.New(ad, net, "10.3.1.181")
+	fdc, err := device.New(h, dom0, ad.ID())
+	if err != nil {
+		return nil, err
+	}
+	s := &stack{h: h, dom0: dom0, attacker: attacker, fdc: fdc}
+	if withInjector {
+		s.injector = inject.NewClient(ad)
+	}
+	return s, nil
+}
+
+func show(o *device.VenomOutcome) {
+	fmt.Printf("=== VENOM %s mode on Xen %s ===\n", o.Mode, o.Version)
+	for _, l := range o.Log {
+		fmt.Println("  " + l)
+	}
+	if o.Err != nil {
+		fmt.Printf("  [attack stopped: %v]\n", o.Err)
+	}
+	fmt.Printf("  erroneous state: %v, guest escape: %v\n\n", o.ErroneousState, o.Escalated)
+}
+
+func main() {
+	log.SetFlags(0)
+	// The real overflow on the vulnerable stack.
+	s, err := build(hv.Version46(), false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show(device.RunVenomExploit(s.fdc, s.attacker))
+
+	// The same attack against the patched device model: rejected.
+	s, err = build(hv.Version413(), false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show(device.RunVenomExploit(s.fdc, s.attacker))
+
+	// The injection: same erroneous state, same escape, no vulnerability.
+	s, err = build(hv.Version413(), true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show(device.RunVenomInjection(s.fdc, s.attacker, s.injector))
+}

@@ -1,0 +1,156 @@
+// Package campaign orchestrates the paper's experimental campaigns
+// (Fig. 4): it builds a fresh, identical environment for every run —
+// "the build and experimental environment are kept the same during all
+// process ... the only difference was the Xen version" — executes a use
+// case in exploit or injection mode, and has the monitor assess the
+// outcome.
+package campaign
+
+import (
+	"fmt"
+
+	"repro/internal/exploits"
+	"repro/internal/guest"
+	"repro/internal/hv"
+	"repro/internal/inject"
+	"repro/internal/mm"
+	"repro/internal/monitor"
+	"repro/internal/vnet"
+)
+
+// Fixed experimental-environment parameters.
+const (
+	// MachineFrames is the simulated machine size (2048 frames = 8 MiB).
+	MachineFrames = 2048
+	// DomainFrames is each domain's memory size.
+	DomainFrames = 64
+	// ListenerAddr is where the remote attacker host listens
+	// (nc -l -vvv -p 1234).
+	ListenerAddr = "10.3.1.100:1234"
+	// AttackerIP is the compromised guest's address; the paper's
+	// transcript shows the reverse connection arriving from 10.3.1.181.
+	AttackerIP = "10.3.1.181"
+)
+
+// Mode selects which primitive drives a use case.
+type Mode string
+
+// Modes.
+const (
+	// ModeExploit runs the original PoC against the real vulnerability.
+	ModeExploit Mode = "exploit"
+	// ModeInjection runs the injection script on an injector build.
+	ModeInjection Mode = "injection"
+)
+
+// Environment is one freshly built experimental setup: a hypervisor of
+// the requested version, dom0 plus three guests with kernels, and the
+// attacker's remote listener.
+type Environment struct {
+	HV       *hv.Hypervisor
+	Net      *vnet.Network
+	Dom0     *guest.Kernel
+	Attacker *guest.Kernel
+	Guests   []*guest.Kernel // dom0 first, then guest01..guest03
+	Listener *vnet.Listener
+	Injector *inject.Client // nil on exploit-mode builds
+}
+
+// NewEnvironment boots the standard experimental environment. Injection
+// mode compiles the injector hypercall into the build, as the prototype
+// does per version.
+func NewEnvironment(v hv.Version, mode Mode) (*Environment, error) {
+	mem, err := mm.NewMemory(MachineFrames)
+	if err != nil {
+		return nil, err
+	}
+	h, err := hv.New(mem, v)
+	if err != nil {
+		return nil, err
+	}
+	e := &Environment{HV: h, Net: vnet.New()}
+	if mode == ModeInjection {
+		if err := inject.Enable(h); err != nil {
+			return nil, err
+		}
+	}
+
+	dom0, err := h.CreateDomain("xen3", DomainFrames, true)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: creating dom0: %w", err)
+	}
+	e.Dom0 = guest.New(dom0, e.Net, "10.3.1.1")
+	e.Guests = append(e.Guests, e.Dom0)
+
+	ips := []string{"10.3.1.178", "10.3.1.179", AttackerIP}
+	for i, ip := range ips {
+		name := fmt.Sprintf("guest%02d", i+1)
+		d, err := h.CreateDomain(name, DomainFrames, false)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: creating %s: %w", name, err)
+		}
+		k := guest.New(d, e.Net, ip)
+		e.Guests = append(e.Guests, k)
+	}
+	e.Attacker = e.Guests[len(e.Guests)-1] // guest03, per the paper's transcript
+
+	if e.Listener, err = e.Net.Listen(ListenerAddr); err != nil {
+		return nil, err
+	}
+	if mode == ModeInjection {
+		e.Injector = inject.NewClient(e.Attacker.Domain())
+	}
+	return e, nil
+}
+
+// ScenarioEnv adapts the environment for the exploits package, selecting
+// the primitive by mode.
+func (e *Environment) ScenarioEnv(mode Mode) (*exploits.Env, error) {
+	env := &exploits.Env{
+		HV:           e.HV,
+		Attacker:     e.Attacker,
+		Dom0:         e.Dom0,
+		Guests:       e.Guests,
+		Net:          e.Net,
+		Listener:     e.Listener,
+		ListenerAddr: ListenerAddr,
+	}
+	switch mode {
+	case ModeExploit:
+		env.Prim = exploits.NewVulnPrimitive(e.Attacker)
+	case ModeInjection:
+		if e.Injector == nil {
+			return nil, fmt.Errorf("campaign: environment was not built with an injector")
+		}
+		env.Prim = e.Injector
+	default:
+		return nil, fmt.Errorf("campaign: unknown mode %q", mode)
+	}
+	return env, nil
+}
+
+// RunResult bundles a scenario transcript with the monitor's assessment.
+type RunResult struct {
+	Outcome *exploits.Outcome
+	Verdict *monitor.Verdict
+}
+
+// Run executes one (version, use case, mode) cell in a fresh
+// environment.
+func Run(v hv.Version, useCase string, mode Mode) (*RunResult, error) {
+	e, err := NewEnvironment(v, mode)
+	if err != nil {
+		return nil, err
+	}
+	scen, err := exploits.ScenarioByName(useCase)
+	if err != nil {
+		return nil, err
+	}
+	env, err := e.ScenarioEnv(mode)
+	if err != nil {
+		return nil, err
+	}
+	outcome := scen.Run(env)
+	verdict := monitor.Assess(e.HV, e.Guests, outcome)
+	return &RunResult{Outcome: outcome, Verdict: verdict}, nil
+}

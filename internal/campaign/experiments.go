@@ -1,0 +1,112 @@
+package campaign
+
+import (
+	"fmt"
+
+	"repro/internal/exploits"
+	"repro/internal/hv"
+)
+
+// Fig4Row is one use case of the RQ1 validation (Fig. 4): the original
+// exploit and the injection script on the vulnerable version, compared.
+type Fig4Row struct {
+	UseCase   string
+	Exploit   *RunResult
+	Injection *RunResult
+	// StatesMatch and ViolationsMatch are the equivalence the figure's
+	// "compare" step asserts.
+	StatesMatch     bool
+	ViolationsMatch bool
+}
+
+// RunFig4 executes the RQ1 experiment: every use case, exploit vs
+// injection, on the vulnerable 4.6 version, each in a fresh environment.
+func RunFig4() ([]Fig4Row, error) {
+	v := hv.Version46()
+	rows := make([]Fig4Row, 0, len(exploits.Scenarios()))
+	for _, s := range exploits.Scenarios() {
+		ex, err := Run(v, s.Name, ModeExploit)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: fig4 %s exploit: %w", s.Name, err)
+		}
+		in, err := Run(v, s.Name, ModeInjection)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: fig4 %s injection: %w", s.Name, err)
+		}
+		rows = append(rows, Fig4Row{
+			UseCase:         s.Name,
+			Exploit:         ex,
+			Injection:       in,
+			StatesMatch:     ex.Verdict.ErroneousState == in.Verdict.ErroneousState,
+			ViolationsMatch: ex.Verdict.SecurityViolation == in.Verdict.SecurityViolation,
+		})
+	}
+	return rows, nil
+}
+
+// Table3Cell is one (use case, version) cell of Table III.
+type Table3Cell struct {
+	ErrState bool
+	SecViol  bool
+}
+
+// Table3Row is one use case across the non-vulnerable versions.
+type Table3Row struct {
+	UseCase string
+	Cells   map[string]Table3Cell // keyed by version name
+}
+
+// Table3Versions are the non-vulnerable versions the campaign injects
+// into.
+func Table3Versions() []hv.Version {
+	return []hv.Version{hv.Version48(), hv.Version413()}
+}
+
+// RunTable3 executes the RQ2/RQ3 injection campaign: every use case's
+// injection script against 4.8 and 4.13.
+func RunTable3() ([]Table3Row, error) {
+	rows := make([]Table3Row, 0, len(exploits.Scenarios()))
+	for _, s := range exploits.Scenarios() {
+		row := Table3Row{UseCase: s.Name, Cells: make(map[string]Table3Cell, 2)}
+		for _, v := range Table3Versions() {
+			res, err := Run(v, s.Name, ModeInjection)
+			if err != nil {
+				return nil, fmt.Errorf("campaign: table3 %s on %s: %w", s.Name, v.Name, err)
+			}
+			row.Cells[v.Name] = Table3Cell{
+				ErrState: res.Verdict.ErroneousState,
+				SecViol:  res.Verdict.SecurityViolation,
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// MatrixEntry is one cell of the full campaign: every version, use case
+// and mode. The exploit rows on fixed versions document Section VII's
+// "we could not induce the erroneous states" with the original PoCs.
+type MatrixEntry struct {
+	Version string
+	UseCase string
+	Mode    Mode
+	Result  *RunResult
+}
+
+// RunMatrix executes the full 3 versions x 4 use cases x 2 modes
+// campaign (24 runs, each in a fresh environment).
+func RunMatrix() ([]MatrixEntry, error) {
+	var out []MatrixEntry
+	for _, v := range hv.Versions() {
+		for _, s := range exploits.Scenarios() {
+			for _, mode := range []Mode{ModeExploit, ModeInjection} {
+				res, err := Run(v, s.Name, mode)
+				if err != nil {
+					return nil, fmt.Errorf("campaign: matrix %s/%s/%s: %w", v.Name, s.Name, mode, err)
+				}
+				out = append(out, MatrixEntry{Version: v.Name, UseCase: s.Name, Mode: mode, Result: res})
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,87 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The export format: a stable JSON artifact a paper-reproduction package
+// ships alongside its tables, so downstream tooling can diff campaign
+// results across code revisions without parsing rendered text.
+
+// ExportedRun is the JSON form of one (version, use case, mode) result.
+type ExportedRun struct {
+	Version           string   `json:"version"`
+	UseCase           string   `json:"use_case"`
+	Mode              string   `json:"mode"`
+	ErroneousState    bool     `json:"erroneous_state"`
+	SecurityViolation bool     `json:"security_violation"`
+	Handled           bool     `json:"handled"`
+	ScriptError       string   `json:"script_error,omitempty"`
+	Transcript        []string `json:"transcript"`
+	Evidence          []string `json:"evidence"`
+}
+
+// ExportedCampaign is the top-level artifact.
+type ExportedCampaign struct {
+	Paper   string        `json:"paper"`
+	Machine string        `json:"machine"`
+	Runs    []ExportedRun `json:"runs"`
+	Scores  []Score       `json:"scores,omitempty"`
+}
+
+// exportRun converts one result.
+func exportRun(version, useCase string, mode Mode, res *RunResult) ExportedRun {
+	out := ExportedRun{
+		Version:           version,
+		UseCase:           useCase,
+		Mode:              string(mode),
+		ErroneousState:    res.Verdict.ErroneousState,
+		SecurityViolation: res.Verdict.SecurityViolation,
+		Handled:           res.Verdict.Handled,
+		Transcript:        res.Outcome.Log,
+		Evidence:          res.Verdict.Evidence,
+	}
+	if res.Outcome.Err != nil {
+		out.ScriptError = res.Outcome.Err.Error()
+	}
+	return out
+}
+
+// ExportMatrix runs the full campaign and writes the JSON artifact,
+// including the per-version security-benchmark scores.
+func ExportMatrix(w io.Writer) error {
+	entries, err := RunMatrix()
+	if err != nil {
+		return err
+	}
+	scores, err := SecurityBenchmark()
+	if err != nil {
+		return err
+	}
+	artifact := ExportedCampaign{
+		Paper:   "Intrusion Injection for Virtualized Systems: Concepts and Approach (DSN 2023)",
+		Machine: fmt.Sprintf("simulated PV hypervisor, %d frames, %d-frame domains", MachineFrames, DomainFrames),
+		Runs:    make([]ExportedRun, 0, len(entries)),
+		Scores:  scores,
+	}
+	for _, e := range entries {
+		artifact.Runs = append(artifact.Runs, exportRun(e.Version, e.UseCase, e.Mode, e.Result))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(artifact)
+}
+
+// MarshalJSON exports a Score with its derived resilience.
+func (s Score) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Version          string  `json:"version"`
+		StatesInjected   int     `json:"states_injected"`
+		Violations       int     `json:"violations"`
+		Handled          int     `json:"handled"`
+		FailedInjections int     `json:"failed_injections"`
+		Resilience       float64 `json:"resilience"`
+	}{s.Version, s.StatesInjected, s.Violations, s.Handled, s.FailedInjections, s.Resilience()})
+}

@@ -1,0 +1,144 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/hv"
+)
+
+const fuzzTrials = 40
+
+func TestRandomInjectionCampaignIsDeterministic(t *testing.T) {
+	a, err := RandomInjectionCampaign(hv.Version48(), fuzzTrials, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomInjectionCampaign(hv.Version48(), fuzzTrials, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Total() != fuzzTrials || b.Total() != fuzzTrials {
+		t.Fatalf("totals = %d, %d", a.Total(), b.Total())
+	}
+	for class, n := range a {
+		if b[class] != n {
+			t.Errorf("class %v: %d vs %d across identical seeds", class, n, b[class])
+		}
+	}
+}
+
+func TestRandomInjectionCampaignInducesStates(t *testing.T) {
+	// Injection reaches erroneous states on every version, including the
+	// hardened one — that is the whole point of the technique.
+	for _, v := range []hv.Version{hv.Version46(), hv.Version413()} {
+		t.Run(v.Name, func(t *testing.T) {
+			dist, err := RandomInjectionCampaign(v, fuzzTrials, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := dist.ErroneousStates(); got == 0 {
+				t.Errorf("no erroneous states in %d trials: %v", fuzzTrials, dist)
+			}
+			// Every injector write is accepted: nothing is "rejected" at
+			// the injection interface.
+			if dist[ClassRejected] != 0 {
+				t.Errorf("injector rejected inputs: %v", dist)
+			}
+		})
+	}
+}
+
+func TestHypercallFuzzBaselineCannotReachStatesOnFixedVersions(t *testing.T) {
+	dist, err := HypercallFuzzCampaign(hv.Version413(), 300, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist[ClassCrash] != 0 {
+		t.Errorf("baseline crashed a fixed hypervisor: %v", dist)
+	}
+	if dist[ClassStateInduced] != 0 {
+		t.Errorf("baseline induced erroneous states through legitimate interfaces: %v", dist)
+	}
+	// The interface must have rejected the bulk of malformed input.
+	if dist[ClassRejected] == 0 {
+		t.Errorf("baseline never rejected: %v", dist)
+	}
+}
+
+func TestCompareWithBaselineQuantifiesTheGap(t *testing.T) {
+	cmp, err := CompareWithBaseline(hv.Version413(), fuzzTrials, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Version != "4.13" || cmp.Trials != fuzzTrials {
+		t.Errorf("metadata = %+v", cmp)
+	}
+	inj := cmp.Injection.ErroneousStates()
+	base := cmp.Baseline.ErroneousStates()
+	if inj <= base {
+		t.Errorf("injection (%d states) does not beat the baseline (%d states)", inj, base)
+	}
+}
+
+func TestCampaignRejectsBadTrialCounts(t *testing.T) {
+	if _, err := RandomInjectionCampaign(hv.Version46(), 0, 1); err == nil {
+		t.Error("zero trials accepted")
+	}
+	if _, err := HypercallFuzzCampaign(hv.Version46(), -3, 1); err == nil {
+		t.Error("negative trials accepted")
+	}
+}
+
+func TestOutcomeClassStrings(t *testing.T) {
+	for _, c := range []OutcomeClass{ClassRejected, ClassAccepted, ClassStateInduced, ClassHandledOops, ClassCrash, ClassHang} {
+		if strings.HasPrefix(c.String(), "OutcomeClass(") {
+			t.Errorf("class %d has no name", c)
+		}
+	}
+	if !strings.HasPrefix(OutcomeClass(99).String(), "OutcomeClass(") {
+		t.Error("unknown class string")
+	}
+}
+
+func TestExportMatrixProducesValidArtifact(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ExportMatrix(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var artifact ExportedCampaign
+	if err := json.Unmarshal(buf.Bytes(), &artifact); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if len(artifact.Runs) != 24 {
+		t.Errorf("runs = %d, want 24", len(artifact.Runs))
+	}
+	if len(artifact.Scores) != 3 {
+		t.Errorf("scores = %d, want 3", len(artifact.Scores))
+	}
+	if !strings.Contains(artifact.Paper, "Intrusion Injection") {
+		t.Errorf("paper = %q", artifact.Paper)
+	}
+	// Spot-check one known cell survives the round trip.
+	found := false
+	for _, r := range artifact.Runs {
+		if r.Version == "4.13" && r.UseCase == "XSA-182-test" && r.Mode == "injection" {
+			found = true
+			if !r.ErroneousState || r.SecurityViolation || !r.Handled {
+				t.Errorf("cell = %+v", r)
+			}
+			if len(r.Transcript) == 0 {
+				t.Error("transcript missing")
+			}
+		}
+	}
+	if !found {
+		t.Error("expected cell absent from artifact")
+	}
+	// The score JSON carries the derived resilience.
+	if !strings.Contains(buf.String(), `"resilience": 0.5`) {
+		t.Error("resilience not exported")
+	}
+}

@@ -1,0 +1,71 @@
+package campaign
+
+import (
+	"fmt"
+
+	"repro/internal/exploits"
+	"repro/internal/hv"
+)
+
+// Score aggregates one version's behaviour under the injection campaign
+// into benchmark-style numbers — the "security benchmark for virtualized
+// infrastructures" the paper's conclusions aim at: instead of counting
+// vulnerabilities (which says nothing about unknown ones), count how
+// many injected intrusion effects the system tolerates.
+type Score struct {
+	// Version is the hypervisor release.
+	Version string
+	// StatesInjected counts erroneous states successfully induced.
+	StatesInjected int
+	// Violations counts those that became security violations.
+	Violations int
+	// Handled counts those the system coped with.
+	Handled int
+	// FailedInjections counts states that could not be induced (should
+	// be zero for a working injector).
+	FailedInjections int
+}
+
+// Resilience returns the fraction of injected states the system
+// handled, in [0, 1]; the benchmark's headline number.
+func (s Score) Resilience() float64 {
+	if s.StatesInjected == 0 {
+		return 0
+	}
+	return float64(s.Handled) / float64(s.StatesInjected)
+}
+
+// String renders the score as a benchmark row.
+func (s Score) String() string {
+	return fmt.Sprintf("Xen %-5s states=%d violations=%d handled=%d resilience=%.2f",
+		s.Version, s.StatesInjected, s.Violations, s.Handled, s.Resilience())
+}
+
+// SecurityBenchmark runs the injection campaign (all use cases) against
+// every version and aggregates the per-version scores. On the paper's
+// data the expected ranking is 4.13 (0.50) > 4.8 (0.00) = 4.6 (0.00).
+func SecurityBenchmark() ([]Score, error) {
+	scores := make([]Score, 0, len(hv.Versions()))
+	for _, v := range hv.Versions() {
+		s := Score{Version: v.Name}
+		for _, scen := range exploits.Scenarios() {
+			res, err := Run(v, scen.Name, ModeInjection)
+			if err != nil {
+				return nil, fmt.Errorf("campaign: benchmark %s on %s: %w", scen.Name, v.Name, err)
+			}
+			verdict := res.Verdict
+			if !verdict.ErroneousState {
+				s.FailedInjections++
+				continue
+			}
+			s.StatesInjected++
+			if verdict.SecurityViolation {
+				s.Violations++
+			} else {
+				s.Handled++
+			}
+		}
+		scores = append(scores, s)
+	}
+	return scores, nil
+}

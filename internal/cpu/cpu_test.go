@@ -1,0 +1,321 @@
+package cpu
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/mm"
+	"repro/internal/pagetable"
+)
+
+// fakePage describes one translated page of the fake address space.
+type fakePage struct {
+	phys    mm.PhysAddr
+	perm    string // subset of "rwx"
+	guestOK bool
+}
+
+// fakeSpace is a page-granular address space for CPU tests.
+type fakeSpace struct {
+	pages map[uint64]fakePage
+}
+
+func (s *fakeSpace) map4k(va uint64, phys mm.PhysAddr, perm string, guestOK bool) {
+	if s.pages == nil {
+		s.pages = make(map[uint64]fakePage)
+	}
+	s.pages[va&^uint64(mm.PageMask)] = fakePage{phys: phys, perm: perm, guestOK: guestOK}
+}
+
+func (s *fakeSpace) Translate(va uint64, acc pagetable.Access, guest bool) (mm.PhysAddr, error) {
+	p, ok := s.pages[va&^uint64(mm.PageMask)]
+	if !ok {
+		return 0, &pagetable.Fault{VA: va, Access: acc, Reason: "not mapped"}
+	}
+	if guest && !p.guestOK {
+		return 0, &pagetable.Fault{VA: va, Access: acc, Reason: "supervisor-only"}
+	}
+	need := map[pagetable.Access]string{
+		pagetable.AccessRead:  "r",
+		pagetable.AccessWrite: "w",
+		pagetable.AccessExec:  "x",
+	}[acc]
+	if !strings.Contains(p.perm, need) {
+		return 0, &pagetable.Fault{VA: va, Access: acc, Reason: "permission denied"}
+	}
+	return p.phys + mm.PhysAddr(va&mm.PageMask), nil
+}
+
+var _ AddressSpace = (*fakeSpace)(nil)
+
+// fakePlat implements Platform with a crash flag and builtin registry.
+type fakePlat struct {
+	crashMsg string
+	builtins map[uint64]BuiltinHandler
+	ring0    *recordingCtx
+}
+
+func newFakePlat() *fakePlat {
+	return &fakePlat{builtins: make(map[uint64]BuiltinHandler), ring0: &recordingCtx{}}
+}
+
+func (p *fakePlat) Crash(reason string) {
+	if p.crashMsg == "" {
+		p.crashMsg = reason
+	}
+}
+func (p *fakePlat) Crashed() bool { return p.crashMsg != "" }
+func (p *fakePlat) Builtin(va uint64) (BuiltinHandler, bool) {
+	h, ok := p.builtins[va]
+	return h, ok
+}
+func (p *fakePlat) Ring0Context() ExecContext { return p.ring0 }
+
+var _ Platform = (*fakePlat)(nil)
+
+// testCPU wires a machine, fake space and platform, with an IDT page
+// mapped at idtVA backed by frame 0.
+const (
+	idtVA     = 0xffff82d080001000
+	handlerVA = 0xffff82d080002000 // builtin handler addresses live here
+	codeVA    = 0xffff82d080003000 // payload code page (frame 2)
+)
+
+func newTestCPU(t *testing.T) (*CPU, *mm.Memory, *fakeSpace, *fakePlat) {
+	t.Helper()
+	mem, err := mm.NewMemory(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := &fakeSpace{}
+	space.map4k(idtVA, 0, "rw", false)
+	space.map4k(codeVA, 2*mm.PageSize, "rwx", false)
+	plat := newFakePlat()
+	c := New(0, mem, space, plat)
+	c.LIDT(IDTR{Base: idtVA, Limit: NumVectors*DescriptorSize - 1})
+	return c, mem, space, plat
+}
+
+// installGate writes a descriptor for the vector into the IDT page.
+func installGate(t *testing.T, c *CPU, vector uint8, g GateDescriptor) {
+	t.Helper()
+	enc := g.Encode()
+	if err := c.WriteVirt(c.SIDT().DescriptorAddr(vector), enc[:], false); err != nil {
+		t.Fatalf("installing gate %d: %v", vector, err)
+	}
+}
+
+func TestVirtReadWriteCrossesPages(t *testing.T) {
+	c, _, space, _ := newTestCPU(t)
+	space.map4k(0xffff82d080004000, 4*mm.PageSize, "rw", false)
+	space.map4k(0xffff82d080005000, 5*mm.PageSize, "rw", false)
+	msg := []byte("crossing a page boundary here")
+	va := uint64(0xffff82d080004ff0)
+	if err := c.WriteVirt(va, msg, false); err != nil {
+		t.Fatalf("WriteVirt: %v", err)
+	}
+	got := make([]byte, len(msg))
+	if err := c.ReadVirt(va, got, false); err != nil {
+		t.Fatalf("ReadVirt: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Errorf("round trip = %q, want %q", got, msg)
+	}
+}
+
+func TestVirtU64Accessors(t *testing.T) {
+	c, _, _, _ := newTestCPU(t)
+	if err := c.WriteVirtU64(codeVA+8, 0x1122334455667788, false); err != nil {
+		t.Fatalf("WriteVirtU64: %v", err)
+	}
+	v, err := c.ReadVirtU64(codeVA+8, false)
+	if err != nil {
+		t.Fatalf("ReadVirtU64: %v", err)
+	}
+	if v != 0x1122334455667788 {
+		t.Errorf("read %#x", v)
+	}
+}
+
+func TestVirtAccessFaults(t *testing.T) {
+	c, _, _, _ := newTestCPU(t)
+	var fault *pagetable.Fault
+	if err := c.ReadVirt(0xffff82d080009000, make([]byte, 8), false); !errors.As(err, &fault) {
+		t.Errorf("unmapped read: err = %v, want fault", err)
+	}
+	// Guest access to a supervisor-only page.
+	if err := c.ReadVirt(idtVA, make([]byte, 8), true); !errors.As(err, &fault) {
+		t.Errorf("guest read of IDT: err = %v, want fault", err)
+	}
+	// Write to a read-execute page.
+	if err := c.WriteVirt(idtVA, make([]byte, 8), false); err != nil {
+		t.Errorf("write to rw idt page: %v", err)
+	}
+}
+
+func TestExecutePayloadAt(t *testing.T) {
+	c, mem, _, _ := newTestCPU(t)
+	raw := Assemble(Program{
+		{Op: OpLog, Args: []string{"payload ran"}},
+		{Op: OpEscalate},
+	})
+	if err := mem.WritePhys(2*mm.PageSize, raw); err != nil {
+		t.Fatal(err)
+	}
+	ctx := &recordingCtx{}
+	if err := c.ExecutePayloadAt(codeVA, ctx, false); err != nil {
+		t.Fatalf("ExecutePayloadAt: %v", err)
+	}
+	if len(ctx.logs) != 1 || !ctx.escalated {
+		t.Errorf("payload effects missing: %+v", ctx)
+	}
+}
+
+func TestExecutePayloadRequiresExec(t *testing.T) {
+	c, mem, space, _ := newTestCPU(t)
+	space.map4k(0xffff82d080006000, 6*mm.PageSize, "rw", false) // no x
+	raw := Assemble(Program{{Op: OpNop}})
+	if err := mem.WritePhys(6*mm.PageSize, raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ExecutePayloadAt(0xffff82d080006000, &recordingCtx{}, false); err == nil {
+		t.Error("executing non-executable page succeeded")
+	}
+}
+
+func TestExecutePayloadGarbageRejected(t *testing.T) {
+	c, mem, _, _ := newTestCPU(t)
+	if err := mem.WritePhys(2*mm.PageSize, []byte{0x12, 0x34, 0x56}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ExecutePayloadAt(codeVA, &recordingCtx{}, false); !errors.Is(err, ErrNotPayload) {
+		t.Errorf("err = %v, want ErrNotPayload", err)
+	}
+}
+
+func TestExecutePayloadTruncatesAtUnmappedPage(t *testing.T) {
+	c, mem, _, _ := newTestCPU(t)
+	// Payload sits at the very end of the code page; the next page is
+	// unmapped, so the fetch must stop there and still decode.
+	raw := Assemble(Program{{Op: OpLog, Args: []string{"tail"}}})
+	off := mm.PageSize - len(raw)
+	if err := mem.WritePhys(2*mm.PageSize+mm.PhysAddr(off), raw); err != nil {
+		t.Fatal(err)
+	}
+	ctx := &recordingCtx{}
+	if err := c.ExecutePayloadAt(codeVA+uint64(off), ctx, false); err != nil {
+		t.Fatalf("ExecutePayloadAt at page tail: %v", err)
+	}
+	if len(ctx.logs) != 1 {
+		t.Errorf("logs = %v", ctx.logs)
+	}
+}
+
+func TestDeliverExceptionBuiltin(t *testing.T) {
+	c, _, _, plat := newTestCPU(t)
+	var gotVector uint8
+	plat.builtins[handlerVA] = func(v uint8) error { gotVector = v; return nil }
+	installGate(t, c, VectorPageFault, NewInterruptGate(handlerVA))
+	if err := c.DeliverException(VectorPageFault); err != nil {
+		t.Fatalf("DeliverException: %v", err)
+	}
+	if gotVector != VectorPageFault {
+		t.Errorf("builtin got vector %d, want %d", gotVector, VectorPageFault)
+	}
+}
+
+func TestDeliverExceptionPayloadHandler(t *testing.T) {
+	c, mem, _, plat := newTestCPU(t)
+	raw := Assemble(Program{{Op: OpLog, Args: []string{"attacker handler at ring0"}}})
+	if err := mem.WritePhys(2*mm.PageSize, raw); err != nil {
+		t.Fatal(err)
+	}
+	installGate(t, c, 0x80, NewInterruptGate(codeVA))
+	if err := c.SoftwareInterrupt(0x80); err != nil {
+		t.Fatalf("SoftwareInterrupt: %v", err)
+	}
+	if len(plat.ring0.logs) != 1 {
+		t.Errorf("ring0 logs = %v", plat.ring0.logs)
+	}
+}
+
+// The XSA-212-crash causal chain: corrupt #PF descriptor, valid #DF
+// builtin that panics — delivering a page fault must end in the panic.
+func TestDeliverCorruptPFDescriptorDoubleFaults(t *testing.T) {
+	c, _, _, plat := newTestCPU(t)
+	plat.builtins[handlerVA+16] = func(uint8) error {
+		plat.Crash("FATAL TRAP: vector = 8 (double fault)")
+		return ErrCrashed
+	}
+	installGate(t, c, VectorDoubleFault, NewInterruptGate(handlerVA+16))
+	// Overwrite the #PF slot with a garbage 8-byte value, as the exploit
+	// and the injector both do.
+	if err := c.WriteVirtU64(c.SIDT().DescriptorAddr(VectorPageFault), 0x82da9, false); err != nil {
+		t.Fatal(err)
+	}
+	err := c.DeliverException(VectorPageFault)
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("err = %v, want ErrCrashed", err)
+	}
+	if !strings.Contains(plat.crashMsg, "double fault") {
+		t.Errorf("crash = %q, want double fault", plat.crashMsg)
+	}
+}
+
+// With no valid #DF descriptor either, escalation must still kill the
+// hypervisor (the built-in FATAL TRAP path).
+func TestDeliverWithDeadIDTCrashes(t *testing.T) {
+	c, _, _, plat := newTestCPU(t)
+	err := c.DeliverException(VectorPageFault)
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("err = %v, want ErrCrashed", err)
+	}
+	if !strings.Contains(plat.crashMsg, "FATAL TRAP: vector = 8") {
+		t.Errorf("crash = %q, want FATAL TRAP vector 8", plat.crashMsg)
+	}
+}
+
+func TestTripleFault(t *testing.T) {
+	c, _, _, plat := newTestCPU(t)
+	// A #DF builtin that itself re-raises: fault during double-fault
+	// delivery = triple fault.
+	plat.builtins[handlerVA+16] = func(uint8) error {
+		return c.DeliverException(VectorDoubleFault)
+	}
+	installGate(t, c, VectorDoubleFault, NewInterruptGate(handlerVA+16))
+	err := c.DeliverException(VectorPageFault)
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("err = %v, want ErrCrashed", err)
+	}
+	if !strings.Contains(plat.crashMsg, "TRIPLE FAULT") {
+		t.Errorf("crash = %q, want TRIPLE FAULT", plat.crashMsg)
+	}
+}
+
+func TestCrashedCPUStopsWorking(t *testing.T) {
+	c, _, _, plat := newTestCPU(t)
+	plat.Crash("dead")
+	if err := c.ReadVirt(idtVA, make([]byte, 1), false); !errors.Is(err, ErrCrashed) {
+		t.Errorf("ReadVirt after crash: err = %v, want ErrCrashed", err)
+	}
+	if err := c.DeliverException(VectorPageFault); !errors.Is(err, ErrCrashed) {
+		t.Errorf("DeliverException after crash: err = %v, want ErrCrashed", err)
+	}
+	if err := c.ExecutePayloadAt(codeVA, &recordingCtx{}, false); !errors.Is(err, ErrCrashed) {
+		t.Errorf("ExecutePayloadAt after crash: err = %v, want ErrCrashed", err)
+	}
+}
+
+func TestSIDTReflectsLIDT(t *testing.T) {
+	c, _, _, _ := newTestCPU(t)
+	r := IDTR{Base: 0xffff82d080007000, Limit: 4095}
+	c.LIDT(r)
+	if got := c.SIDT(); got != r {
+		t.Errorf("SIDT = %+v, want %+v", got, r)
+	}
+	if c.ID() != 0 {
+		t.Errorf("ID = %d", c.ID())
+	}
+}

@@ -1,0 +1,148 @@
+// Package cpu simulates the virtual CPU surface the experiments need: an
+// IDTR register exposed through sidt, 16-byte long-mode interrupt gate
+// descriptors living in hypervisor memory, exception delivery with
+// double-fault escalation, and a byte-coded payload execution engine that
+// plays the role of attacker shellcode.
+//
+// Exception delivery is the causal chain behind the XSA-212-crash use
+// case: corrupting the page-fault descriptor in the in-memory IDT makes
+// the next #PF delivery fail, which escalates to a double fault and a
+// hypervisor panic — the same mechanism, end to end, that the paper's
+// experiment observes on real Xen.
+package cpu
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Interrupt vectors used by the simulator.
+const (
+	// VectorDoubleFault is the x86 #DF vector.
+	VectorDoubleFault = 8
+	// VectorPageFault is the x86 #PF vector.
+	VectorPageFault = 14
+	// NumVectors is the size of the simulated IDT.
+	NumVectors = 256
+	// DescriptorSize is the size of a long-mode gate descriptor.
+	DescriptorSize = 16
+)
+
+// Gate descriptor type field values (bits 40..43 of the low word).
+const (
+	gateTypeInterrupt = 0xE
+	gateTypeTrap      = 0xF
+)
+
+// ErrBadDescriptor is returned when a gate descriptor cannot be used to
+// dispatch an exception (not present, wrong type, garbage contents).
+var ErrBadDescriptor = errors.New("cpu: invalid gate descriptor")
+
+// GateDescriptor is a decoded long-mode interrupt/trap gate.
+type GateDescriptor struct {
+	// Offset is the 64-bit handler virtual address.
+	Offset uint64
+	// Selector is the code-segment selector (carried, not interpreted).
+	Selector uint16
+	// IST is the interrupt-stack-table index (carried, not interpreted).
+	IST uint8
+	// Type is the gate type field; interrupt and trap gates are valid.
+	Type uint8
+	// DPL is the descriptor privilege level.
+	DPL uint8
+	// Present is the P bit.
+	Present bool
+}
+
+// Valid reports whether the descriptor can dispatch an exception.
+func (g *GateDescriptor) Valid() bool {
+	return g.Present && (g.Type == gateTypeInterrupt || g.Type == gateTypeTrap)
+}
+
+// Encode packs the descriptor into its 16-byte architectural form:
+//
+//	bits   0..15  offset 15:0
+//	bits  16..31  selector
+//	bits  32..34  IST
+//	bits  40..43  type
+//	bits  45..46  DPL
+//	bit   47      present
+//	bits  48..63  offset 31:16
+//	bits  64..95  offset 63:32
+func (g *GateDescriptor) Encode() [DescriptorSize]byte {
+	var low, high uint64
+	low |= g.Offset & 0xffff
+	low |= uint64(g.Selector) << 16
+	low |= uint64(g.IST&0x7) << 32
+	low |= uint64(g.Type&0xf) << 40
+	low |= uint64(g.DPL&0x3) << 45
+	if g.Present {
+		low |= 1 << 47
+	}
+	low |= (g.Offset >> 16 & 0xffff) << 48
+	high = g.Offset >> 32
+	var out [DescriptorSize]byte
+	putLE64(out[0:8], low)
+	putLE64(out[8:16], high)
+	return out
+}
+
+// DecodeGate unpacks a 16-byte descriptor image.
+func DecodeGate(raw []byte) (GateDescriptor, error) {
+	if len(raw) < DescriptorSize {
+		return GateDescriptor{}, fmt.Errorf("%w: %d bytes, need %d", ErrBadDescriptor, len(raw), DescriptorSize)
+	}
+	low := le64(raw[0:8])
+	high := le64(raw[8:16])
+	g := GateDescriptor{
+		Offset:   low&0xffff | (low >> 48 & 0xffff << 16) | high<<32,
+		Selector: uint16(low >> 16),
+		IST:      uint8(low >> 32 & 0x7),
+		Type:     uint8(low >> 40 & 0xf),
+		DPL:      uint8(low >> 45 & 0x3),
+		Present:  low&(1<<47) != 0,
+	}
+	return g, nil
+}
+
+// NewInterruptGate builds a present interrupt gate for the handler
+// address with the hypervisor code selector.
+func NewInterruptGate(handler uint64) GateDescriptor {
+	return GateDescriptor{
+		Offset:   handler,
+		Selector: 0xe008, // __HYPERVISOR_CS
+		Type:     gateTypeInterrupt,
+		Present:  true,
+	}
+}
+
+// IDTR is the IDT register exposed by sidt: a base linear address and a
+// byte limit. The paper's XSA-212-crash use case leans on exactly this:
+// "the sidt assembler instruction fetches the IDT address that is
+// protected for write access".
+type IDTR struct {
+	Base  uint64
+	Limit uint16
+}
+
+// DescriptorAddr returns the linear address of the descriptor for the
+// vector.
+func (r IDTR) DescriptorAddr(vector uint8) uint64 {
+	return r.Base + uint64(vector)*DescriptorSize
+}
+
+func le64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putLE64(b []byte, v uint64) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}

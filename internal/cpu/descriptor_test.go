@@ -1,0 +1,97 @@
+package cpu
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestGateDescriptorRoundTrip(t *testing.T) {
+	tests := []struct {
+		name string
+		g    GateDescriptor
+	}{
+		{"typical interrupt gate", NewInterruptGate(0xffff82d080201234)},
+		{"trap gate with IST", GateDescriptor{Offset: 0xdeadbeefcafe, Selector: 0x10, IST: 3, Type: 0xF, DPL: 3, Present: true}},
+		{"not present", GateDescriptor{Offset: 0x1000, Type: 0xE, Present: false}},
+		{"zero", GateDescriptor{}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			enc := tt.g.Encode()
+			got, err := DecodeGate(enc[:])
+			if err != nil {
+				t.Fatalf("DecodeGate: %v", err)
+			}
+			if got != tt.g {
+				t.Errorf("round trip = %+v, want %+v", got, tt.g)
+			}
+		})
+	}
+}
+
+func TestDecodeGateShortBuffer(t *testing.T) {
+	if _, err := DecodeGate(make([]byte, 5)); !errors.Is(err, ErrBadDescriptor) {
+		t.Errorf("short decode: err = %v, want ErrBadDescriptor", err)
+	}
+}
+
+func TestGateValidity(t *testing.T) {
+	valid := NewInterruptGate(0x1000)
+	if !valid.Valid() {
+		t.Error("interrupt gate reported invalid")
+	}
+	notPresent := valid
+	notPresent.Present = false
+	if notPresent.Valid() {
+		t.Error("non-present gate reported valid")
+	}
+	badType := valid
+	badType.Type = 0x2
+	if badType.Valid() {
+		t.Error("non-gate type reported valid")
+	}
+	// A descriptor image made of an MFN-ish garbage value must decode to
+	// something invalid — this is what makes overwriting an IDT slot with
+	// an arbitrary 8-byte value fatal.
+	var raw [DescriptorSize]byte
+	putLE64(raw[0:8], 0x82da9)
+	g, err := DecodeGate(raw[:])
+	if err != nil {
+		t.Fatalf("DecodeGate: %v", err)
+	}
+	if g.Valid() {
+		t.Errorf("garbage descriptor decoded as valid: %+v", g)
+	}
+}
+
+func TestIDTRDescriptorAddr(t *testing.T) {
+	r := IDTR{Base: 0xffff82d080001000, Limit: NumVectors*DescriptorSize - 1}
+	if got := r.DescriptorAddr(0); got != r.Base {
+		t.Errorf("vector 0 at %#x, want base", got)
+	}
+	if got, want := r.DescriptorAddr(VectorPageFault), r.Base+14*16; got != want {
+		t.Errorf("vector 14 at %#x, want %#x", got, want)
+	}
+}
+
+// Property: Encode/DecodeGate round-trips for arbitrary field values
+// within their architectural widths.
+func TestQuickGateRoundTrip(t *testing.T) {
+	f := func(offset uint64, sel uint16, ist, typ, dpl uint8, present bool) bool {
+		g := GateDescriptor{
+			Offset:   offset,
+			Selector: sel,
+			IST:      ist & 0x7,
+			Type:     typ & 0xf,
+			DPL:      dpl & 0x3,
+			Present:  present,
+		}
+		enc := g.Encode()
+		got, err := DecodeGate(enc[:])
+		return err == nil && got == g
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

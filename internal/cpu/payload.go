@@ -1,0 +1,231 @@
+package cpu
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Opcode is one instruction of the simulated payload machine. Payloads
+// stand in for the native shellcode real exploits inject: they are
+// assembled to bytes, must be physically written into simulated machine
+// memory before they can run, and are executed by fetching those bytes
+// back through the MMU — so a blocked memory write means no payload, the
+// same causality as on hardware.
+type Opcode uint8
+
+// Payload instruction set.
+const (
+	// OpNop does nothing.
+	OpNop Opcode = iota + 1
+	// OpRet ends execution.
+	OpRet
+	// OpLog emits its string argument to the execution context's log.
+	OpLog
+	// OpDropFileAll writes a file into every domain's filesystem as
+	// root; arguments are path and a content template in which "@HOST"
+	// expands to each domain's hostname. This is the XSA-212-priv
+	// payload's observable effect.
+	OpDropFileAll
+	// OpReverseShell connects from the current execution context to the
+	// string argument address and serves an interactive shell with the
+	// context's privileges. This is the XSA-148 backdoor's effect.
+	OpReverseShell
+	// OpClockGettime performs the benign work of the unpatched vDSO.
+	OpClockGettime
+	// OpEscalate raises the current execution context to root.
+	OpEscalate
+	// OpHalt spins forever (used to model hang-state injections); the
+	// context's Halt hook decides how a hang is represented.
+	OpHalt
+)
+
+// String returns the mnemonic of the opcode.
+func (o Opcode) String() string {
+	switch o {
+	case OpNop:
+		return "nop"
+	case OpRet:
+		return "ret"
+	case OpLog:
+		return "log"
+	case OpDropFileAll:
+		return "dropfile_all"
+	case OpReverseShell:
+		return "revshell"
+	case OpClockGettime:
+		return "clock_gettime"
+	case OpEscalate:
+		return "escalate"
+	case OpHalt:
+		return "halt"
+	default:
+		return fmt.Sprintf("Opcode(%d)", uint8(o))
+	}
+}
+
+// argCount returns how many string arguments the opcode carries.
+func (o Opcode) argCount() int {
+	switch o {
+	case OpLog, OpReverseShell:
+		return 1
+	case OpDropFileAll:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// Instr is one decoded payload instruction.
+type Instr struct {
+	Op   Opcode
+	Args []string
+}
+
+// String renders the instruction in assembly-like form.
+func (i Instr) String() string {
+	if len(i.Args) == 0 {
+		return i.Op.String()
+	}
+	return i.Op.String() + " " + strings.Join(i.Args, ", ")
+}
+
+// Program is a payload instruction sequence.
+type Program []Instr
+
+// PayloadMagic prefixes every assembled payload so that executing
+// arbitrary garbage is detectable as such (the MMU-level equivalent of
+// jumping into non-code bytes).
+var PayloadMagic = []byte{0x7f, 'P', 'L', 'D'}
+
+// Payload codec errors.
+var (
+	// ErrNotPayload is returned when fetched bytes lack the payload magic.
+	ErrNotPayload = errors.New("cpu: bytes are not a payload (bad magic)")
+	// ErrTruncatedPayload is returned when decoding runs off the end.
+	ErrTruncatedPayload = errors.New("cpu: truncated payload")
+	// ErrRunawayPayload is returned when execution exceeds the step budget.
+	ErrRunawayPayload = errors.New("cpu: payload exceeded execution budget")
+)
+
+// Assemble encodes the program: magic, then per instruction one opcode
+// byte followed by length-prefixed (u16 little-endian) string arguments.
+// A terminating OpRet is appended if the program lacks one.
+func Assemble(p Program) []byte {
+	out := make([]byte, 0, 64)
+	out = append(out, PayloadMagic...)
+	hasRet := false
+	for _, ins := range p {
+		out = append(out, byte(ins.Op))
+		for _, a := range ins.Args {
+			out = append(out, byte(len(a)), byte(len(a)>>8))
+			out = append(out, a...)
+		}
+		if ins.Op == OpRet {
+			hasRet = true
+		}
+	}
+	if !hasRet {
+		out = append(out, byte(OpRet))
+	}
+	return out
+}
+
+// Disassemble decodes an assembled payload image back into a program,
+// stopping at the first OpRet.
+func Disassemble(raw []byte) (Program, error) {
+	if len(raw) < len(PayloadMagic) || string(raw[:len(PayloadMagic)]) != string(PayloadMagic) {
+		return nil, ErrNotPayload
+	}
+	var prog Program
+	pos := len(PayloadMagic)
+	for {
+		if pos >= len(raw) {
+			return nil, fmt.Errorf("%w: no terminating ret", ErrTruncatedPayload)
+		}
+		op := Opcode(raw[pos])
+		pos++
+		n := op.argCount()
+		if op.String() == fmt.Sprintf("Opcode(%d)", uint8(op)) {
+			return nil, fmt.Errorf("%w: unknown opcode %#x at offset %d", ErrNotPayload, uint8(op), pos-1)
+		}
+		ins := Instr{Op: op}
+		for i := 0; i < n; i++ {
+			if pos+2 > len(raw) {
+				return nil, fmt.Errorf("%w: argument length at offset %d", ErrTruncatedPayload, pos)
+			}
+			l := int(raw[pos]) | int(raw[pos+1])<<8
+			pos += 2
+			if pos+l > len(raw) {
+				return nil, fmt.Errorf("%w: argument body at offset %d", ErrTruncatedPayload, pos)
+			}
+			ins.Args = append(ins.Args, string(raw[pos:pos+l]))
+			pos += l
+		}
+		prog = append(prog, ins)
+		if op == OpRet {
+			return prog, nil
+		}
+	}
+}
+
+// ExecContext supplies the privileged operations payload instructions
+// perform. The hypervisor provides a ring-0 context (all-domain reach);
+// guest kernels provide per-process contexts (the vDSO backdoor runs with
+// the invoking process's identity).
+type ExecContext interface {
+	// Logf records a message attributed to the executing payload.
+	Logf(format string, args ...any)
+	// DropFileAllDomains writes path with the content template (with
+	// "@HOST" expanded per domain) as root into every domain.
+	DropFileAllDomains(path, contentTemplate string) error
+	// ReverseShell connects to addr and serves a shell with the current
+	// context's privileges.
+	ReverseShell(addr string) error
+	// Escalate raises the context to root.
+	Escalate()
+	// ClockGettime performs the benign vDSO work.
+	ClockGettime()
+	// Halt models entering a hang state.
+	Halt()
+}
+
+// maxPayloadSteps bounds execution so corrupt payloads cannot loop the
+// simulator forever.
+const maxPayloadSteps = 1024
+
+// Run executes a decoded program against the context.
+func Run(p Program, ctx ExecContext) error {
+	steps := 0
+	for _, ins := range p {
+		steps++
+		if steps > maxPayloadSteps {
+			return ErrRunawayPayload
+		}
+		switch ins.Op {
+		case OpNop:
+		case OpRet:
+			return nil
+		case OpLog:
+			ctx.Logf("%s", ins.Args[0])
+		case OpDropFileAll:
+			if err := ctx.DropFileAllDomains(ins.Args[0], ins.Args[1]); err != nil {
+				return fmt.Errorf("cpu: dropfile_all: %w", err)
+			}
+		case OpReverseShell:
+			if err := ctx.ReverseShell(ins.Args[0]); err != nil {
+				return fmt.Errorf("cpu: revshell: %w", err)
+			}
+		case OpClockGettime:
+			ctx.ClockGettime()
+		case OpEscalate:
+			ctx.Escalate()
+		case OpHalt:
+			ctx.Halt()
+			return nil
+		default:
+			return fmt.Errorf("%w: opcode %d", ErrNotPayload, ins.Op)
+		}
+	}
+	return nil
+}

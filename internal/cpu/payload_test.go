@@ -1,0 +1,220 @@
+package cpu
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// recordingCtx records every context operation a payload performs.
+type recordingCtx struct {
+	logs      []string
+	dropped   []string
+	shells    []string
+	escalated bool
+	clock     int
+	halted    bool
+	shellErr  error
+}
+
+func (r *recordingCtx) Logf(format string, args ...any) {
+	r.logs = append(r.logs, fmt.Sprintf(format, args...))
+}
+func (r *recordingCtx) DropFileAllDomains(path, tmpl string) error {
+	r.dropped = append(r.dropped, path+"|"+tmpl)
+	return nil
+}
+func (r *recordingCtx) ReverseShell(addr string) error {
+	r.shells = append(r.shells, addr)
+	return r.shellErr
+}
+func (r *recordingCtx) Escalate()     { r.escalated = true }
+func (r *recordingCtx) ClockGettime() { r.clock++ }
+func (r *recordingCtx) Halt()         { r.halted = true }
+
+var _ ExecContext = (*recordingCtx)(nil)
+
+func TestAssembleDisassembleRoundTrip(t *testing.T) {
+	prog := Program{
+		{Op: OpLog, Args: []string{"hello from ring0"}},
+		{Op: OpDropFileAll, Args: []string{"/tmp/injector_log", "|uid=0(root)|@HOST"}},
+		{Op: OpEscalate},
+		{Op: OpReverseShell, Args: []string{"10.3.1.100:1234"}},
+		{Op: OpClockGettime},
+		{Op: OpNop},
+		{Op: OpRet},
+	}
+	raw := Assemble(prog)
+	got, err := Disassemble(raw)
+	if err != nil {
+		t.Fatalf("Disassemble: %v", err)
+	}
+	if len(got) != len(prog) {
+		t.Fatalf("decoded %d instructions, want %d", len(got), len(prog))
+	}
+	for i := range prog {
+		if got[i].String() != prog[i].String() {
+			t.Errorf("instr %d = %v, want %v", i, got[i], prog[i])
+		}
+	}
+}
+
+func TestAssembleAppendsRet(t *testing.T) {
+	raw := Assemble(Program{{Op: OpNop}})
+	prog, err := Disassemble(raw)
+	if err != nil {
+		t.Fatalf("Disassemble: %v", err)
+	}
+	if prog[len(prog)-1].Op != OpRet {
+		t.Error("assembled program does not end in ret")
+	}
+}
+
+func TestDisassembleRejectsGarbage(t *testing.T) {
+	tests := []struct {
+		name string
+		raw  []byte
+		want error
+	}{
+		{"empty", nil, ErrNotPayload},
+		{"bad magic", []byte("ELF\x7fwhatever"), ErrNotPayload},
+		{"magic only", append([]byte{}, PayloadMagic...), ErrTruncatedPayload},
+		{"unknown opcode", append(append([]byte{}, PayloadMagic...), 0xEE), ErrNotPayload},
+		{"truncated arg length", append(append([]byte{}, PayloadMagic...), byte(OpLog), 0x10), ErrTruncatedPayload},
+		{"truncated arg body", append(append([]byte{}, PayloadMagic...), byte(OpLog), 0x10, 0x00, 'h', 'i'), ErrTruncatedPayload},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Disassemble(tt.raw); !errors.Is(err, tt.want) {
+				t.Errorf("err = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestRunExecutesEffects(t *testing.T) {
+	ctx := &recordingCtx{}
+	prog := Program{
+		{Op: OpLog, Args: []string{"installing"}},
+		{Op: OpEscalate},
+		{Op: OpDropFileAll, Args: []string{"/tmp/x", "c"}},
+		{Op: OpReverseShell, Args: []string{"a:1"}},
+		{Op: OpClockGettime},
+		{Op: OpRet},
+		{Op: OpLog, Args: []string{"unreachable"}},
+	}
+	if err := Run(prog, ctx); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(ctx.logs) != 1 || ctx.logs[0] != "installing" {
+		t.Errorf("logs = %v", ctx.logs)
+	}
+	if !ctx.escalated || len(ctx.dropped) != 1 || len(ctx.shells) != 1 || ctx.clock != 1 {
+		t.Errorf("effects = %+v", ctx)
+	}
+}
+
+func TestRunHaltStops(t *testing.T) {
+	ctx := &recordingCtx{}
+	prog := Program{{Op: OpHalt}, {Op: OpLog, Args: []string{"after halt"}}}
+	if err := Run(prog, ctx); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !ctx.halted || len(ctx.logs) != 0 {
+		t.Errorf("halt semantics wrong: %+v", ctx)
+	}
+}
+
+func TestRunPropagatesShellError(t *testing.T) {
+	ctx := &recordingCtx{shellErr: errors.New("connection refused")}
+	prog := Program{{Op: OpReverseShell, Args: []string{"b:2"}}}
+	if err := Run(prog, ctx); err == nil || !strings.Contains(err.Error(), "connection refused") {
+		t.Errorf("err = %v, want connection refused", err)
+	}
+}
+
+func TestRunStepBudget(t *testing.T) {
+	prog := make(Program, maxPayloadSteps+10)
+	for i := range prog {
+		prog[i] = Instr{Op: OpNop}
+	}
+	if err := Run(prog, &recordingCtx{}); !errors.Is(err, ErrRunawayPayload) {
+		t.Errorf("err = %v, want ErrRunawayPayload", err)
+	}
+}
+
+func TestOpcodeStrings(t *testing.T) {
+	for _, op := range []Opcode{OpNop, OpRet, OpLog, OpDropFileAll, OpReverseShell, OpClockGettime, OpEscalate, OpHalt} {
+		if s := op.String(); strings.HasPrefix(s, "Opcode(") {
+			t.Errorf("opcode %d has no mnemonic", op)
+		}
+	}
+	if s := Opcode(99).String(); s != "Opcode(99)" {
+		t.Errorf("unknown opcode string = %q", s)
+	}
+}
+
+// Property: Assemble/Disassemble round-trips for arbitrary programs of
+// string-bearing instructions.
+func TestQuickPayloadRoundTrip(t *testing.T) {
+	ops := []Opcode{OpNop, OpLog, OpDropFileAll, OpReverseShell, OpClockGettime, OpEscalate}
+	f := func(picks []byte, argSeed string) bool {
+		var prog Program
+		for _, p := range picks {
+			op := ops[int(p)%len(ops)]
+			ins := Instr{Op: op}
+			for i := 0; i < op.argCount(); i++ {
+				// Vary argument contents and lengths from the seed.
+				n := int(p) % (len(argSeed) + 1)
+				ins.Args = append(ins.Args, argSeed[:n])
+			}
+			prog = append(prog, ins)
+		}
+		prog = append(prog, Instr{Op: OpRet})
+		raw := Assemble(prog)
+		got, err := Disassemble(raw)
+		if err != nil || len(got) != len(prog) {
+			return false
+		}
+		for i := range prog {
+			if got[i].String() != prog[i].String() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Disassemble never panics and never loops on arbitrary bytes;
+// it either decodes a terminated program or returns a typed error. This
+// is the guarantee that makes "jump to garbage" a recoverable event the
+// exception path can escalate, rather than a simulator hang.
+func TestQuickDisassembleTotal(t *testing.T) {
+	f := func(raw []byte) bool {
+		prog, err := Disassemble(raw)
+		if err != nil {
+			return errors.Is(err, ErrNotPayload) || errors.Is(err, ErrTruncatedPayload)
+		}
+		return len(prog) > 0 && prog[len(prog)-1].Op == OpRet
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+	// Same for magic-prefixed garbage, which exercises the decoder body.
+	g := func(body []byte) bool {
+		raw := append(append([]byte{}, PayloadMagic...), body...)
+		prog, err := Disassemble(raw)
+		if err != nil {
+			return errors.Is(err, ErrNotPayload) || errors.Is(err, ErrTruncatedPayload)
+		}
+		return len(prog) > 0
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,173 @@
+// Package device implements the emulated-device layer of the
+// virtualization stack and, with it, the paper's Section III running
+// example: the VENOM vulnerability (XSA-133), a buffer overflow in the
+// floppy disk controller of the device model, whose erroneous state —
+// "memory that should be inaccessible is corrupted" inside the dom0-
+// resident device-model process — can be either caused by the real
+// overflow or injected directly, exactly as Section III-B proposes:
+// "the intrusion injection tool could change the QEMU process ... by
+// overwriting the FDC request handler method".
+package device
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/guest"
+	"repro/internal/hv"
+	"repro/internal/mm"
+)
+
+// FDC geometry: one device-model page holds the command FIFO followed
+// immediately by the request-handler pointer — the adjacency the
+// overflow exploits.
+const (
+	// FIFOSize is the command buffer length. Commands longer than this
+	// must be rejected; the VENOM bug is the missing rejection.
+	FIFOSize = 512
+	// handlerOffset is where the request-handler pointer lives, directly
+	// after the FIFO.
+	handlerOffset = FIFOSize
+	// statusOffset holds the one-byte controller status.
+	statusOffset = handlerOffset + 8
+)
+
+// FDC command opcodes (first byte of a command).
+const (
+	// CmdRecalibrate homes the drive.
+	CmdRecalibrate byte = 0x07
+	// CmdSeek positions the head (one parameter byte).
+	CmdSeek byte = 0x0f
+	// CmdReadID reads sector identification.
+	CmdReadID byte = 0x4a
+)
+
+// Controller status values.
+const (
+	// StatusIdle means no command processed yet.
+	StatusIdle byte = 0x00
+	// StatusBusy is set while processing.
+	StatusBusy byte = 0x10
+	// StatusDone is set after successful processing.
+	StatusDone byte = 0x80
+)
+
+// ErrCommandTooLong is the fixed device model's rejection of oversized
+// commands (the XSA-133 patch).
+var ErrCommandTooLong = errors.New("device: fdc command exceeds FIFO size")
+
+// FDC is one guest's emulated floppy controller. Its working memory is a
+// real machine frame owned by dom0 (the device model runs as a dom0
+// process), so corrupting it is real cross-domain memory corruption.
+type FDC struct {
+	hv       *hv.Hypervisor
+	devModel *guest.Kernel // dom0 kernel hosting the device-model process
+	guestDom mm.DomID      // the guest this controller serves
+
+	pfn  mm.PFN // device-model page (a dom0 PFN)
+	base mm.PhysAddr
+}
+
+// New attaches an emulated FDC for the guest domain to the device model
+// running in dom0.
+func New(h *hv.Hypervisor, devModel *guest.Kernel, guestDom mm.DomID) (*FDC, error) {
+	if !devModel.Domain().Privileged() {
+		return nil, fmt.Errorf("device: the device model must run in dom0, got dom%d", devModel.Domain().ID())
+	}
+	pfn, err := devModel.Domain().AllocPage()
+	if err != nil {
+		return nil, fmt.Errorf("device: allocating device-model page: %w", err)
+	}
+	mfn, err := devModel.Domain().P2M().Lookup(pfn)
+	if err != nil {
+		return nil, err
+	}
+	f := &FDC{hv: h, devModel: devModel, guestDom: guestDom, pfn: pfn, base: mfn.Addr()}
+	if err := f.reset(); err != nil {
+		return nil, err
+	}
+	devModel.Printk("fdc: emulated controller for dom%d at pfn %#x", guestDom, uint64(pfn))
+	return f, nil
+}
+
+func (f *FDC) reset() error {
+	zero := make([]byte, statusOffset+1)
+	return f.hv.Memory().WritePhys(f.base, zero)
+}
+
+// BufferVA returns the device-model virtual address of the FIFO — the
+// layout knowledge a VENOM-style exploit has of its QEMU binary.
+func (f *FDC) BufferVA() uint64 { return f.devModel.Domain().PhysmapVA(f.pfn) }
+
+// HandlerPhys returns the machine-physical address of the request-
+// handler pointer — the injector's target.
+func (f *FDC) HandlerPhys() mm.PhysAddr { return f.base + handlerOffset }
+
+// Status returns the controller status byte.
+func (f *FDC) Status() (byte, error) {
+	var b [1]byte
+	if err := f.hv.Memory().ReadPhys(f.base+statusOffset, b[:]); err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+// Handler returns the current request-handler pointer (zero = builtin).
+func (f *FDC) Handler() (uint64, error) {
+	return f.hv.Memory().ReadU64(f.base + handlerOffset)
+}
+
+// SubmitCommand is the guest-facing I/O path: the guest (by way of its
+// kernel driver) writes a command into the controller. The device model
+// copies it into the FIFO — with the bounds check only on VENOM-fixed
+// versions — and processes it.
+func (f *FDC) SubmitCommand(from mm.DomID, cmd []byte) error {
+	if from != f.guestDom {
+		return fmt.Errorf("device: controller belongs to dom%d, caller dom%d", f.guestDom, from)
+	}
+	if len(cmd) == 0 {
+		return fmt.Errorf("device: empty command")
+	}
+	if f.hv.Version().VENOMFixed && len(cmd) > FIFOSize {
+		return fmt.Errorf("%w: %d bytes", ErrCommandTooLong, len(cmd))
+	}
+	// The copy. On vulnerable versions an oversized command writes past
+	// the FIFO — across the handler pointer — inside the device model's
+	// memory: the VENOM erroneous state.
+	if err := f.hv.Memory().WritePhys(f.base, cmd); err != nil {
+		return err
+	}
+	if err := f.setStatus(StatusBusy); err != nil {
+		return err
+	}
+	return f.process(cmd[0])
+}
+
+// process dispatches the command through the request handler.
+func (f *FDC) process(opcode byte) error {
+	handler, err := f.Handler()
+	if err != nil {
+		return err
+	}
+	if handler != 0 {
+		// The handler pointer has been replaced: the device model jumps
+		// to it, executing whatever it points at as a root dom0 process.
+		f.devModel.Printk("fdc: dispatching request via handler %#x", handler)
+		if err := f.devModel.ExecAsRootProcess(handler, "qemu-fdc"); err != nil {
+			return fmt.Errorf("device: corrupted handler: %w", err)
+		}
+		return f.setStatus(StatusDone)
+	}
+	switch opcode {
+	case CmdRecalibrate, CmdSeek, CmdReadID:
+		return f.setStatus(StatusDone)
+	default:
+		// Unknown commands leave the controller busy, as the real
+		// emulator's state machine does until reset.
+		return nil
+	}
+}
+
+func (f *FDC) setStatus(s byte) error {
+	return f.hv.Memory().WritePhys(f.base+statusOffset, []byte{s})
+}

@@ -1,0 +1,182 @@
+package device
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/guest"
+	"repro/internal/hv"
+	"repro/internal/inject"
+	"repro/internal/mm"
+	"repro/internal/vnet"
+)
+
+type env struct {
+	h        *hv.Hypervisor
+	dom0     *guest.Kernel
+	attacker *guest.Kernel
+	fdc      *FDC
+	injector *inject.Client
+}
+
+func newEnv(t *testing.T, v hv.Version, withInjector bool) *env {
+	t.Helper()
+	mem, err := mm.NewMemory(2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := hv.New(mem, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withInjector {
+		if err := inject.Enable(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net := vnet.New()
+	d0, err := h.CreateDomain("xen3", 64, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom0 := guest.New(d0, net, "10.3.1.1")
+	ad, err := h.CreateDomain("guest01", 64, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attacker := guest.New(ad, net, "10.3.1.181")
+	fdc, err := New(h, dom0, ad.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &env{h: h, dom0: dom0, attacker: attacker, fdc: fdc}
+	if withInjector {
+		e.injector = inject.NewClient(ad)
+	}
+	return e
+}
+
+func TestFDCRequiresDom0DeviceModel(t *testing.T) {
+	e := newEnv(t, hv.Version46(), false)
+	if _, err := New(e.h, e.attacker, e.attacker.Domain().ID()); err == nil {
+		t.Error("device model hosted outside dom0 accepted")
+	}
+}
+
+func TestFDCNormalCommands(t *testing.T) {
+	e := newEnv(t, hv.Version46(), false)
+	from := e.attacker.Domain().ID()
+	for _, cmd := range [][]byte{
+		{CmdRecalibrate},
+		{CmdSeek, 0x05},
+		{CmdReadID},
+	} {
+		if err := e.fdc.SubmitCommand(from, cmd); err != nil {
+			t.Fatalf("command %#x: %v", cmd[0], err)
+		}
+		s, err := e.fdc.Status()
+		if err != nil || s != StatusDone {
+			t.Errorf("status after %#x = %#x, %v", cmd[0], s, err)
+		}
+	}
+	// Unknown opcode leaves the controller busy.
+	if err := e.fdc.SubmitCommand(from, []byte{0xee}); err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := e.fdc.Status(); s != StatusBusy {
+		t.Errorf("status after unknown opcode = %#x, want busy", s)
+	}
+	// Handler stays pristine under normal operation.
+	if h, _ := e.fdc.Handler(); h != 0 {
+		t.Errorf("handler = %#x after normal traffic", h)
+	}
+}
+
+func TestFDCOwnershipAndValidation(t *testing.T) {
+	e := newEnv(t, hv.Version46(), false)
+	if err := e.fdc.SubmitCommand(e.dom0.Domain().ID(), []byte{CmdSeek}); err == nil {
+		t.Error("foreign domain drove the controller")
+	}
+	if err := e.fdc.SubmitCommand(e.attacker.Domain().ID(), nil); err == nil {
+		t.Error("empty command accepted")
+	}
+}
+
+func TestFDCBoundsCheckByVersion(t *testing.T) {
+	oversized := make([]byte, FIFOSize+8)
+	oversized[0] = CmdSeek
+	// Fixed versions reject; the vulnerable one overflows.
+	eFixed := newEnv(t, hv.Version413(), false)
+	err := eFixed.fdc.SubmitCommand(eFixed.attacker.Domain().ID(), oversized)
+	if !errors.Is(err, ErrCommandTooLong) {
+		t.Errorf("oversized on 4.13: err = %v, want ErrCommandTooLong", err)
+	}
+	eVuln := newEnv(t, hv.Version46(), false)
+	if err := eVuln.fdc.SubmitCommand(eVuln.attacker.Domain().ID(), oversized); err != nil {
+		t.Errorf("oversized on 4.6: %v (the overflow should be silent)", err)
+	}
+}
+
+func TestVenomExploitMatrix(t *testing.T) {
+	for _, tt := range []struct {
+		version hv.Version
+		works   bool
+	}{
+		{hv.Version46(), true},
+		{hv.Version48(), false},
+		{hv.Version413(), false},
+	} {
+		t.Run(tt.version.Name, func(t *testing.T) {
+			e := newEnv(t, tt.version, false)
+			o := RunVenomExploit(e.fdc, e.attacker)
+			if o.ErroneousState != tt.works || o.Escalated != tt.works {
+				t.Errorf("exploit on %s: state=%v escalated=%v, want both %v\nlog:\n  %s",
+					tt.version.Name, o.ErroneousState, o.Escalated, tt.works,
+					strings.Join(o.Log, "\n  "))
+			}
+			if !tt.works && !errors.Is(o.Err, ErrCommandTooLong) {
+				t.Errorf("fixed version: err = %v, want ErrCommandTooLong", o.Err)
+			}
+			if tt.works {
+				content, err := e.dom0.ReadFile("/root/venom_proof", guest.UIDRoot)
+				if err != nil || content != "escaped-to-@xen3" {
+					t.Errorf("proof = %q, %v", content, err)
+				}
+			}
+		})
+	}
+}
+
+func TestVenomInjectionWorksOnAllVersions(t *testing.T) {
+	// The Section III-B claim: injection induces the VENOM erroneous
+	// state — and its violation — even where the FDC bounds check exists.
+	for _, v := range hv.Versions() {
+		t.Run(v.Name, func(t *testing.T) {
+			e := newEnv(t, v, true)
+			o := RunVenomInjection(e.fdc, e.attacker, e.injector)
+			if o.Err != nil {
+				t.Fatalf("injection: %v\nlog:\n  %s", o.Err, strings.Join(o.Log, "\n  "))
+			}
+			if !o.ErroneousState || !o.Escalated {
+				t.Errorf("state=%v escalated=%v, want both true", o.ErroneousState, o.Escalated)
+			}
+			if !e.dom0.DmesgContains("dispatching request via handler") {
+				t.Error("device model did not log the corrupted dispatch")
+			}
+		})
+	}
+}
+
+func TestVenomStateAndViolationEquivalence(t *testing.T) {
+	// RQ1 in miniature for the VENOM model: on the vulnerable version,
+	// exploit and injection produce the same audited results.
+	ex := newEnv(t, hv.Version46(), false)
+	exOut := RunVenomExploit(ex.fdc, ex.attacker)
+	in := newEnv(t, hv.Version46(), true)
+	inOut := RunVenomInjection(in.fdc, in.attacker, in.injector)
+	if exOut.ErroneousState != inOut.ErroneousState || exOut.Escalated != inOut.Escalated {
+		t.Errorf("exploit (%v/%v) vs injection (%v/%v)",
+			exOut.ErroneousState, exOut.Escalated, inOut.ErroneousState, inOut.Escalated)
+	}
+}

@@ -1,0 +1,129 @@
+package device
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/guest"
+	"repro/internal/inject"
+)
+
+// VenomOutcome records one VENOM run.
+type VenomOutcome struct {
+	// Mode is "exploit" or "injection".
+	Mode string
+	// Version is the stack version under test.
+	Version string
+	// Log is the attack transcript.
+	Log []string
+	// ErroneousState reports whether the handler pointer was corrupted
+	// (audited by reading it back).
+	ErroneousState bool
+	// Escalated reports whether attacker code ran as a dom0 root
+	// process (the VENOM guest-escape security violation).
+	Escalated bool
+	// Err is the error that stopped the attack.
+	Err error
+}
+
+func (o *VenomOutcome) logf(format string, args ...any) {
+	o.Log = append(o.Log, fmt.Sprintf(format, args...))
+}
+
+// venomProofPath is the file the escape payload drops in dom0.
+const venomProofPath = "/root/venom_proof"
+
+// venomPayload builds the escape payload: executed by the device-model
+// process, it writes proof of dom0 code execution.
+func venomPayload() []byte {
+	return cpu.Assemble(cpu.Program{
+		{Op: cpu.OpLog, Args: []string{"venom payload running in device model"}},
+		{Op: cpu.OpDropFileAll, Args: []string{venomProofPath, "escaped-to-@HOST"}},
+	})
+}
+
+// RunVenomExploit performs the real XSA-133 attack: a malicious guest
+// submits an oversized FDC command whose tail overwrites the request
+// handler with the address of the payload carried in the same command —
+// shellcode and pointer in one overflowing write, like the original.
+func RunVenomExploit(f *FDC, attacker *guest.Kernel) *VenomOutcome {
+	o := &VenomOutcome{Mode: "exploit", Version: f.hv.Version().Name}
+	payload := venomPayload()
+	if len(payload) > FIFOSize {
+		o.Err = fmt.Errorf("device: payload larger than FIFO")
+		return o
+	}
+	// Oversized command: payload at the front, padding to the FIFO edge,
+	// then 8 bytes that land exactly on the handler pointer.
+	cmd := make([]byte, FIFOSize+8)
+	copy(cmd, payload)
+	handlerVA := f.BufferVA() // payload sits at the FIFO base
+	for i := 0; i < 8; i++ {
+		cmd[FIFOSize+i] = byte(handlerVA >> (8 * i))
+	}
+	o.logf("venom: sending %d-byte command to the fdc (fifo is %d)", len(cmd), FIFOSize)
+	if err := f.SubmitCommand(attacker.Domain().ID(), cmd); err != nil {
+		o.Err = err
+		o.logf("venom: command rejected: %v", err)
+		return o
+	}
+	o.audit(f)
+	return o
+}
+
+// RunVenomInjection induces the same erroneous state with the intrusion
+// injector — the Section III-B proposal: write the payload into the
+// device model's buffer and overwrite the FDC request handler, then let
+// an ordinary guest I/O request trigger it.
+func RunVenomInjection(f *FDC, attacker *guest.Kernel, c *inject.Client) *VenomOutcome {
+	o := &VenomOutcome{Mode: "injection", Version: f.hv.Version().Name}
+	payload := venomPayload()
+	// The payload goes into a quiet region of the device-model page,
+	// past the controller state, where ordinary FIFO traffic will not
+	// clobber it.
+	const payloadOffset = 1024
+	o.logf("venom-inject: writing payload into the device-model process memory")
+	if err := c.ArbitraryAccess(uint64(f.base)+payloadOffset, payload, inject.WritePhys); err != nil {
+		o.Err = err
+		return o
+	}
+	o.logf("venom-inject: overwriting the FDC request handler method")
+	var buf [8]byte
+	va := f.BufferVA() + payloadOffset
+	for i := range buf {
+		buf[i] = byte(va >> (8 * i))
+	}
+	if err := c.ArbitraryAccess(uint64(f.HandlerPhys()), buf[:], inject.WritePhys); err != nil {
+		o.Err = err
+		return o
+	}
+	// An ordinary, well-formed request now triggers the corrupted
+	// handler — "when an IO request similar to an attack on VENOM is
+	// sent to FDC, memory corruption could happen in QEMU in a similar
+	// way" (Section III-B).
+	o.logf("venom-inject: issuing a benign seek to trigger the handler")
+	if err := f.SubmitCommand(attacker.Domain().ID(), []byte{CmdSeek, 0x01}); err != nil {
+		o.Err = err
+		o.logf("venom-inject: trigger failed: %v", err)
+		return o
+	}
+	o.audit(f)
+	return o
+}
+
+// audit verifies the erroneous state (handler pointer corrupted) and the
+// violation (payload proof present in dom0) from system state.
+func (o *VenomOutcome) audit(f *FDC) {
+	if h, err := f.Handler(); err == nil && h != 0 {
+		o.ErroneousState = true
+		o.logf("audit: fdc request handler = %#x (corrupted)", h)
+	} else {
+		o.logf("audit: fdc request handler intact")
+	}
+	if content, err := f.devModel.ReadFile(venomProofPath, guest.UIDRoot); err == nil {
+		o.Escalated = true
+		o.logf("audit: dom0 %s = %q — guest escape confirmed", venomProofPath, content)
+	} else {
+		o.logf("audit: no escape evidence in dom0")
+	}
+}

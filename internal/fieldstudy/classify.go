@@ -1,0 +1,136 @@
+package fieldstudy
+
+import (
+	"fmt"
+
+	"repro/internal/inject"
+)
+
+// FunctionalityCount is one row of Table I.
+type FunctionalityCount struct {
+	// Functionality is the row's abusive functionality.
+	Functionality inject.AbusiveFunctionality
+	// Assignments counts (CVE, functionality) pairs — the per-row number
+	// of Table I.
+	Assignments int
+	// Synthesized marks rows whose count the paper does not publish.
+	Synthesized bool
+}
+
+// ClassSummary is one section of Table I: a class header with its CVE
+// count and the per-functionality rows beneath it.
+type ClassSummary struct {
+	// Class is the section.
+	Class inject.FunctionalityClass
+	// CVECount counts distinct CVEs with at least one functionality in
+	// the class — the "– N CVEs" of the section header.
+	CVECount int
+	// Rows are the per-functionality counts in taxonomy order.
+	Rows []FunctionalityCount
+}
+
+// TableI is the classification result.
+type TableI struct {
+	Classes []ClassSummary
+	// TotalCVEs is the number of advisories classified.
+	TotalCVEs int
+	// TotalAssignments is the number of (CVE, functionality) pairs; it
+	// exceeds TotalCVEs because some CVEs carry several functionalities.
+	TotalAssignments int
+}
+
+// Classify aggregates the advisory records into Table I.
+func Classify(advisories []Advisory) TableI {
+	assignments := make(map[inject.AbusiveFunctionality]int)
+	classCVEs := make(map[inject.FunctionalityClass]map[string]bool)
+	total := 0
+	for _, a := range advisories {
+		for _, f := range a.Functionalities {
+			assignments[f]++
+			total++
+			c := f.Class()
+			if classCVEs[c] == nil {
+				classCVEs[c] = make(map[string]bool)
+			}
+			classCVEs[c][a.CVE] = true
+		}
+	}
+
+	synth := SynthesizedCounts()
+	var t TableI
+	t.TotalCVEs = len(advisories)
+	t.TotalAssignments = total
+	for _, class := range []inject.FunctionalityClass{
+		inject.ClassMemoryAccess, inject.ClassMemoryManagement,
+		inject.ClassExceptionalConditions, inject.ClassNonMemory,
+	} {
+		cs := ClassSummary{Class: class, CVECount: len(classCVEs[class])}
+		for _, f := range inject.AllFunctionalities() {
+			if f.Class() != class {
+				continue
+			}
+			cs.Rows = append(cs.Rows, FunctionalityCount{
+				Functionality: f,
+				Assignments:   assignments[f],
+				Synthesized:   synth[f],
+			})
+		}
+		t.Classes = append(t.Classes, cs)
+	}
+	return t
+}
+
+// PaperClassCounts returns the per-class CVE counts Table I publishes.
+func PaperClassCounts() map[inject.FunctionalityClass]int {
+	return map[inject.FunctionalityClass]int{
+		inject.ClassMemoryAccess:          35,
+		inject.ClassMemoryManagement:      40,
+		inject.ClassExceptionalConditions: 11,
+		inject.ClassNonMemory:             22,
+	}
+}
+
+// PaperRowCounts returns the per-functionality counts that appear in the
+// published table text.
+func PaperRowCounts() map[inject.AbusiveFunctionality]int {
+	return map[inject.AbusiveFunctionality]int{
+		inject.CorruptVirtualMemoryMapping:   4,
+		inject.CorruptPageReference:          4,
+		inject.FailMemoryMapping:             2,
+		inject.KeepPageAccess:                11,
+		inject.InduceFatalException:          6,
+		inject.InduceMemoryException:         5,
+		inject.InduceHangState:               20,
+		inject.UncontrolledInterruptRequests: 2,
+	}
+}
+
+// Verify checks the classification against every number the paper
+// publishes, returning a descriptive error on the first mismatch.
+func (t TableI) Verify() error {
+	if t.TotalCVEs != 100 {
+		return fmt.Errorf("fieldstudy: %d CVEs, paper classified 100", t.TotalCVEs)
+	}
+	if t.TotalAssignments <= t.TotalCVEs {
+		return fmt.Errorf("fieldstudy: %d assignments for %d CVEs; paper reports more functionalities than CVEs",
+			t.TotalAssignments, t.TotalCVEs)
+	}
+	wantClass := PaperClassCounts()
+	for _, cs := range t.Classes {
+		if cs.CVECount != wantClass[cs.Class] {
+			return fmt.Errorf("fieldstudy: class %q has %d CVEs, paper reports %d",
+				cs.Class, cs.CVECount, wantClass[cs.Class])
+		}
+	}
+	wantRows := PaperRowCounts()
+	for _, cs := range t.Classes {
+		for _, row := range cs.Rows {
+			want, published := wantRows[row.Functionality]
+			if published && row.Assignments != want {
+				return fmt.Errorf("fieldstudy: %q has %d assignments, paper reports %d",
+					row.Functionality, row.Assignments, want)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,24 @@
+package fieldstudy_test
+
+import (
+	"fmt"
+
+	"repro/internal/fieldstudy"
+)
+
+// Classifying the dataset reproduces Table I's published totals.
+func ExampleClassify() {
+	table := fieldstudy.Classify(fieldstudy.Dataset())
+	fmt.Println("CVEs:", table.TotalCVEs)
+	fmt.Println("assignments:", table.TotalAssignments)
+	for _, cs := range table.Classes {
+		fmt.Printf("%s: %d CVEs\n", cs.Class, cs.CVECount)
+	}
+	// Output:
+	// CVEs: 100
+	// assignments: 108
+	// Memory Access: 35 CVEs
+	// Memory Management: 40 CVEs
+	// Exceptional Conditions: 11 CVEs
+	// Non-Memory Related: 22 CVEs
+}

@@ -1,0 +1,205 @@
+package fieldstudy
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/inject"
+)
+
+func TestDatasetSize(t *testing.T) {
+	ds := Dataset()
+	if len(ds) != 100 {
+		t.Fatalf("dataset has %d advisories, want 100", len(ds))
+	}
+}
+
+func TestDatasetIsDeterministic(t *testing.T) {
+	a, b := Dataset(), Dataset()
+	for i := range a {
+		if a[i].CVE != b[i].CVE || len(a[i].Functionalities) != len(b[i].Functionalities) {
+			t.Fatalf("record %d differs between runs", i)
+		}
+	}
+}
+
+func TestDatasetUniqueIDs(t *testing.T) {
+	seenCVE := make(map[string]bool)
+	seenXSA := make(map[string]bool)
+	for _, a := range Dataset() {
+		if seenCVE[a.CVE] {
+			t.Errorf("duplicate CVE %s", a.CVE)
+		}
+		if seenXSA[a.XSA] {
+			t.Errorf("duplicate XSA %s", a.XSA)
+		}
+		seenCVE[a.CVE] = true
+		seenXSA[a.XSA] = true
+	}
+}
+
+func TestDatasetRecordsAreComplete(t *testing.T) {
+	for _, a := range Dataset() {
+		if !strings.HasPrefix(a.CVE, "CVE-") || !strings.HasPrefix(a.XSA, "XSA-") {
+			t.Errorf("malformed identifiers: %q %q", a.CVE, a.XSA)
+		}
+		if a.Year < 2013 || a.Year > 2021 {
+			t.Errorf("%s: year %d outside the study era", a.CVE, a.Year)
+		}
+		if a.Component == "" || a.Title == "" {
+			t.Errorf("%s: missing metadata", a.CVE)
+		}
+		if len(a.Functionalities) == 0 || len(a.Functionalities) > 2 {
+			t.Errorf("%s: %d functionalities", a.CVE, len(a.Functionalities))
+		}
+	}
+}
+
+func TestPaperCitedMultiFunctionalityCVEs(t *testing.T) {
+	// "some CVEs can have more than one abusive functionality ...
+	// e.g., CVE-2019-17343, CVE-2020-27672"
+	want := map[string]bool{"CVE-2019-17343": false, "CVE-2020-27672": false}
+	for _, a := range Dataset() {
+		if _, ok := want[a.CVE]; ok {
+			if len(a.Functionalities) < 2 {
+				t.Errorf("%s should carry multiple functionalities", a.CVE)
+			}
+			want[a.CVE] = true
+		}
+	}
+	for cve, seen := range want {
+		if !seen {
+			t.Errorf("paper-cited %s missing from dataset", cve)
+		}
+	}
+}
+
+func TestClassifyReproducesTableI(t *testing.T) {
+	table := Classify(Dataset())
+	if err := table.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if table.TotalAssignments != 108 {
+		t.Errorf("assignments = %d, want 108 (35+40+11+22)", table.TotalAssignments)
+	}
+	// Class sections in Table I order.
+	wantOrder := []inject.FunctionalityClass{
+		inject.ClassMemoryAccess, inject.ClassMemoryManagement,
+		inject.ClassExceptionalConditions, inject.ClassNonMemory,
+	}
+	if len(table.Classes) != len(wantOrder) {
+		t.Fatalf("classes = %d", len(table.Classes))
+	}
+	for i, cs := range table.Classes {
+		if cs.Class != wantOrder[i] {
+			t.Errorf("class %d = %v, want %v", i, cs.Class, wantOrder[i])
+		}
+	}
+	// Every row's class assignment is internally consistent, and
+	// synthesized flags only appear on unpublished rows.
+	published := PaperRowCounts()
+	for _, cs := range table.Classes {
+		sum := 0
+		for _, row := range cs.Rows {
+			if row.Functionality.Class() != cs.Class {
+				t.Errorf("row %v filed under %v", row.Functionality, cs.Class)
+			}
+			if _, pub := published[row.Functionality]; pub && row.Synthesized {
+				t.Errorf("%v is published but flagged synthesized", row.Functionality)
+			}
+			if _, pub := published[row.Functionality]; !pub && !row.Synthesized {
+				t.Errorf("%v is unpublished but not flagged synthesized", row.Functionality)
+			}
+			sum += row.Assignments
+		}
+		// Per-class assignment sums at least reach the CVE count
+		// (functionality assignments within a class >= distinct CVEs).
+		if sum < cs.CVECount {
+			t.Errorf("class %v: %d assignments < %d CVEs", cs.Class, sum, cs.CVECount)
+		}
+	}
+}
+
+func TestClassifyEmptyDataset(t *testing.T) {
+	table := Classify(nil)
+	if table.TotalCVEs != 0 || table.TotalAssignments != 0 {
+		t.Errorf("empty classify = %+v", table)
+	}
+	if err := table.Verify(); err == nil {
+		t.Error("Verify accepted an empty classification")
+	}
+}
+
+func TestVerifyDetectsMismatch(t *testing.T) {
+	ds := Dataset()
+	// Drop one record: class counts must stop matching.
+	table := Classify(ds[:99])
+	if err := table.Verify(); err == nil {
+		t.Error("Verify accepted a 99-record classification")
+	}
+	// Flip one functionality: a published row count must break.
+	mutated := make([]Advisory, len(ds))
+	copy(mutated, ds)
+	for i := range mutated {
+		if mutated[i].Functionalities[0] == inject.KeepPageAccess {
+			mutated[i].Functionalities = []inject.AbusiveFunctionality{inject.FailMemoryMapping}
+			break
+		}
+	}
+	if err := Classify(mutated).Verify(); err == nil {
+		t.Error("Verify accepted a mutated classification")
+	}
+}
+
+func TestAnalyzeBreakdowns(t *testing.T) {
+	s := Analyze(Dataset())
+	totalByYear := 0
+	for y, n := range s.ByYear {
+		if y < 2013 || y > 2021 {
+			t.Errorf("year %d outside era", y)
+		}
+		totalByYear += n
+	}
+	if totalByYear != 100 {
+		t.Errorf("year counts sum to %d", totalByYear)
+	}
+	totalByComp := 0
+	for _, n := range s.ByComponent {
+		totalByComp += n
+	}
+	if totalByComp != 100 {
+		t.Errorf("component counts sum to %d", totalByComp)
+	}
+	if s.MultiFunctionality != 8 {
+		t.Errorf("multi-functionality = %d, want 8", s.MultiFunctionality)
+	}
+	if len(s.TopFunctionalities) != 16 {
+		t.Fatalf("functionalities = %d", len(s.TopFunctionalities))
+	}
+	// The most common functionality in Table I is Induce a Hang State (20).
+	top := s.TopFunctionalities[0]
+	if top.Functionality != inject.InduceHangState || top.Assignments != 20 {
+		t.Errorf("top = %v (%d)", top.Functionality, top.Assignments)
+	}
+	// Ordering is non-increasing.
+	for i := 1; i < len(s.TopFunctionalities); i++ {
+		if s.TopFunctionalities[i].Assignments > s.TopFunctionalities[i-1].Assignments {
+			t.Errorf("ordering broken at %d", i)
+		}
+	}
+	for _, want := range []string{"by year", "multi-functionality advisories: 8", "Induce a Hang State"} {
+		if !strings.Contains(s.Summary(), want) {
+			t.Errorf("summary missing %q", want)
+		}
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	s := Analyze(nil)
+	if s.MultiFunctionality != 0 || len(s.TopFunctionalities) != 0 {
+		t.Errorf("empty stats = %+v", s)
+	}
+	if s.Summary() == "" {
+		t.Error("empty summary")
+	}
+}

@@ -1,0 +1,90 @@
+package fieldstudy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/inject"
+)
+
+// Stats are the secondary analyses over the advisory dataset — the kind
+// of breakdowns the extended study the paper plans ("study in detail
+// known vulnerabilities and their abusive functionalities") would report.
+type Stats struct {
+	// ByYear counts advisories per disclosure year.
+	ByYear map[int]int
+	// ByComponent counts advisories per affected subsystem.
+	ByComponent map[string]int
+	// MultiFunctionality counts advisories carrying more than one
+	// abusive functionality.
+	MultiFunctionality int
+	// TopFunctionalities are the most common functionalities, ordered.
+	TopFunctionalities []FunctionalityCount
+}
+
+// Analyze computes the breakdowns.
+func Analyze(advisories []Advisory) Stats {
+	s := Stats{
+		ByYear:      make(map[int]int),
+		ByComponent: make(map[string]int),
+	}
+	counts := make(map[inject.AbusiveFunctionality]int)
+	for _, a := range advisories {
+		s.ByYear[a.Year]++
+		s.ByComponent[a.Component]++
+		if len(a.Functionalities) > 1 {
+			s.MultiFunctionality++
+		}
+		for _, f := range a.Functionalities {
+			counts[f]++
+		}
+	}
+	synth := SynthesizedCounts()
+	for f, n := range counts {
+		s.TopFunctionalities = append(s.TopFunctionalities, FunctionalityCount{
+			Functionality: f, Assignments: n, Synthesized: synth[f],
+		})
+	}
+	sort.Slice(s.TopFunctionalities, func(i, j int) bool {
+		a, b := s.TopFunctionalities[i], s.TopFunctionalities[j]
+		if a.Assignments != b.Assignments {
+			return a.Assignments > b.Assignments
+		}
+		return a.Functionality < b.Functionality
+	})
+	return s
+}
+
+// Summary renders the analyses.
+func (s Stats) Summary() string {
+	var b strings.Builder
+	b.WriteString("Advisory dataset breakdowns\n")
+	years := make([]int, 0, len(s.ByYear))
+	for y := range s.ByYear {
+		years = append(years, y)
+	}
+	sort.Ints(years)
+	b.WriteString("  by year:")
+	for _, y := range years {
+		fmt.Fprintf(&b, " %d:%d", y, s.ByYear[y])
+	}
+	b.WriteString("\n  by component:\n")
+	comps := make([]string, 0, len(s.ByComponent))
+	for c := range s.ByComponent {
+		comps = append(comps, c)
+	}
+	sort.Strings(comps)
+	for _, c := range comps {
+		fmt.Fprintf(&b, "    %-36s %d\n", c, s.ByComponent[c])
+	}
+	fmt.Fprintf(&b, "  multi-functionality advisories: %d\n", s.MultiFunctionality)
+	b.WriteString("  most common functionalities:\n")
+	for i, fc := range s.TopFunctionalities {
+		if i == 5 {
+			break
+		}
+		fmt.Fprintf(&b, "    %-46s %d\n", fc.Functionality, fc.Assignments)
+	}
+	return b.String()
+}

@@ -1,0 +1,94 @@
+package guest
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Exec runs a shell command line with the given uid and returns its
+// output. The supported command set covers everything the paper's
+// experiment transcripts use: whoami, id, hostname, cat, echo (with
+// redirection), ls, touch, and && chaining.
+func (k *Kernel) Exec(cmdline string, uid int) (string, error) {
+	parts := strings.Split(cmdline, "&&")
+	var outputs []string
+	for _, part := range parts {
+		out, err := k.execOne(strings.TrimSpace(part), uid)
+		if err != nil {
+			return strings.Join(outputs, "\n"), err
+		}
+		if out != "" {
+			outputs = append(outputs, out)
+		}
+	}
+	return strings.Join(outputs, "\n"), nil
+}
+
+func (k *Kernel) execOne(cmd string, uid int) (string, error) {
+	if cmd == "" {
+		return "", nil
+	}
+	fields := strings.Fields(cmd)
+	name, args := fields[0], fields[1:]
+	switch name {
+	case "whoami":
+		return userName(uid), nil
+
+	case "id":
+		u := userName(uid)
+		return fmt.Sprintf("uid=%d(%s) gid=%d(%s) groups=%d(%s)", uid, u, uid, u, uid, u), nil
+
+	case "hostname":
+		return k.Hostname(), nil
+
+	case "cat":
+		if len(args) != 1 {
+			return "", fmt.Errorf("guest: usage: cat PATH")
+		}
+		out, err := k.ReadFile(args[0], uid)
+		if err != nil {
+			return "", fmt.Errorf("cat: %s: %w", args[0], err)
+		}
+		return out, nil
+
+	case "echo":
+		// Support `echo TEXT > PATH` redirection.
+		joined := strings.Join(args, " ")
+		if idx := strings.Index(joined, ">"); idx >= 0 {
+			text := strings.TrimSpace(joined[:idx])
+			path := strings.TrimSpace(joined[idx+1:])
+			text = strings.Trim(text, `"'`)
+			if err := k.WriteFile(path, text, uid); err != nil {
+				return "", err
+			}
+			return "", nil
+		}
+		return strings.Trim(joined, `"'`), nil
+
+	case "touch":
+		if len(args) != 1 {
+			return "", fmt.Errorf("guest: usage: touch PATH")
+		}
+		return "", k.WriteFile(args[0], "", uid)
+
+	case "ls":
+		dir := "/"
+		if len(args) == 1 {
+			dir = args[0]
+		}
+		return strings.Join(k.List(dir), "\n"), nil
+
+	case "dmesg":
+		return strings.Join(k.Dmesg(), "\n"), nil
+
+	default:
+		return "", fmt.Errorf("sh: %s: command not found", name)
+	}
+}
+
+func userName(uid int) string {
+	if uid == UIDRoot {
+		return "root"
+	}
+	return "xen"
+}

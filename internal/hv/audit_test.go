@@ -1,0 +1,140 @@
+package hv
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mm"
+	"repro/internal/pagetable"
+)
+
+func TestAuditCleanSystem(t *testing.T) {
+	for _, v := range Versions() {
+		t.Run(v.Name, func(t *testing.T) {
+			h := bootVersion(t, v)
+			mustDomain(t, h, "xen3", 64, true)
+			mustDomain(t, h, "guest01", 64, false)
+			if findings := h.AuditMemory(); len(findings) != 0 {
+				t.Errorf("clean system has findings:\n%s", strings.Join(findings, "\n"))
+			}
+		})
+	}
+}
+
+func TestAuditStaysCleanUnderLegitimateUpdates(t *testing.T) {
+	h := bootVersion(t, Version48())
+	d := mustDomain(t, h, "guest01", 64, false)
+	// Map, remap, unmap a page through the validated interface.
+	pfn, err := d.AllocPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := d.P2M().Lookup(pfn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := leafPTEAddr(t, h, d, d.PhysmapVA(0))
+	ptr := base + mm.PhysAddr((uint64(d.Frames())+60)*pagetable.EntrySize)
+	for _, val := range []pagetable.Entry{
+		pagetable.NewEntry(target, pagetable.FlagPresent|pagetable.FlagRW|pagetable.FlagUser),
+		pagetable.NewEntry(target, pagetable.FlagPresent|pagetable.FlagUser),
+		0,
+	} {
+		if err := d.Hypercall(HypercallMMUUpdate, &MMUUpdateArgs{Updates: []MMUUpdate{{Ptr: ptr, Val: val}}}); err != nil {
+			t.Fatal(err)
+		}
+		if findings := h.AuditMemory(); len(findings) != 0 {
+			t.Fatalf("findings after validated update %v:\n%s", val, strings.Join(findings, "\n"))
+		}
+	}
+}
+
+func TestAuditDetectsRawPTEWrite(t *testing.T) {
+	h := bootVersion(t, Version48())
+	d := mustDomain(t, h, "guest01", 64, false)
+	// A raw write (what the injector or an arbitrary-write vulnerability
+	// does) installs a mapping with no references: the Corrupt-a-Page-
+	// Reference erroneous state.
+	target, err := d.P2M().Lookup(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := leafPTEAddr(t, h, d, d.PhysmapVA(0))
+	ptr := base + mm.PhysAddr((uint64(d.Frames())+61)*pagetable.EntrySize)
+	raw := pagetable.NewEntry(target, pagetable.FlagPresent|pagetable.FlagRW|pagetable.FlagUser)
+	if err := h.Memory().WriteU64(ptr, uint64(raw)); err != nil {
+		t.Fatal(err)
+	}
+	findings := h.AuditMemory()
+	if len(findings) == 0 {
+		t.Fatal("raw PTE write invisible to the audit")
+	}
+	joined := strings.Join(findings, "\n")
+	if !strings.Contains(joined, "live references") && !strings.Contains(joined, "writable mappings") {
+		t.Errorf("findings lack the reference discrepancy:\n%s", joined)
+	}
+}
+
+func TestAuditDetectsXSA148State(t *testing.T) {
+	h := bootVersion(t, Version46())
+	d := mustDomain(t, h, "guest01", 64, false)
+	// Create the superpage window through the vulnerable interface.
+	l2, err := pagetable.TableFor(h.Memory(), d.CR3(), GuestPhysmapBase, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptr, err := pagetable.EntryAddr(l2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = d.Hypercall(HypercallMMUUpdate, &MMUUpdateArgs{Updates: []MMUUpdate{{
+		Ptr: ptr,
+		Val: pagetable.NewEntry(0, pagetable.FlagPresent|pagetable.FlagRW|pagetable.FlagUser|pagetable.FlagPSE),
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := h.AuditMemory()
+	found := false
+	for _, f := range findings {
+		if strings.Contains(f, "unaccounted superpage") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("XSA-148 state invisible to the audit:\n%s", strings.Join(findings, "\n"))
+	}
+}
+
+func TestAuditDetectsWritablePTMapping(t *testing.T) {
+	h := bootVersion(t, Version48())
+	d := mustDomain(t, h, "guest01", 64, false)
+	// Raw-flip RW on the physmap mapping of an L1 frame: the audit must
+	// flag a page table with a guest-writable mapping.
+	var l1 mm.MFN
+	for mfn, level := range d.PageTableFrames() {
+		if level == 1 {
+			l1 = mfn
+			break
+		}
+	}
+	_, pfn, err := h.Memory().M2P(l1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptr, err := pagetable.LeafEntryAddr(h.Memory(), d.CR3(), d.PhysmapVA(pfn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := pagetable.ReadEntry(h.Memory(), ptr.Frame(), int(ptr.Offset()/8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Memory().WriteU64(ptr, uint64(e.WithFlags(pagetable.FlagRW))); err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(h.AuditMemory(), "\n")
+	if !strings.Contains(joined, "page table has") {
+		t.Errorf("writable PT mapping invisible:\n%s", joined)
+	}
+}

@@ -1,0 +1,526 @@
+package hv
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cpu"
+	"repro/internal/layout"
+	"repro/internal/mm"
+	"repro/internal/pagetable"
+)
+
+// Reserved guest PFNs laid out by the domain builder.
+const (
+	// StartInfoPFN holds the start_info page whose fingerprint the
+	// XSA-148 exploit scans machine memory for.
+	StartInfoPFN mm.PFN = 0
+	// VDSOPFN holds the vDSO page the XSA-148 backdoor patches.
+	VDSOPFN mm.PFN = 1
+	// firstDataPFN is the first PFN available to the guest kernel.
+	firstDataPFN mm.PFN = 4
+)
+
+// StartInfoMagic fingerprints a start_info page in machine memory.
+const StartInfoMagic = "xen-3.0-x86_64 start_info"
+
+// VDSOSignature fingerprints a vDSO page in guest memory.
+const VDSOSignature = "vdso64.so\x7f\x01"
+
+// VDSOEntryOffset is where the vDSO's executable payload begins within
+// its page; callers jump to page start + offset.
+const VDSOEntryOffset = 32
+
+// minDomainFrames is the smallest buildable domain: reserved pages, a
+// little data room, and the page-table frames consumed from the top.
+const minDomainFrames = 16
+
+// Domain is one virtual machine.
+type Domain struct {
+	id         mm.DomID
+	name       string
+	privileged bool
+
+	hv  *Hypervisor
+	p2m *mm.P2M
+
+	base   mm.MFN
+	frames int
+
+	cr3      mm.MFN
+	ptFrames map[mm.MFN]int // guest page-table frames -> level
+
+	vcpu *cpu.CPU
+	os   GuestOS
+
+	nextFreePFN mm.PFN // guest data allocation cursor
+	ptLowestPFN mm.PFN // lowest PFN consumed by page tables (exclusive bound for data)
+
+	grantTable    *grantTable
+	eventChannels []eventChannel
+
+	tlb *pagetable.TLB
+
+	destroyed bool
+	paused    bool
+}
+
+// CreateDomain builds a new domain with the given contiguous
+// pseudo-physical memory size. The first privileged domain gets ID 0.
+// The builder lays out the start_info and vDSO pages, constructs the
+// guest's physmap page tables from the domain's own top frames, links
+// the shared Xen L3 into the guest L4, and validates every page-table
+// frame's type.
+func (h *Hypervisor) CreateDomain(name string, frames int, privileged bool) (*Domain, error) {
+	if h.crashed {
+		return nil, ErrCrashed
+	}
+	if frames < minDomainFrames {
+		return nil, fmt.Errorf("%w: domain needs at least %d frames, got %d", ErrInval, minDomainFrames, frames)
+	}
+	var id mm.DomID
+	if privileged {
+		if _, ok := h.domains[mm.Dom0]; ok {
+			return nil, fmt.Errorf("%w: dom0 already exists", ErrInval)
+		}
+		id = mm.Dom0
+	} else {
+		if h.nextDomID < mm.DomFirstGuest {
+			h.nextDomID = mm.DomFirstGuest
+		}
+		id = h.nextDomID
+		h.nextDomID++
+	}
+
+	base, err := h.mem.AllocRange(frames, id)
+	if err != nil {
+		return nil, fmt.Errorf("hv: allocating %d frames for %s: %w", frames, name, err)
+	}
+	d := &Domain{
+		id:         id,
+		name:       name,
+		privileged: privileged,
+		hv:         h,
+		p2m:        h.mem.NewP2M(id),
+		base:       base,
+		frames:     frames,
+		ptFrames:   make(map[mm.MFN]int),
+	}
+	for i := 0; i < frames; i++ {
+		if err := d.p2m.Set(mm.PFN(i), base+mm.MFN(i)); err != nil {
+			return nil, err
+		}
+	}
+	if err := d.buildPageTables(); err != nil {
+		return nil, fmt.Errorf("hv: building page tables for %s: %w", name, err)
+	}
+	if err := d.writeBootPages(); err != nil {
+		return nil, fmt.Errorf("hv: writing boot pages for %s: %w", name, err)
+	}
+
+	d.tlb = pagetable.NewTLB(h.cfg.tlbCapacity)
+	d.vcpu = cpu.New(h.nextCPUID, h.mem, &domainSpace{h: h, d: d}, h)
+	h.nextCPUID++
+	d.vcpu.LIDT(h.idtr)
+	d.nextFreePFN = firstDataPFN
+
+	h.domains[id] = d
+	h.Logf("created %s (dom%d) with %d frames at mfn %#x..%#x",
+		name, id, frames, uint64(base), uint64(base)+uint64(frames)-1)
+	return d, nil
+}
+
+// buildPageTables constructs the guest's Linux-style physmap: every PFN
+// mapped RW|US at GuestPhysmapBase + pfn*PageSize. Page-table frames are
+// taken from the domain's own top PFNs, typed after construction, and
+// their physmap mappings downgraded to read-only — the invariant that no
+// guest-writable mapping of a page-table frame exists, which the use-case
+// vulnerabilities then break.
+func (d *Domain) buildPageTables() error {
+	cursor := mm.PFN(d.frames)
+	ptAlloc := func() (mm.MFN, error) {
+		if cursor <= firstDataPFN+4 {
+			return 0, fmt.Errorf("%w: domain too small for its page tables", ErrNoMem)
+		}
+		cursor--
+		return d.p2m.Lookup(cursor)
+	}
+	b := pagetable.NewBuilder(d.hv.mem, ptAlloc)
+	b.OnTableAlloc = func(mfn mm.MFN, level int) { d.ptFrames[mfn] = level }
+
+	root, err := b.NewRoot()
+	if err != nil {
+		return err
+	}
+	d.cr3 = root
+	for pfn := mm.PFN(0); pfn < mm.PFN(d.frames); pfn++ {
+		mfn, err := d.p2m.Lookup(pfn)
+		if err != nil {
+			return err
+		}
+		if err := b.Map(root, d.PhysmapVA(pfn), mfn,
+			pagetable.FlagRW|pagetable.FlagUser); err != nil {
+			return err
+		}
+	}
+	// Link the shared hypervisor structures into the guest's L4.
+	if err := d.hv.installXenSlots(root); err != nil {
+		return err
+	}
+	d.ptLowestPFN = cursor
+
+	// Validate the type of every page-table frame, then remove guest
+	// write access to those frames through the physmap.
+	for mfn, level := range d.ptFrames {
+		t, err := mm.TypeForLevel(level)
+		if err != nil {
+			return err
+		}
+		if err := d.hv.mem.GetType(mfn, t); err != nil {
+			return err
+		}
+	}
+	for mfn := range d.ptFrames {
+		_, pfn, err := d.hv.mem.M2P(mfn)
+		if err != nil {
+			return err
+		}
+		va := d.PhysmapVA(pfn)
+		l1, err := b.TableAt(root, va, 1)
+		if err != nil {
+			return err
+		}
+		idx, err := pagetable.Index(va, 1)
+		if err != nil {
+			return err
+		}
+		e, err := pagetable.ReadEntry(d.hv.mem, l1, idx)
+		if err != nil {
+			return err
+		}
+		if err := pagetable.WriteEntry(d.hv.mem, l1, idx, e.WithoutFlags(pagetable.FlagRW)); err != nil {
+			return err
+		}
+	}
+	return d.accountBootMappings()
+}
+
+// installXenSlots writes the canonical hypervisor entries into an L4's
+// reserved slot range (init_xen_l4_slots): the shared Xen L3 at
+// XenL4Slot, the rest cleared. The XSA-213..315 follow-up hardening
+// makes the slot supervisor-only: guests lose direct access to every
+// address under it — including the linear-page-table range the
+// XSA-212-priv exploit installs its payload through (§VIII).
+func (h *Hypervisor) installXenSlots(l4 mm.MFN) error {
+	flags := uint64(pagetable.FlagPresent | pagetable.FlagRW)
+	if h.version.LinearPTAlias {
+		flags |= pagetable.FlagUser
+	}
+	if err := pagetable.WriteEntry(h.mem, l4, XenL4Slot, pagetable.NewEntry(h.xenL3, flags)); err != nil {
+		return err
+	}
+	for idx := XenL4Slot + 1; idx < XenL4Slot+16; idx++ {
+		if err := pagetable.WriteEntry(h.mem, l4, idx, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// accountBootMappings takes the per-entry references the validated
+// mmu_update path would have taken had the guest installed these
+// mappings itself, so that later guest-initiated updates balance: each
+// writable leaf holds a writable type reference on its target, every
+// entry holds a general reference, and the vCPU holds a reference on its
+// CR3 root. It runs after page-table mappings are downgraded to
+// read-only, so page-table frames never acquire a writable type.
+func (d *Domain) accountBootMappings() error {
+	mem := d.hv.mem
+	for mfn, level := range d.ptFrames {
+		for idx := 0; idx < pagetable.EntriesPerTable; idx++ {
+			if level == 4 && idx == XenL4Slot {
+				continue // hypervisor-owned shared L3, not guest-accounted
+			}
+			e, err := pagetable.ReadEntry(mem, mfn, idx)
+			if err != nil {
+				return err
+			}
+			if !e.Present() {
+				continue
+			}
+			if level == 1 && e.Writable() {
+				if err := mem.GetType(e.MFN(), mm.TypeWritable); err != nil {
+					return fmt.Errorf("accounting writable leaf %s: %w", e, err)
+				}
+			}
+			if err := mem.GetRef(e.MFN(), d.id); err != nil {
+				return fmt.Errorf("accounting entry %s in L%d frame %#x: %w", e, level, uint64(mfn), err)
+			}
+		}
+	}
+	return mem.GetRef(d.cr3, d.id)
+}
+
+// writeBootPages lays down the start_info and vDSO pages.
+func (d *Domain) writeBootPages() error {
+	si := make([]byte, 0, 128)
+	si = append(si, StartInfoMagic...)
+	si = append(si, 0)
+	if d.privileged {
+		si = append(si, 1)
+	} else {
+		si = append(si, 0)
+	}
+	si = append(si, byte(len(d.name)))
+	si = append(si, d.name...)
+	siMFN, err := d.p2m.Lookup(StartInfoPFN)
+	if err != nil {
+		return err
+	}
+	if err := d.hv.mem.WritePhys(siMFN.Addr(), si); err != nil {
+		return err
+	}
+
+	vd := make([]byte, 0, 64)
+	vd = append(vd, VDSOSignature...)
+	for len(vd) < VDSOEntryOffset {
+		vd = append(vd, 0)
+	}
+	vd = append(vd, cpu.Assemble(cpu.Program{{Op: cpu.OpClockGettime}})...)
+	vdMFN, err := d.p2m.Lookup(VDSOPFN)
+	if err != nil {
+		return err
+	}
+	return d.hv.mem.WritePhys(vdMFN.Addr(), vd)
+}
+
+// Accessors.
+
+// ID returns the domain identifier.
+func (d *Domain) ID() mm.DomID { return d.id }
+
+// Name returns the domain name (also its hostname).
+func (d *Domain) Name() string { return d.name }
+
+// Privileged reports whether this is the control domain.
+func (d *Domain) Privileged() bool { return d.privileged }
+
+// P2M returns the domain's pseudo-physical translation table.
+func (d *Domain) P2M() *mm.P2M { return d.p2m }
+
+// CR3 returns the machine frame of the domain's L4 root.
+func (d *Domain) CR3() mm.MFN { return d.cr3 }
+
+// VCPU returns the domain's virtual CPU.
+func (d *Domain) VCPU() *cpu.CPU { return d.vcpu }
+
+// Base returns the first machine frame of the domain's contiguous region.
+func (d *Domain) Base() mm.MFN { return d.base }
+
+// Frames returns the domain's memory size in frames.
+func (d *Domain) Frames() int { return d.frames }
+
+// Hypervisor returns the hypervisor hosting the domain.
+func (d *Domain) Hypervisor() *Hypervisor { return d.hv }
+
+// OS returns the attached guest OS, or nil.
+func (d *Domain) OS() GuestOS { return d.os }
+
+// AttachOS registers the guest operating system running in the domain.
+func (d *Domain) AttachOS(os GuestOS) { d.os = os }
+
+// PageTableLevel returns the level (1..4) of a guest page-table frame,
+// or 0 if the frame is not one of the domain's page tables.
+func (d *Domain) PageTableLevel(mfn mm.MFN) int { return d.ptFrames[mfn] }
+
+// PageTableFrames returns the domain's page-table frames and levels.
+func (d *Domain) PageTableFrames() map[mm.MFN]int {
+	out := make(map[mm.MFN]int, len(d.ptFrames))
+	for k, v := range d.ptFrames {
+		out[k] = v
+	}
+	return out
+}
+
+// PhysmapVA returns the guest kernel virtual address mapping the PFN.
+func (d *Domain) PhysmapVA(pfn mm.PFN) uint64 {
+	return GuestPhysmapBase + uint64(pfn)*mm.PageSize
+}
+
+// AllocPage hands the guest kernel an unused PFN from the data region.
+func (d *Domain) AllocPage() (mm.PFN, error) {
+	if d.nextFreePFN >= d.ptLowestPFN {
+		return 0, fmt.Errorf("%w: guest out of free pages", ErrNoMem)
+	}
+	pfn := d.nextFreePFN
+	d.nextFreePFN++
+	return pfn, nil
+}
+
+// Domains returns the number of live domains.
+func (h *Hypervisor) Domains() int { return len(h.domains) }
+
+// Domain looks up a domain by ID.
+func (h *Hypervisor) Domain(id mm.DomID) (*Domain, error) {
+	d, ok := h.domains[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: dom%d", ErrDomGone, id)
+	}
+	return d, nil
+}
+
+// DomainList returns all domains ordered by ID.
+func (h *Hypervisor) DomainList() []*Domain {
+	out := make([]*Domain, 0, len(h.domains))
+	for _, d := range h.domains {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// domainSpace is a domain's address space as seen by its vCPU:
+// hypervisor-privilege accesses may resolve through the hypervisor's
+// layout map (trap handling, copy_to_guest); everything else walks the
+// guest's page tables under the version's policy.
+type domainSpace struct {
+	h *Hypervisor
+	d *Domain
+}
+
+var _ cpu.AddressSpace = (*domainSpace)(nil)
+
+func (s *domainSpace) Translate(va uint64, acc pagetable.Access, guestInitiated bool) (mm.PhysAddr, error) {
+	if !guestInitiated {
+		if phys, seg, err := s.h.layout.Translate(va); err == nil {
+			if !seg.HVPerm.Allows(permFor(acc)) {
+				return 0, &pagetable.Fault{VA: va, Access: acc,
+					Reason: fmt.Sprintf("segment %q is %s to the hypervisor", seg.Name, seg.HVPerm)}
+			}
+			return phys, nil
+		}
+		walk, err := s.h.walker.Translate(s.d.cr3, va, acc, false)
+		if err != nil {
+			return 0, err
+		}
+		return walk.Phys, nil
+	}
+	// Guest-initiated accesses go through the per-domain TLB, with the
+	// effective rights computed at fill time — so raw page-table writes
+	// that skip the flush protocol leave stale, still-honoured entries,
+	// exactly the hazard real TLBs have.
+	if e, ok := s.d.tlb.Lookup(va); ok {
+		if err := checkTLBEntry(va, acc, e); err != nil {
+			return 0, err
+		}
+		return e.Frame.Addr() + mm.PhysAddr(va&mm.PageMask), nil
+	}
+	walk, err := s.h.walker.Translate(s.d.cr3, va, acc, true)
+	if err != nil {
+		return 0, err
+	}
+	entry := pagetable.TLBEntry{
+		Frame:    walk.MFN,
+		User:     walk.User,
+		NoExec:   walk.NoExec,
+		Writable: walk.Writable && s.h.policy.CheckLeaf(s.h.mem, walk.MFN, pagetable.AccessWrite, true) == nil,
+	}
+	s.d.tlb.Insert(va, entry)
+	return walk.Phys, nil
+}
+
+// checkTLBEntry enforces the cached effective rights on a hit.
+func checkTLBEntry(va uint64, acc pagetable.Access, e pagetable.TLBEntry) error {
+	switch acc {
+	case pagetable.AccessWrite:
+		if !e.Writable {
+			return &pagetable.Fault{VA: va, Access: acc, Reason: "read-only mapping (TLB)"}
+		}
+	case pagetable.AccessExec:
+		if e.NoExec {
+			return &pagetable.Fault{VA: va, Access: acc, Reason: "no-execute mapping (TLB)"}
+		}
+	}
+	return nil
+}
+
+// FlushTLB drops every cached translation of the domain's vCPU, as the
+// guest's own tlb-flush (or Xen on its behalf) would.
+func (d *Domain) FlushTLB() { d.tlb.Flush() }
+
+// InvlPG drops one page's cached translation.
+func (d *Domain) InvlPG(va uint64) { d.tlb.FlushVA(va) }
+
+// TLBStats exposes the cache counters for the ablation benchmarks.
+func (d *Domain) TLBStats() pagetable.TLBStats { return d.tlb.Stats() }
+
+func permFor(acc pagetable.Access) layout.Perm {
+	switch acc {
+	case pagetable.AccessWrite:
+		return layout.PermW
+	case pagetable.AccessExec:
+		return layout.PermX
+	default:
+		return layout.PermR
+	}
+}
+
+// TranslateHV resolves a hypervisor linear address: through the layout
+// map first, then through the idle page tables (which carry the shared
+// Xen structures, including — on profiles that have it — the linear-
+// page-table alias).
+func (h *Hypervisor) TranslateHV(va uint64, acc pagetable.Access) (mm.PhysAddr, error) {
+	if phys, seg, err := h.layout.Translate(va); err == nil {
+		if !seg.HVPerm.Allows(permFor(acc)) {
+			return 0, &pagetable.Fault{VA: va, Access: acc,
+				Reason: fmt.Sprintf("segment %q is %s to the hypervisor", seg.Name, seg.HVPerm)}
+		}
+		return phys, nil
+	}
+	walk, err := h.walker.Translate(h.xenL4, va, acc, false)
+	if err != nil {
+		return 0, err
+	}
+	return walk.Phys, nil
+}
+
+// ReadHV reads hypervisor-linear memory page by page.
+func (h *Hypervisor) ReadHV(va uint64, buf []byte) error {
+	return h.accessHV(va, buf, pagetable.AccessRead)
+}
+
+// WriteHV writes hypervisor-linear memory page by page. This is the raw
+// internal access the injector's linear mode and the broken 4.6
+// copy-to-guest path both bottom out in.
+func (h *Hypervisor) WriteHV(va uint64, buf []byte) error {
+	return h.accessHV(va, buf, pagetable.AccessWrite)
+}
+
+func (h *Hypervisor) accessHV(va uint64, buf []byte, acc pagetable.Access) error {
+	done := 0
+	for done < len(buf) {
+		cur := va + uint64(done)
+		phys, err := h.TranslateHV(cur, acc)
+		if err != nil {
+			return err
+		}
+		n := len(buf) - done
+		if remain := int(mm.PageSize - cur&mm.PageMask); n > remain {
+			n = remain
+		}
+		if acc == pagetable.AccessWrite {
+			err = h.mem.WritePhys(phys, buf[done:done+n])
+		} else {
+			err = h.mem.ReadPhys(phys, buf[done:done+n])
+		}
+		if err != nil {
+			return err
+		}
+		done += n
+	}
+	return nil
+}
+
+// Walker exposes the hypervisor's page-table walker (with the version's
+// policy installed) for audits and monitors.
+func (h *Hypervisor) Walker() *pagetable.Walker { return h.walker }

@@ -1,0 +1,133 @@
+package hv
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/mm"
+)
+
+func domctlEnv(t *testing.T) (*Hypervisor, *Domain, *Domain) {
+	t.Helper()
+	h := bootVersion(t, Version413())
+	dom0 := mustDomain(t, h, "xen3", 64, true)
+	guest := mustDomain(t, h, "guest01", 64, false)
+	return h, dom0, guest
+}
+
+func TestDomctlRequiresPrivilege(t *testing.T) {
+	_, _, g := domctlEnv(t)
+	err := g.Hypercall(HypercallDomctl, &DomctlArgs{Op: DomctlGetInfo, Target: mm.Dom0})
+	if !errors.Is(err, ErrPerm) {
+		t.Errorf("guest domctl: err = %v, want ErrPerm", err)
+	}
+}
+
+func TestDomctlPauseUnpause(t *testing.T) {
+	_, d0, g := domctlEnv(t)
+	if err := d0.Hypercall(HypercallDomctl, &DomctlArgs{Op: DomctlPause, Target: g.ID()}); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Paused() {
+		t.Fatal("guest not paused")
+	}
+	// Paused guests cannot issue hypercalls.
+	if err := g.Hypercall(HypercallConsoleIO, "hello"); err == nil || !strings.Contains(err.Error(), "paused") {
+		t.Errorf("paused guest hypercall: %v", err)
+	}
+	if err := d0.Hypercall(HypercallDomctl, &DomctlArgs{Op: DomctlUnpause, Target: g.ID()}); err != nil {
+		t.Fatal(err)
+	}
+	if g.Paused() {
+		t.Fatal("guest still paused")
+	}
+	if err := g.Hypercall(HypercallConsoleIO, "back"); err != nil {
+		t.Errorf("unpaused guest hypercall: %v", err)
+	}
+}
+
+func TestDomctlDestroy(t *testing.T) {
+	h, d0, g := domctlEnv(t)
+	id := g.ID()
+	if err := d0.Hypercall(HypercallDomctl, &DomctlArgs{Op: DomctlDestroy, Target: id}); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Destroyed() {
+		t.Error("guest not marked destroyed")
+	}
+	if _, err := h.Domain(id); !errors.Is(err, ErrDomGone) {
+		t.Errorf("destroyed domain still listed: %v", err)
+	}
+	if err := g.Hypercall(HypercallConsoleIO, "zombie"); !errors.Is(err, ErrDomGone) {
+		t.Errorf("zombie hypercall: %v", err)
+	}
+	// Zombie semantics: the frames stay allocated.
+	pi, err := h.Memory().Info(g.Base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pi.Owner != id {
+		t.Errorf("zombie frame owner = dom%d", pi.Owner)
+	}
+	// dom0 is indestructible.
+	if err := d0.Hypercall(HypercallDomctl, &DomctlArgs{Op: DomctlDestroy, Target: mm.Dom0}); !errors.Is(err, ErrInval) {
+		t.Errorf("destroying dom0: %v", err)
+	}
+	// Operating on a gone domain fails.
+	if err := d0.Hypercall(HypercallDomctl, &DomctlArgs{Op: DomctlPause, Target: id}); !errors.Is(err, ErrDomGone) {
+		t.Errorf("pausing zombie: %v", err)
+	}
+}
+
+func TestDomctlReadMemory(t *testing.T) {
+	h, d0, g := domctlEnv(t)
+	// The toolstack reads the guest's start_info page.
+	buf := make([]byte, 32)
+	err := d0.Hypercall(HypercallDomctl, &DomctlArgs{
+		Op: DomctlReadMemory, Target: g.ID(), PFN: StartInfoPFN, Buf: buf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(buf), StartInfoMagic[:25]) {
+		t.Errorf("read = %q", buf)
+	}
+	// Bad sizes and absent PFNs are rejected.
+	if err := d0.Hypercall(HypercallDomctl, &DomctlArgs{Op: DomctlReadMemory, Target: g.ID(), PFN: 0, Buf: nil}); !errors.Is(err, ErrInval) {
+		t.Errorf("empty read: %v", err)
+	}
+	if err := d0.Hypercall(HypercallDomctl, &DomctlArgs{Op: DomctlReadMemory, Target: g.ID(), PFN: 5000, Buf: buf}); !errors.Is(err, ErrInval) {
+		t.Errorf("absent pfn: %v", err)
+	}
+	_ = h
+}
+
+func TestDomctlGetInfo(t *testing.T) {
+	_, d0, g := domctlEnv(t)
+	args := &DomctlArgs{Op: DomctlGetInfo, Target: g.ID()}
+	if err := d0.Hypercall(HypercallDomctl, args); err != nil {
+		t.Fatal(err)
+	}
+	if args.Info.Name != "guest01" || args.Info.Frames != 64 || args.Info.Privileged || args.Info.Paused {
+		t.Errorf("info = %+v", args.Info)
+	}
+	// Bad ops and arg types.
+	if err := d0.Hypercall(HypercallDomctl, &DomctlArgs{Op: DomctlOp(99), Target: g.ID()}); !errors.Is(err, ErrInval) {
+		t.Errorf("bad op: %v", err)
+	}
+	if err := d0.Hypercall(HypercallDomctl, "nope"); !errors.Is(err, ErrInval) {
+		t.Errorf("bad args: %v", err)
+	}
+}
+
+func TestDomctlOpStrings(t *testing.T) {
+	for _, op := range []DomctlOp{DomctlPause, DomctlUnpause, DomctlDestroy, DomctlReadMemory, DomctlGetInfo} {
+		if strings.HasPrefix(op.String(), "DomctlOp(") {
+			t.Errorf("op %d unnamed", op)
+		}
+	}
+	if !strings.HasPrefix(DomctlOp(42).String(), "DomctlOp(") {
+		t.Error("unknown op string")
+	}
+}

@@ -1,0 +1,27 @@
+package hv
+
+import "errors"
+
+// Hypercall errors, mirroring the errno values the real interfaces
+// return. The paper's §VII observations hinge on these: "the exploit
+// execution fails with a return code of -EFAULT (bad address return
+// code)".
+var (
+	// ErrFault is -EFAULT: a guest handle failed the access check or an
+	// address could not be translated.
+	ErrFault = errors.New("hv: -EFAULT (bad address)")
+	// ErrInval is -EINVAL: malformed hypercall arguments or an entry
+	// that fails validation.
+	ErrInval = errors.New("hv: -EINVAL (invalid argument)")
+	// ErrPerm is -EPERM: the calling domain lacks the privilege.
+	ErrPerm = errors.New("hv: -EPERM (operation not permitted)")
+	// ErrNoSys is -ENOSYS: the hypercall number is not in this build's
+	// dispatch table.
+	ErrNoSys = errors.New("hv: -ENOSYS (hypercall not implemented)")
+	// ErrNoMem is -ENOMEM: the hypervisor could not allocate memory.
+	ErrNoMem = errors.New("hv: -ENOMEM (out of memory)")
+	// ErrCrashed is returned for any operation after a hypervisor panic.
+	ErrCrashed = errors.New("hv: hypervisor has crashed")
+	// ErrDomGone is returned for operations on destroyed domains.
+	ErrDomGone = errors.New("hv: no such domain")
+)

@@ -1,0 +1,133 @@
+package hv
+
+import (
+	"fmt"
+
+	"repro/internal/mm"
+)
+
+// Event channels are the PV interrupt substrate: interdomain
+// notifications delivered as pending bits the guest kernel consumes.
+// They exist here both as a realistic substrate and as the target of the
+// "Uncontrolled Arbitrary Interrupts Requests" abusive functionality:
+// the injector can flood a domain with events it never bound.
+const (
+	// MaxEventChannels is the per-domain port count.
+	MaxEventChannels = 64
+)
+
+// eventChannel is one port's state.
+type eventChannel struct {
+	inUse      bool
+	remoteDom  int32 // -1 when unbound
+	remotePort int
+	pending    int
+}
+
+// EventAllocArgs allocates an unbound port for RemoteDom to bind later.
+type EventAllocArgs struct {
+	RemoteDom int32
+
+	// Port receives the allocated port number.
+	Port int
+}
+
+// EventBindArgs binds a local port to a remote domain's port.
+type EventBindArgs struct {
+	Port       int
+	RemoteDom  int32
+	RemotePort int
+}
+
+// EventSendArgs raises an event on the caller's port, marking the bound
+// remote end pending.
+type EventSendArgs struct {
+	Port int
+}
+
+func (d *Domain) channels() []eventChannel {
+	if d.eventChannels == nil {
+		d.eventChannels = make([]eventChannel, MaxEventChannels)
+		for i := range d.eventChannels {
+			d.eventChannels[i].remoteDom = -1
+		}
+	}
+	return d.eventChannels
+}
+
+// PendingEvents returns the total pending-event count across the
+// domain's ports, the observable an interrupt-flood injection perturbs.
+func (d *Domain) PendingEvents() int {
+	total := 0
+	for i := range d.channels() {
+		total += d.eventChannels[i].pending
+	}
+	return total
+}
+
+// ConsumeEvents clears and returns the pending count on a port, as the
+// guest kernel's event loop does.
+func (d *Domain) ConsumeEvents(port int) (int, error) {
+	chs := d.channels()
+	if port < 0 || port >= len(chs) {
+		return 0, fmt.Errorf("%w: port %d", ErrInval, port)
+	}
+	n := chs[port].pending
+	chs[port].pending = 0
+	return n, nil
+}
+
+func (h *Hypervisor) eventChannelOp(d *Domain, arg any) error {
+	switch a := arg.(type) {
+	case *EventAllocArgs:
+		chs := d.channels()
+		for i := range chs {
+			if !chs[i].inUse {
+				chs[i] = eventChannel{inUse: true, remoteDom: a.RemoteDom, remotePort: -1}
+				a.Port = i
+				return nil
+			}
+		}
+		return fmt.Errorf("%w: no free event channel", ErrNoMem)
+
+	case *EventBindArgs:
+		chs := d.channels()
+		if a.Port < 0 || a.Port >= len(chs) || !chs[a.Port].inUse {
+			return fmt.Errorf("%w: port %d", ErrInval, a.Port)
+		}
+		remote, err := h.Domain(mm.DomID(a.RemoteDom))
+		if err != nil {
+			return err
+		}
+		rchs := remote.channels()
+		if a.RemotePort < 0 || a.RemotePort >= len(rchs) || !rchs[a.RemotePort].inUse {
+			return fmt.Errorf("%w: remote port %d", ErrInval, a.RemotePort)
+		}
+		if rchs[a.RemotePort].remoteDom >= 0 && mm.DomID(rchs[a.RemotePort].remoteDom) != d.id {
+			return fmt.Errorf("%w: remote port %d reserved for dom%d", ErrPerm, a.RemotePort, rchs[a.RemotePort].remoteDom)
+		}
+		chs[a.Port].remoteDom = a.RemoteDom
+		chs[a.Port].remotePort = a.RemotePort
+		rchs[a.RemotePort].remotePort = a.Port
+		return nil
+
+	case *EventSendArgs:
+		chs := d.channels()
+		if a.Port < 0 || a.Port >= len(chs) || !chs[a.Port].inUse {
+			return fmt.Errorf("%w: port %d", ErrInval, a.Port)
+		}
+		ch := &chs[a.Port]
+		if ch.remoteDom < 0 || ch.remotePort < 0 {
+			return fmt.Errorf("%w: port %d not bound", ErrInval, a.Port)
+		}
+		remote, err := h.Domain(mm.DomID(ch.remoteDom))
+		if err != nil {
+			return err
+		}
+		remote.channels()[ch.remotePort].pending++
+		return nil
+
+	default:
+		return fmt.Errorf("%w: event_channel_op got %T", ErrInval, arg)
+	}
+}

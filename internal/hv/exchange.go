@@ -1,0 +1,189 @@
+package hv
+
+import (
+	"fmt"
+
+	"repro/internal/mm"
+	"repro/internal/pagetable"
+)
+
+// ExchangeArgs is the argument to the XENMEM_exchange sub-op of
+// HypercallMemoryOp: the guest donates the frames behind In and receives
+// fresh frames at the same PFNs; the 64-bit identifier of each new frame
+// is stored to OutStart + 8*i through a guest handle.
+//
+// The XSA-212 vulnerability is the missing access check on that handle:
+// on the 4.6 profile the store resolves through the hypervisor's own
+// linear address space, so OutStart may point anywhere — including the
+// IDT or a shared page table.
+//
+// OutValues, when non-nil, overrides the stored value per extent. This is
+// the modeling concession documented in DESIGN.md §1: the real PoC
+// constructs attacker-chosen values from the primitive via partial
+// overwrites; the simulator surfaces the constructed value directly. The
+// override changes nothing on fixed profiles, where the handle check
+// confines the store to the guest's own writable memory.
+type ExchangeArgs struct {
+	In        []mm.PFN
+	OutStart  uint64
+	OutValues []uint64
+
+	// Result fields, filled by the hypercall.
+	NrExchanged int
+	NewMFNs     []mm.MFN
+}
+
+// PopulatePhysmapArgs asks for a fresh frame at the given PFN.
+type PopulatePhysmapArgs struct {
+	PFN mm.PFN
+
+	// MFN receives the allocated frame.
+	MFN mm.MFN
+}
+
+// DecreaseReservationArgs releases the frame at the given PFN back to the
+// hypervisor. The PFN must not be mapped anywhere (references drained).
+type DecreaseReservationArgs struct {
+	PFN mm.PFN
+}
+
+// memoryOp multiplexes the memory sub-operations on argument type.
+func (h *Hypervisor) memoryOp(d *Domain, arg any) error {
+	switch a := arg.(type) {
+	case *ExchangeArgs:
+		return h.memoryExchange(d, a)
+	case *PopulatePhysmapArgs:
+		return h.populatePhysmap(d, a)
+	case *DecreaseReservationArgs:
+		return h.decreaseReservation(d, a)
+	default:
+		return fmt.Errorf("%w: memory_op wants exchange/populate/decrease args, got %T", ErrInval, arg)
+	}
+}
+
+func (h *Hypervisor) memoryExchange(d *Domain, args *ExchangeArgs) error {
+	if args.OutValues != nil && len(args.OutValues) != len(args.In) {
+		return fmt.Errorf("%w: %d out values for %d extents", ErrInval, len(args.OutValues), len(args.In))
+	}
+	args.NrExchanged = 0
+	args.NewMFNs = args.NewMFNs[:0]
+	for i, pfn := range args.In {
+		old, err := d.p2m.Lookup(pfn)
+		if err != nil {
+			return fmt.Errorf("%w: exchange extent %d: pfn %#x not populated", ErrInval, i, uint64(pfn))
+		}
+		pi, err := h.mem.Info(old)
+		if err != nil {
+			return err
+		}
+		if pi.RefCount != 0 || pi.TypeCount != 0 {
+			return fmt.Errorf("%w: exchange extent %d: frame %#x still mapped (ref=%d type=%d)",
+				ErrInval, i, uint64(old), pi.RefCount, pi.TypeCount)
+		}
+		if _, err := d.p2m.Clear(pfn); err != nil {
+			return err
+		}
+		if err := h.mem.Free(old); err != nil {
+			return err
+		}
+		fresh, err := h.mem.Alloc(d.id)
+		if err != nil {
+			return fmt.Errorf("%w: exchange extent %d: %v", ErrNoMem, i, err)
+		}
+		if err := d.p2m.Set(pfn, fresh); err != nil {
+			return err
+		}
+		args.NewMFNs = append(args.NewMFNs, fresh)
+
+		val := uint64(fresh)
+		if args.OutValues != nil {
+			val = args.OutValues[i]
+		}
+		dst := args.OutStart + 8*uint64(args.NrExchanged)
+		if err := h.copyToGuestU64(d, dst, val); err != nil {
+			return fmt.Errorf("exchange extent %d: storing result: %w", i, err)
+		}
+		args.NrExchanged++
+	}
+	d.FlushTLB()
+	return nil
+}
+
+// accessOK is the guest-handle check the XSA-212 fix adds: a handle must
+// lie outside the hypervisor's reserved virtual range.
+func accessOK(va uint64, n int) bool {
+	end := va + uint64(n)
+	if end < va {
+		return false
+	}
+	const hvStart, hvEnd = 0xffff800000000000, uint64(GuestPhysmapBase)
+	return end <= hvStart || va >= hvEnd
+}
+
+// copyToGuestU64 stores one 64-bit value through a guest handle. On
+// profiles with the XSA-212 fix the handle is checked and then resolved
+// through the guest's page tables; on 4.6 the check is missing and the
+// store resolves through the hypervisor's own linear space first — the
+// arbitrary-write primitive.
+func (h *Hypervisor) copyToGuestU64(d *Domain, va uint64, val uint64) error {
+	var b [8]byte
+	for i := range b {
+		b[i] = byte(val >> (8 * i))
+	}
+	if h.version.XSA212Fixed && !accessOK(va, len(b)) {
+		return fmt.Errorf("%w: guest handle %#x is in the hypervisor range", ErrFault, va)
+	}
+	space := &domainSpace{h: h, d: d}
+	done := 0
+	for done < len(b) {
+		cur := va + uint64(done)
+		phys, err := space.Translate(cur, pagetable.AccessWrite, false)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrFault, err)
+		}
+		n := len(b) - done
+		if remain := int(mm.PageSize - cur&mm.PageMask); n > remain {
+			n = remain
+		}
+		if err := h.mem.WritePhys(phys, b[done:done+n]); err != nil {
+			return err
+		}
+		done += n
+	}
+	return nil
+}
+
+func (h *Hypervisor) populatePhysmap(d *Domain, args *PopulatePhysmapArgs) error {
+	if d.p2m.Contains(args.PFN) {
+		return fmt.Errorf("%w: pfn %#x already populated", ErrInval, uint64(args.PFN))
+	}
+	mfn, err := h.mem.Alloc(d.id)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrNoMem, err)
+	}
+	if err := d.p2m.Set(args.PFN, mfn); err != nil {
+		return err
+	}
+	args.MFN = mfn
+	return nil
+}
+
+func (h *Hypervisor) decreaseReservation(d *Domain, args *DecreaseReservationArgs) error {
+	mfn, err := d.p2m.Lookup(args.PFN)
+	if err != nil {
+		return fmt.Errorf("%w: pfn %#x not populated", ErrInval, uint64(args.PFN))
+	}
+	pi, err := h.mem.Info(mfn)
+	if err != nil {
+		return err
+	}
+	if pi.RefCount != 0 || pi.TypeCount != 0 {
+		return fmt.Errorf("%w: frame %#x still mapped (ref=%d type=%d)",
+			ErrInval, uint64(mfn), pi.RefCount, pi.TypeCount)
+	}
+	if _, err := d.p2m.Clear(args.PFN); err != nil {
+		return err
+	}
+	d.FlushTLB()
+	return h.mem.Free(mfn)
+}

@@ -1,0 +1,107 @@
+package hv
+
+import "fmt"
+
+// Hypercall numbers, following the real PV ABI where one exists.
+const (
+	// HypercallMMUUpdate validates and applies page-table entry updates.
+	HypercallMMUUpdate = 1
+	// HypercallConsoleIO writes to the hypervisor console.
+	HypercallConsoleIO = 18
+	// HypercallGrantTableOp manipulates grant tables.
+	HypercallGrantTableOp = 20
+	// HypercallMMUExtOp pins/unpins tables and switches baseptr.
+	HypercallMMUExtOp = 26
+	// HypercallMemoryOp multiplexes exchange / populate / decrease.
+	HypercallMemoryOp = 12
+	// HypercallEventChannelOp manipulates event channels.
+	HypercallEventChannelOp = 32
+	// HypercallArbitraryAccess is the injector's hypercall (Section V-B
+	// of the paper). It is absent unless an injector build registers it.
+	HypercallArbitraryAccess = 41
+)
+
+// Hypercall is one dispatch-table entry. arg carries the per-call
+// argument struct; handlers type-assert it.
+type Hypercall func(d *Domain, arg any) error
+
+// RegisterHypercall installs a handler at the given number, the hook the
+// injector uses to add HYPERVISOR_arbitrary_access to the build ("small
+// changes in the hypercalls table had to be done to add the new hypercall
+// into the code base", Section V-B).
+func (h *Hypervisor) RegisterHypercall(nr int, fn Hypercall) error {
+	if fn == nil {
+		return fmt.Errorf("%w: nil hypercall handler", ErrInval)
+	}
+	if _, ok := h.hypercalls[nr]; ok {
+		return fmt.Errorf("%w: hypercall %d already registered", ErrInval, nr)
+	}
+	h.hypercalls[nr] = fn
+	return nil
+}
+
+// registerCoreHypercalls fills the dispatch table with this build's
+// standard handlers.
+func (h *Hypervisor) registerCoreHypercalls() {
+	h.hypercalls[HypercallMMUUpdate] = func(d *Domain, arg any) error {
+		a, ok := arg.(*MMUUpdateArgs)
+		if !ok {
+			return fmt.Errorf("%w: mmu_update wants *MMUUpdateArgs, got %T", ErrInval, arg)
+		}
+		return h.mmuUpdate(d, a)
+	}
+	h.hypercalls[HypercallMMUExtOp] = func(d *Domain, arg any) error {
+		a, ok := arg.(*MMUExtArgs)
+		if !ok {
+			return fmt.Errorf("%w: mmuext_op wants *MMUExtArgs, got %T", ErrInval, arg)
+		}
+		return h.mmuExtOp(d, a)
+	}
+	h.hypercalls[HypercallMemoryOp] = func(d *Domain, arg any) error {
+		return h.memoryOp(d, arg)
+	}
+	h.hypercalls[HypercallConsoleIO] = func(d *Domain, arg any) error {
+		s, ok := arg.(string)
+		if !ok {
+			return fmt.Errorf("%w: console_io wants string, got %T", ErrInval, arg)
+		}
+		h.Logf("[%s] %s", d.Name(), s)
+		return nil
+	}
+	h.hypercalls[HypercallGrantTableOp] = func(d *Domain, arg any) error {
+		return h.grantTableOp(d, arg)
+	}
+	h.hypercalls[HypercallEventChannelOp] = func(d *Domain, arg any) error {
+		return h.eventChannelOp(d, arg)
+	}
+	h.hypercalls[HypercallDomctl] = func(d *Domain, arg any) error {
+		a, ok := arg.(*DomctlArgs)
+		if !ok {
+			return fmt.Errorf("%w: domctl wants *DomctlArgs, got %T", ErrInval, arg)
+		}
+		return h.domctl(d, a)
+	}
+}
+
+// Hypercall is the guest-side entry point: dispatch through the build's
+// table, exactly like the real syscall-style vector.
+func (d *Domain) Hypercall(nr int, arg any) error {
+	h := d.hv
+	if h.crashed {
+		return ErrCrashed
+	}
+	if d.destroyed {
+		return ErrDomGone
+	}
+	if d.paused && nr != HypercallDomctl {
+		return fmt.Errorf("%w: dom%d is paused", ErrInval, d.id)
+	}
+	fn, ok := h.hypercalls[nr]
+	if !ok {
+		return fmt.Errorf("%w: hypercall %d", ErrNoSys, nr)
+	}
+	if h.cfg.trace {
+		h.Logf("hypercall %d from dom%d (%T)", nr, d.id, arg)
+	}
+	return fn(d, arg)
+}

@@ -1,0 +1,81 @@
+package hv
+
+import (
+	"fmt"
+
+	"repro/internal/mm"
+)
+
+// Injector support surface: the hooks a state-level intrusion injector
+// needs to drive the system into erroneous states that are not plain
+// memory corruption (Section IX-C: "we are expanding our prototype to
+// cover IMs related with malicious interrupts and activities originating
+// from the management interface"). Like the arbitrary-access hypercall,
+// these deliberately bypass the machinery that makes the states
+// unreachable through legitimate interfaces; they exist only on injector
+// builds (the inject package wires them to a hypercall).
+
+// InjectGrantStatusLeak places the domain into the XSA-387-class
+// erroneous state directly: a hypervisor-owned status frame to which the
+// domain retains a reference, regardless of the version's grant-table
+// behaviour. Returns the leaked frame for auditing.
+func (h *Hypervisor) InjectGrantStatusLeak(d *Domain) (mm.MFN, error) {
+	if h.crashed {
+		return 0, ErrCrashed
+	}
+	status, err := h.mem.Alloc(mm.DomXen)
+	if err != nil {
+		return 0, fmt.Errorf("%w: allocating status frame: %v", ErrNoMem, err)
+	}
+	if err := h.mem.GetType(status, mm.TypeGrant); err != nil {
+		return 0, err
+	}
+	if err := h.mem.GetRef(status, mm.DomXen); err != nil {
+		return 0, err
+	}
+	gt := d.grants()
+	gt.statusFrames = append(gt.statusFrames, status)
+	h.Logf("injected keep-page-access state: dom%d retains hv frame %#x", d.id, uint64(status))
+	return status, nil
+}
+
+// InjectEventFlood marks count pending events on the victim's port
+// without any binding — the "Uncontrolled Arbitrary Interrupts Requests"
+// erroneous state.
+func (h *Hypervisor) InjectEventFlood(victim *Domain, port, count int) error {
+	if h.crashed {
+		return ErrCrashed
+	}
+	chs := victim.channels()
+	if port < 0 || port >= len(chs) {
+		return fmt.Errorf("%w: port %d", ErrInval, port)
+	}
+	if count <= 0 {
+		return fmt.Errorf("%w: count %d", ErrInval, count)
+	}
+	chs[port].inUse = true
+	chs[port].pending += count
+	h.Logf("injected interrupt flood: %d events pending on dom%d port %d", count, victim.id, port)
+	return nil
+}
+
+// InjectHang wedges the hypervisor in a non-terminating handler — the
+// "Induce a Hang State" erroneous state. The machine keeps its memory
+// contents but stops making progress.
+func (h *Hypervisor) InjectHang(reason string) {
+	if h.crashed || h.hung {
+		return
+	}
+	h.hung = true
+	h.Logf("injected hang state: %s", reason)
+}
+
+// InjectFatalException drives execution into an "impossible" abort path
+// (a BUG()/ASSERT with a FATAL directive) — the "Induce a Fatal
+// Exception" erroneous state. The hypervisor panics by design.
+func (h *Hypervisor) InjectFatalException(site string) {
+	if h.crashed {
+		return
+	}
+	h.Crash(fmt.Sprintf("Assertion failed at %s — FATAL: unreachable state reached", site))
+}

@@ -1,0 +1,412 @@
+package hv
+
+import (
+	"fmt"
+
+	"repro/internal/mm"
+	"repro/internal/pagetable"
+)
+
+// MMUUpdateArgs is the argument to HypercallMMUUpdate: a batch of
+// validated page-table entry writes, the PV direct-paging interface.
+type MMUUpdateArgs struct {
+	Updates []MMUUpdate
+}
+
+// MMUUpdate is one entry write: Ptr is the machine-physical address of
+// the page-table entry, Val the new entry.
+type MMUUpdate struct {
+	Ptr mm.PhysAddr
+	Val pagetable.Entry
+}
+
+// MMUExtOp selects an extended MMU operation.
+type MMUExtOp uint8
+
+// Extended MMU operations.
+const (
+	// MMUExtPinL1Table .. MMUExtPinL4Table validate and pin a frame as a
+	// page table of the given level.
+	MMUExtPinL1Table MMUExtOp = iota + 1
+	MMUExtPinL2Table
+	MMUExtPinL3Table
+	MMUExtPinL4Table
+	// MMUExtUnpinTable releases a pin.
+	MMUExtUnpinTable
+	// MMUExtNewBaseptr switches the domain's CR3 to a validated L4.
+	MMUExtNewBaseptr
+)
+
+// MMUExtArgs is the argument to HypercallMMUExtOp.
+type MMUExtArgs struct {
+	Op  MMUExtOp
+	MFN mm.MFN
+}
+
+// safeFlagMask returns the flag bits the L4/L3/L2/L1 fast path may change
+// without revalidation. The pre-XSA-182 mask wrongly includes RW: a
+// flag-only update that sets RW on an existing entry — including a
+// recursive L4 self-reference — skips the check that would reject a
+// writable mapping of a page table.
+func (h *Hypervisor) safeFlagMask() uint64 {
+	base := pagetable.FlagAccessed | pagetable.FlagDirty |
+		pagetable.FlagPWT | pagetable.FlagPCD | pagetable.FlagGlobal
+	if !h.version.XSA182Fixed {
+		base |= pagetable.FlagRW
+	}
+	return base
+}
+
+// mmuUpdate applies a batch of validated entry writes.
+func (h *Hypervisor) mmuUpdate(d *Domain, args *MMUUpdateArgs) error {
+	for i := range args.Updates {
+		if err := h.applyMMUUpdate(d, args.Updates[i].Ptr, args.Updates[i].Val); err != nil {
+			return fmt.Errorf("hv: mmu_update %d/%d: %w", i+1, len(args.Updates), err)
+		}
+	}
+	return nil
+}
+
+func (h *Hypervisor) applyMMUUpdate(d *Domain, ptr mm.PhysAddr, val pagetable.Entry) error {
+	if ptr%pagetable.EntrySize != 0 {
+		return fmt.Errorf("%w: unaligned PTE address %#x", ErrInval, uint64(ptr))
+	}
+	table := ptr.Frame()
+	pi, err := h.mem.Info(table)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrInval, err)
+	}
+	if pi.Owner != d.id {
+		return fmt.Errorf("%w: PTE frame %#x belongs to dom%d", ErrPerm, uint64(table), pi.Owner)
+	}
+	level := pi.Type.PageTableLevel()
+	if level == 0 {
+		return fmt.Errorf("%w: frame %#x is %s, not a page table", ErrInval, uint64(table), pi.Type)
+	}
+	idx := int(ptr.Offset() / pagetable.EntrySize)
+	// The hypervisor's reserved L4 slots are not guest slots: updates
+	// there are rejected outright (Xen's is_guest_l4_slot check), which
+	// protects the shared Xen mappings from legitimate-interface abuse.
+	if level == 4 && idx >= XenL4Slot && idx < XenL4Slot+16 {
+		return fmt.Errorf("%w: L4 slot %d is reserved for the hypervisor", ErrPerm, idx)
+	}
+	old, err := pagetable.ReadEntry(h.mem, table, idx)
+	if err != nil {
+		return err
+	}
+
+	// Fast path: flag-only change within the safe mask skips
+	// revalidation (the XSA-182 bug lives in the mask).
+	if old.Present() && val.Present() && old.MFN() == val.MFN() {
+		changed := old.Flags() ^ val.Flags()
+		if changed&^h.safeFlagMask() == 0 {
+			d.FlushTLB()
+			return pagetable.WriteEntry(h.mem, table, idx, val)
+		}
+	}
+
+	if val.Present() {
+		v := &validation{h: h, d: d}
+		if err := v.getPageFromEntry(val, level); err != nil {
+			return fmt.Errorf("%w: L%d entry %s rejected: %v", ErrInval, level, val, err)
+		}
+	}
+	if old.Present() {
+		h.putPageFromEntry(old, level)
+	}
+	// Validated updates are followed by the TLB flush the interface
+	// guarantees; raw writes (vulnerabilities, the injector) are not.
+	d.FlushTLB()
+	return pagetable.WriteEntry(h.mem, table, idx, val)
+}
+
+// validation carries the state of one recursive entry validation,
+// guarding against reference cycles between tables.
+type validation struct {
+	h          *Hypervisor
+	d          *Domain
+	inProgress map[mm.MFN]bool
+}
+
+// getPageFromEntry validates an entry being installed at the given table
+// level and takes the references it pins, the analogue of Xen's
+// get_page_from_lNe family. This is where the XSA-148 (missing L2 PSE
+// check) gate lives.
+func (v *validation) getPageFromEntry(e pagetable.Entry, level int) error {
+	h, d := v.h, v.d
+	target := e.MFN()
+	if !h.mem.ValidMFN(target) {
+		return fmt.Errorf("target frame %#x outside machine memory", uint64(target))
+	}
+	switch level {
+	case 1:
+		pi, err := h.mem.Info(target)
+		if err != nil {
+			return err
+		}
+		if pi.Owner != d.id {
+			return fmt.Errorf("%w: frame %#x belongs to dom%d", ErrPerm, uint64(target), pi.Owner)
+		}
+		if e.Writable() {
+			if err := h.mem.GetType(target, mm.TypeWritable); err != nil {
+				return fmt.Errorf("writable mapping refused: %w", err)
+			}
+		}
+		if err := h.mem.GetRef(target, d.id); err != nil {
+			if e.Writable() {
+				_ = h.mem.PutType(target)
+			}
+			return err
+		}
+		return nil
+
+	case 2:
+		if e.Superpage() {
+			if !h.version.XSA148Fixed {
+				// XSA-148: the PSE bit is not checked at all — the entry
+				// is accepted with no validation and no references,
+				// handing the guest a 2 MiB window over arbitrary
+				// machine memory.
+				return nil
+			}
+			return fmt.Errorf("superpage (PSE) mappings are not permitted for PV guests")
+		}
+		return v.getTable(target, 1)
+
+	case 3:
+		return v.getTable(target, 2)
+
+	case 4:
+		pi, err := h.mem.Info(target)
+		if err != nil {
+			return err
+		}
+		if pi.Type == mm.TypeL4 {
+			// A recursive (linear page table) reference to an L4 root is
+			// legal only read-only; writable L4 references are exactly
+			// what validation exists to prevent.
+			if e.Writable() {
+				return fmt.Errorf("writable L4 self-reference refused")
+			}
+			if err := h.mem.GetType(target, mm.TypeL4); err != nil {
+				return err
+			}
+			if err := h.mem.GetRef(target, d.id); err != nil {
+				_ = h.mem.PutType(target)
+				return err
+			}
+			return nil
+		}
+		return v.getTable(target, 3)
+
+	default:
+		return fmt.Errorf("%w: level %d", pagetable.ErrBadLevel, level)
+	}
+}
+
+// getTable validates mfn for use as a page table of the given level,
+// recursively validating its current contents on first promotion, and
+// takes a type and a general reference — Xen's get_page_type +
+// get_page pair.
+func (v *validation) getTable(mfn mm.MFN, level int) error {
+	h, d := v.h, v.d
+	pi, err := h.mem.Info(mfn)
+	if err != nil {
+		return err
+	}
+	if pi.Owner != d.id {
+		return fmt.Errorf("%w: table frame %#x belongs to dom%d", ErrPerm, uint64(mfn), pi.Owner)
+	}
+	want, err := mm.TypeForLevel(level)
+	if err != nil {
+		return err
+	}
+	if v.inProgress[mfn] {
+		return fmt.Errorf("circular page-table reference through frame %#x", uint64(mfn))
+	}
+	switch {
+	case pi.TypeCount > 0 && pi.Type == want:
+		// Already validated at this level: just take references.
+		if err := h.mem.GetType(mfn, want); err != nil {
+			return err
+		}
+	case pi.TypeCount > 0:
+		return fmt.Errorf("frame %#x is in use as %s (count %d)", uint64(mfn), pi.Type, pi.TypeCount)
+	default:
+		// First promotion: every present entry must validate at the
+		// level below before the type is granted.
+		if v.inProgress == nil {
+			v.inProgress = make(map[mm.MFN]bool)
+		}
+		v.inProgress[mfn] = true
+		defer delete(v.inProgress, mfn)
+		if level == 4 {
+			// A frame becoming an L4 gets the canonical hypervisor slots
+			// installed (init_xen_l4_slots); whatever the guest put there
+			// is not validated and not honoured.
+			if err := h.installXenSlots(mfn); err != nil {
+				return err
+			}
+		}
+		var validated []pagetable.Entry
+		for idx := 0; idx < pagetable.EntriesPerTable; idx++ {
+			if level == 4 && idx >= XenL4Slot && idx < XenL4Slot+16 {
+				continue
+			}
+			e, err := pagetable.ReadEntry(h.mem, mfn, idx)
+			if err != nil {
+				return err
+			}
+			if !e.Present() {
+				continue
+			}
+			if err := v.getPageFromEntry(e, level); err != nil {
+				for _, ve := range validated {
+					h.putPageFromEntry(ve, level)
+				}
+				return fmt.Errorf("entry %d: %w", idx, err)
+			}
+			validated = append(validated, e)
+		}
+		if err := h.mem.GetType(mfn, want); err != nil {
+			for _, ve := range validated {
+				h.putPageFromEntry(ve, level)
+			}
+			return err
+		}
+		d.ptFrames[mfn] = level
+	}
+	return h.mem.GetRef(mfn, d.id)
+}
+
+// putPageFromEntry releases the references a validated entry held, the
+// analogue of put_page_from_lNe. Errors are logged, not propagated:
+// teardown must make progress, and an imbalance here is itself evidence
+// of a corrupted state worth surfacing on the console.
+func (h *Hypervisor) putPageFromEntry(e pagetable.Entry, level int) {
+	target := e.MFN()
+	pi, err := h.mem.Info(target)
+	if err != nil {
+		h.Logf("WARNING: put of entry %s at L%d: %v", e, level, err)
+		return
+	}
+	switch level {
+	case 1:
+		if e.Writable() {
+			if err := h.mem.PutType(target); err != nil {
+				h.Logf("WARNING: type underflow releasing %s: %v", e, err)
+			}
+		}
+	case 2:
+		if e.Superpage() {
+			return // no references were ever taken (see getPageFromEntry)
+		}
+		h.putTable(target, 1)
+	case 3:
+		h.putTable(target, 2)
+	case 4:
+		if pi.Type == mm.TypeL4 {
+			if err := h.mem.PutType(target); err != nil {
+				h.Logf("WARNING: type underflow releasing L4 self-map: %v", err)
+			}
+		} else {
+			h.putTable(target, 3)
+		}
+	}
+	if err := h.mem.PutRef(target); err != nil {
+		h.Logf("WARNING: ref underflow releasing %s at L%d: %v", e, level, err)
+	}
+}
+
+// putTable drops a type reference on a page-table frame; when the last
+// use goes away the frame's own entries release their references in turn
+// (free_page_type).
+func (h *Hypervisor) putTable(mfn mm.MFN, level int) {
+	if err := h.mem.PutType(mfn); err != nil {
+		h.Logf("WARNING: type underflow on table %#x: %v", uint64(mfn), err)
+		return
+	}
+	pi, err := h.mem.Info(mfn)
+	if err != nil || pi.TypeCount > 0 || pi.Pinned {
+		return
+	}
+	for idx := 0; idx < pagetable.EntriesPerTable; idx++ {
+		// Reserved Xen slots in an L4 are hypervisor-owned and carry no
+		// guest references (free_l4_table skips them).
+		if level == 4 && idx >= XenL4Slot && idx < XenL4Slot+16 {
+			continue
+		}
+		e, err := pagetable.ReadEntry(h.mem, mfn, idx)
+		if err != nil {
+			return
+		}
+		if e.Present() {
+			h.putPageFromEntry(e, level)
+		}
+	}
+}
+
+// mmuExtOp implements pin/unpin/baseptr switching.
+func (h *Hypervisor) mmuExtOp(d *Domain, args *MMUExtArgs) error {
+	switch args.Op {
+	case MMUExtPinL1Table, MMUExtPinL2Table, MMUExtPinL3Table, MMUExtPinL4Table:
+		level := int(args.Op-MMUExtPinL1Table) + 1
+		v := &validation{h: h, d: d}
+		if err := v.getTable(args.MFN, level); err != nil {
+			return fmt.Errorf("%w: pin L%d of %#x: %v", ErrInval, level, uint64(args.MFN), err)
+		}
+		pi, err := h.mem.Info(args.MFN)
+		if err != nil {
+			return err
+		}
+		if pi.Pinned {
+			// Undo the extra references: a frame pins only once.
+			h.putTable(args.MFN, level)
+			_ = h.mem.PutRef(args.MFN)
+			return fmt.Errorf("%w: frame %#x already pinned", ErrInval, uint64(args.MFN))
+		}
+		pi.Pinned = true
+		return nil
+
+	case MMUExtUnpinTable:
+		pi, err := h.mem.Info(args.MFN)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrInval, err)
+		}
+		if pi.Owner != d.id {
+			return fmt.Errorf("%w: frame %#x belongs to dom%d", ErrPerm, uint64(args.MFN), pi.Owner)
+		}
+		if !pi.Pinned {
+			return fmt.Errorf("%w: frame %#x is not pinned", ErrInval, uint64(args.MFN))
+		}
+		level := pi.Type.PageTableLevel()
+		if level == 0 {
+			return fmt.Errorf("%w: pinned frame %#x is not a page table", ErrInval, uint64(args.MFN))
+		}
+		pi.Pinned = false
+		h.putTable(args.MFN, level)
+		_ = h.mem.PutRef(args.MFN)
+		return nil
+
+	case MMUExtNewBaseptr:
+		v := &validation{h: h, d: d}
+		if err := v.getTable(args.MFN, 4); err != nil {
+			return fmt.Errorf("%w: new baseptr %#x: %v", ErrInval, uint64(args.MFN), err)
+		}
+		old := d.cr3
+		d.cr3 = args.MFN
+		d.FlushTLB()
+		if old != args.MFN {
+			h.putTable(old, 4)
+			_ = h.mem.PutRef(old)
+		} else {
+			// Same root re-loaded: drop the extra references just taken.
+			h.putTable(args.MFN, 4)
+			_ = h.mem.PutRef(args.MFN)
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("%w: mmuext op %d", ErrInval, args.Op)
+	}
+}

@@ -1,0 +1,274 @@
+package hv
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mm"
+	"repro/internal/pagetable"
+)
+
+// Property: after any sequence of (legitimate or malformed) hypercalls
+// from a guest, on versions with the fixes no page-table frame of any
+// domain is guest-writable through that domain's address space — the
+// invariant whose violation is the Guest-Writable Page Table Entry
+// erroneous state.
+func TestQuickNoWritablePTMappingSurvivesHypercalls(t *testing.T) {
+	for _, version := range []Version{Version48(), Version413()} {
+		version := version
+		t.Run(version.Name, func(t *testing.T) {
+			f := func(seed int64, opsRaw uint8) bool {
+				mem, err := mm.NewMemory(1024)
+				if err != nil {
+					return false
+				}
+				h, err := New(mem, version)
+				if err != nil {
+					return false
+				}
+				d, err := h.CreateDomain("guest01", 64, false)
+				if err != nil {
+					return false
+				}
+				rng := rand.New(rand.NewSource(seed))
+				ops := int(opsRaw%40) + 10
+				for i := 0; i < ops; i++ {
+					runRandomHypercall(h, d, rng)
+				}
+				// Invariant check: every PT frame is non-writable via the
+				// guest's own mappings.
+				for mfn := range d.PageTableFrames() {
+					pi, err := mem.Info(mfn)
+					if err != nil {
+						return false
+					}
+					if !pi.Type.IsPageTable() && pi.TypeCount > 0 {
+						continue // frame was legitimately demoted
+					}
+					_, pfn, err := mem.M2P(mfn)
+					if err != nil {
+						continue
+					}
+					if _, err := h.Walker().Translate(d.CR3(), d.PhysmapVA(pfn), pagetable.AccessWrite, true); err == nil {
+						t.Logf("seed %d: pt frame %#x guest-writable after %d ops", seed, uint64(mfn), ops)
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// runRandomHypercall fires one randomized hypercall, mixing plausible
+// and garbage arguments; errors are expected and ignored.
+func runRandomHypercall(h *Hypervisor, d *Domain, rng *rand.Rand) {
+	switch rng.Intn(6) {
+	case 0:
+		ptr := mm.PhysAddr(rng.Uint64()%h.mem.Bytes()) &^ 7
+		val := pagetable.Entry(rng.Uint64())
+		_ = d.Hypercall(HypercallMMUUpdate, &MMUUpdateArgs{Updates: []MMUUpdate{{Ptr: ptr, Val: val}}})
+	case 1:
+		// A *plausible* mmu_update: map one of the guest's own data
+		// frames at a spare physmap slot.
+		pfn := mm.PFN(rng.Intn(d.Frames()))
+		target, err := d.p2m.Lookup(pfn)
+		if err != nil {
+			return
+		}
+		base, err := pagetable.LeafEntryAddr(h.mem, d.CR3(), d.PhysmapVA(0))
+		if err != nil {
+			return
+		}
+		slot := uint64(d.Frames() + rng.Intn(200))
+		flags := uint64(pagetable.FlagPresent | pagetable.FlagUser)
+		if rng.Intn(2) == 0 {
+			flags |= pagetable.FlagRW
+		}
+		_ = d.Hypercall(HypercallMMUUpdate, &MMUUpdateArgs{Updates: []MMUUpdate{{
+			Ptr: base + mm.PhysAddr(slot*pagetable.EntrySize),
+			Val: pagetable.NewEntry(target, flags),
+		}}})
+	case 2:
+		_ = d.Hypercall(HypercallMemoryOp, &ExchangeArgs{
+			In:       []mm.PFN{mm.PFN(rng.Intn(2 * d.Frames()))},
+			OutStart: rng.Uint64(),
+		})
+	case 3:
+		_ = d.Hypercall(HypercallMemoryOp, &PopulatePhysmapArgs{PFN: mm.PFN(0x1000 + rng.Intn(4096))})
+	case 4:
+		_ = d.Hypercall(HypercallMMUExtOp, &MMUExtArgs{
+			Op:  MMUExtOp(rng.Intn(8)),
+			MFN: mm.MFN(rng.Intn(h.mem.NumFrames())),
+		})
+	default:
+		_ = d.Hypercall(HypercallGrantTableOp, &GrantSetVersionArgs{Version: 1 + rng.Intn(3)})
+	}
+}
+
+// Property: the same storms never corrupt reference counting into
+// underflow warnings on the console, and never kill a fixed hypervisor.
+func TestQuickHypercallStormsAreContained(t *testing.T) {
+	f := func(seed int64) bool {
+		mem, err := mm.NewMemory(1024)
+		if err != nil {
+			return false
+		}
+		h, err := New(mem, Version413())
+		if err != nil {
+			return false
+		}
+		d, err := h.CreateDomain("guest01", 64, false)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 60; i++ {
+			runRandomHypercall(h, d, rng)
+		}
+		if h.Crashed() {
+			t.Logf("seed %d: crash: %s", seed, h.CrashReason())
+			return false
+		}
+		if h.ConsoleContains("underflow") {
+			t.Logf("seed %d: refcount underflow logged", seed)
+			return false
+		}
+		// The accounting auditor must find the system coherent after any
+		// storm of validated (accepted or rejected) operations.
+		if findings := h.AuditMemory(); len(findings) != 0 {
+			t.Logf("seed %d: audit findings: %v", seed, findings)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: on the vulnerable 4.6 profile, the fast-path mask really is
+// the only validation difference for flag-only updates: any flag-only
+// change within {A,D,RW,PWT,PCD,G} is accepted, and the same update with
+// the frame changed goes through full validation.
+func TestQuickFastPathMask(t *testing.T) {
+	f := func(flagPick uint8) bool {
+		mem, err := mm.NewMemory(1024)
+		if err != nil {
+			return false
+		}
+		h, err := New(mem, Version46())
+		if err != nil {
+			return false
+		}
+		d, err := h.CreateDomain("guest01", 64, false)
+		if err != nil {
+			return false
+		}
+		// Install a read-only self-map, then apply a random flag-only
+		// change drawn from the vulnerable safe mask.
+		ptr, err := pagetable.EntryAddr(d.CR3(), 42)
+		if err != nil {
+			return false
+		}
+		ro := pagetable.NewEntry(d.CR3(), pagetable.FlagPresent|pagetable.FlagUser)
+		if err := d.Hypercall(HypercallMMUUpdate, &MMUUpdateArgs{Updates: []MMUUpdate{{Ptr: ptr, Val: ro}}}); err != nil {
+			return false
+		}
+		mask := []uint64{
+			pagetable.FlagAccessed, pagetable.FlagDirty, pagetable.FlagRW,
+			pagetable.FlagPWT, pagetable.FlagPCD, pagetable.FlagGlobal,
+		}
+		change := mask[int(flagPick)%len(mask)]
+		err = d.Hypercall(HypercallMMUUpdate, &MMUUpdateArgs{Updates: []MMUUpdate{{
+			Ptr: ptr, Val: ro.WithFlags(change),
+		}}})
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: TLB coherence — after any interleaving of guest reads and
+// validated remaps, a guest read through the (TLB-backed) vCPU returns
+// exactly the bytes at the frame a fresh page walk resolves to.
+func TestQuickTLBCoherence(t *testing.T) {
+	f := func(seed int64) bool {
+		mem, err := mm.NewMemory(1024)
+		if err != nil {
+			return false
+		}
+		h, err := New(mem, Version48())
+		if err != nil {
+			return false
+		}
+		d, err := h.CreateDomain("guest01", 64, false)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		// A spare physmap slot remapped between two data frames.
+		a, err := d.p2m.Lookup(6)
+		if err != nil {
+			return false
+		}
+		b, err := d.p2m.Lookup(7)
+		if err != nil {
+			return false
+		}
+		_ = mem.WritePhys(a.Addr(), []byte("frame-A"))
+		_ = mem.WritePhys(b.Addr(), []byte("frame-B"))
+		base, err := pagetable.LeafEntryAddr(mem, d.CR3(), d.PhysmapVA(0))
+		if err != nil {
+			return false
+		}
+		slot := uint64(d.Frames()) + 5
+		ptr := base + mm.PhysAddr(slot*pagetable.EntrySize)
+		va := d.PhysmapVA(mm.PFN(slot))
+		install := func(target mm.MFN) error {
+			return d.Hypercall(HypercallMMUUpdate, &MMUUpdateArgs{Updates: []MMUUpdate{{
+				Ptr: ptr,
+				Val: pagetable.NewEntry(target, pagetable.FlagPresent|pagetable.FlagUser),
+			}}})
+		}
+		if err := install(a); err != nil {
+			return false
+		}
+		for i := 0; i < 40; i++ {
+			if rng.Intn(3) == 0 {
+				target := a
+				if rng.Intn(2) == 0 {
+					target = b
+				}
+				if err := install(target); err != nil {
+					return false
+				}
+			}
+			got := make([]byte, 7)
+			if err := d.VCPU().ReadVirt(va, got, true); err != nil {
+				return false
+			}
+			walk, err := h.Walker().Translate(d.CR3(), va, pagetable.AccessRead, true)
+			if err != nil {
+				return false
+			}
+			want := make([]byte, 7)
+			if err := mem.ReadPhys(walk.Phys, want); err != nil {
+				return false
+			}
+			if string(got) != string(want) {
+				t.Logf("seed %d iter %d: TLB read %q, tables say %q", seed, i, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,170 @@
+package hv
+
+import (
+	"testing"
+
+	"repro/internal/mm"
+	"repro/internal/pagetable"
+)
+
+// guestRead performs a guest-privilege read through the domain's vCPU.
+func guestRead(t *testing.T, d *Domain, va uint64) error {
+	t.Helper()
+	return d.VCPU().ReadVirt(va, make([]byte, 8), true)
+}
+
+func TestTLBCachesGuestTranslations(t *testing.T) {
+	h := bootVersion(t, Version48())
+	d := mustDomain(t, h, "guest01", 64, false)
+	va := d.PhysmapVA(5)
+	if err := guestRead(t, d, va); err != nil {
+		t.Fatal(err)
+	}
+	if err := guestRead(t, d, va); err != nil {
+		t.Fatal(err)
+	}
+	stats := d.TLBStats()
+	if stats.Hits == 0 {
+		t.Errorf("no TLB hits after repeated access: %+v", stats)
+	}
+}
+
+func TestValidatedUpdatesFlushTheTLB(t *testing.T) {
+	h := bootVersion(t, Version48())
+	d := mustDomain(t, h, "guest01", 64, false)
+	va := d.PhysmapVA(5)
+	if err := guestRead(t, d, va); err != nil {
+		t.Fatal(err)
+	}
+	before := d.TLBStats().Flushes
+	// Any mmu_update flushes, even a clearing write of an empty slot.
+	ptr := leafPTEAddr(t, h, d, d.PhysmapVA(0)) + mm.PhysAddr((uint64(d.Frames())+50)*pagetable.EntrySize)
+	if err := d.Hypercall(HypercallMMUUpdate, &MMUUpdateArgs{Updates: []MMUUpdate{{Ptr: ptr, Val: 0}}}); err != nil {
+		t.Fatal(err)
+	}
+	if d.TLBStats().Flushes <= before {
+		t.Error("mmu_update did not flush the TLB")
+	}
+}
+
+// TestStaleTLBErroneousState demonstrates the stale-translation hazard
+// as an injectable erroneous state: a raw page-table write (as the
+// injector performs) does NOT flush, so the guest keeps resolving — and
+// writing through — a translation the tables no longer grant. The
+// explicit flush then makes the new tables take effect.
+func TestStaleTLBErroneousState(t *testing.T) {
+	h := bootVersion(t, Version48())
+	d := mustDomain(t, h, "guest01", 64, false)
+	pfnA := mm.PFN(10)
+	va := d.PhysmapVA(pfnA)
+	mfnA, err := d.P2M().Lookup(pfnA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prime the TLB.
+	if err := guestRead(t, d, va); err != nil {
+		t.Fatal(err)
+	}
+	// Raw write: retarget the leaf entry to another frame, no flush.
+	mfnB, err := d.P2M().Lookup(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := pagetable.LeafEntryAddr(h.Memory(), d.CR3(), va)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Memory().WriteU64(addr, uint64(pagetable.NewEntry(mfnB,
+		pagetable.FlagPresent|pagetable.FlagRW|pagetable.FlagUser))); err != nil {
+		t.Fatal(err)
+	}
+	// The guest writes through the VA: with the stale entry it still
+	// lands in frame A.
+	if err := d.VCPU().WriteVirt(va, []byte("stale!"), true); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 6)
+	if err := h.Memory().ReadPhys(mfnA.Addr(), buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "stale!" {
+		t.Errorf("write went to %q in frame A; stale TLB not honoured", buf)
+	}
+	// After the flush, the same VA resolves to frame B.
+	d.FlushTLB()
+	if err := d.VCPU().WriteVirt(va, []byte("fresh!"), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Memory().ReadPhys(mfnB.Addr(), buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "fresh!" {
+		t.Errorf("post-flush write landed elsewhere: %q", buf)
+	}
+}
+
+func TestTLBEnforcesCachedRights(t *testing.T) {
+	h := bootVersion(t, Version413())
+	d := mustDomain(t, h, "guest01", 64, false)
+	// A page-table frame's physmap VA: read fills the TLB with an entry
+	// whose effective write permission reflects the hardened policy.
+	var pfn mm.PFN
+	for mfn := range d.PageTableFrames() {
+		_, p, err := h.Memory().M2P(mfn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pfn = p
+		break
+	}
+	va := d.PhysmapVA(pfn)
+	if err := guestRead(t, d, va); err != nil {
+		t.Fatal(err)
+	}
+	// The cached entry must refuse writes on a TLB hit just as the walk
+	// would.
+	if err := d.VCPU().WriteVirt(va, make([]byte, 8), true); err == nil {
+		t.Error("TLB hit granted a write the policy forbids")
+	}
+}
+
+func TestWithTLBCapacityZeroDisables(t *testing.T) {
+	mem, err := mm.NewMemory(testMachineFrames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := New(mem, Version48(), WithTLBCapacity(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := h.CreateDomain("guest01", 64, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	va := d.PhysmapVA(5)
+	for i := 0; i < 3; i++ {
+		if err := guestRead(t, d, va); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if stats := d.TLBStats(); stats.Hits != 0 {
+		t.Errorf("disabled TLB produced hits: %+v", stats)
+	}
+}
+
+func TestInvlPG(t *testing.T) {
+	h := bootVersion(t, Version48())
+	d := mustDomain(t, h, "guest01", 64, false)
+	va := d.PhysmapVA(5)
+	if err := guestRead(t, d, va); err != nil {
+		t.Fatal(err)
+	}
+	d.InvlPG(va)
+	h1 := d.TLBStats().Hits
+	if err := guestRead(t, d, va); err != nil {
+		t.Fatal(err)
+	}
+	if d.TLBStats().Hits != h1 {
+		t.Error("access after invlpg hit the cache")
+	}
+}

@@ -1,0 +1,115 @@
+// Package hv implements the paravirtualized hypervisor the experiments
+// run against: domains, hypercall dispatch, direct-paging memory
+// management with per-version validation, grant tables, event channels,
+// the hardware IDT, and crash handling.
+//
+// Three version profiles reproduce the security-relevant deltas between
+// the Xen releases the paper evaluates (4.6, 4.8, 4.13). The profiles
+// gate *code paths*, not outcomes: a vulnerable profile simply lacks a
+// check, and the exploit or injection plays out mechanistically from
+// there.
+package hv
+
+import "fmt"
+
+// Version is a hypervisor build profile: which validation checks exist
+// and which hardening measures are in place.
+type Version struct {
+	// Name is the release string ("4.6", "4.8", "4.13").
+	Name string
+
+	// XSA148Fixed controls the L2 superpage (PSE) check in page-table
+	// validation. When false, a PV guest can create a writable 2 MiB
+	// mapping over arbitrary machine memory (XSA-148).
+	XSA148Fixed bool
+
+	// XSA182Fixed controls the L4 fast-path revalidation rules. When
+	// false, flag-only updates that set RW skip revalidation, letting a
+	// guest make its recursive L4 self-mapping writable (XSA-182).
+	XSA182Fixed bool
+
+	// XSA212Fixed controls the access_ok check on the memory_exchange
+	// output handle. When false, the hypervisor writes the exchanged
+	// frame list through an unchecked guest-supplied address (XSA-212).
+	XSA212Fixed bool
+
+	// LinearPTAlias reports whether the guest-accessible RWX alias of
+	// machine memory (the "512GB RWX mapping of the linear page table")
+	// is installed in every guest's address space. Removed by the
+	// XSA-213..315 follow-up hardening present from 4.9 on.
+	LinearPTAlias bool
+
+	// RestrictPTWrites applies the hardened page-walk policy: guest
+	// write access to frames validated as page tables is refused even
+	// when PTE flags would permit it.
+	RestrictPTWrites bool
+
+	// GrantV2StatusLeak controls the grant-table v2 -> v1 transition
+	// bug class (XSA-387 style): when true, status-page references are
+	// leaked on downgrade, leaving the "Keep Page Access" erroneous
+	// state reachable.
+	GrantV2StatusLeak bool
+
+	// VENOMFixed controls the bounds check in the emulated floppy disk
+	// controller's command path (XSA-133, the paper's Section III
+	// running example). When false, oversized commands overflow the
+	// device model's internal buffer.
+	VENOMFixed bool
+}
+
+// String returns the release name.
+func (v Version) String() string { return "Xen " + v.Name }
+
+// Version46 is the vulnerable baseline: all three use-case
+// vulnerabilities present, no hardening.
+func Version46() Version {
+	return Version{
+		Name:              "4.6",
+		LinearPTAlias:     true,
+		GrantV2StatusLeak: true,
+		VENOMFixed:        false,
+	}
+}
+
+// Version48 has the three vulnerabilities fixed but none of the later
+// hardening: injected erroneous states still escalate exactly as on 4.6.
+func Version48() Version {
+	return Version{
+		Name:          "4.8",
+		XSA148Fixed:   true,
+		XSA182Fixed:   true,
+		XSA212Fixed:   true,
+		LinearPTAlias: true,
+		VENOMFixed:    true,
+	}
+}
+
+// Version413 has the fixes plus the XSA-213..315 follow-up hardening:
+// the linear-page-table alias is gone and guest writes to page-table
+// frames are refused, which is what lets it *handle* two of the four
+// injected erroneous states (Table III).
+func Version413() Version {
+	return Version{
+		Name:             "4.13",
+		XSA148Fixed:      true,
+		XSA182Fixed:      true,
+		XSA212Fixed:      true,
+		RestrictPTWrites: true,
+		VENOMFixed:       true,
+	}
+}
+
+// Versions returns the three evaluated profiles in release order.
+func Versions() []Version {
+	return []Version{Version46(), Version48(), Version413()}
+}
+
+// VersionByName resolves a release string to its profile.
+func VersionByName(name string) (Version, error) {
+	for _, v := range Versions() {
+		if v.Name == name {
+			return v, nil
+		}
+	}
+	return Version{}, fmt.Errorf("hv: unknown version %q (have 4.6, 4.8, 4.13)", name)
+}

@@ -1,0 +1,35 @@
+package inject_test
+
+import (
+	"fmt"
+
+	"repro/internal/inject"
+)
+
+// The use-case intrusion models print their full Section IV-C
+// instantiation: triggering source, interface, target component.
+func ExampleIntrusionModel() {
+	m := inject.UseCaseModels()[0]
+	fmt.Println(m)
+	// Output:
+	// XSA-212-crash: Write Unauthorized Arbitrary Memory via hypercall by unprivileged guest VM targeting memory management
+}
+
+// Every abusive functionality files under one Table I class.
+func ExampleAbusiveFunctionality_Class() {
+	fmt.Println(inject.GuestWritablePageTableEntry.Class())
+	fmt.Println(inject.InduceHangState.Class())
+	// Output:
+	// Memory Management
+	// Non-Memory Related
+}
+
+// Fig. 3's equivalence: the multi-step internal view and the one-edge
+// abstract view both reach the erroneous state.
+func ExampleEquivalent() {
+	internal := inject.InternalIntrusionMachine()
+	abstract := inject.AbstractIntrusionMachine(inject.WriteArbitraryMemory)
+	fmt.Println(inject.Equivalent(internal, abstract))
+	// Output:
+	// true
+}

@@ -1,0 +1,153 @@
+package inject
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/hv"
+	"repro/internal/layout"
+	"repro/internal/mm"
+	"repro/internal/pagetable"
+)
+
+func newInjectorEnv(t *testing.T, v hv.Version) (*hv.Hypervisor, *hv.Domain, *Client) {
+	t.Helper()
+	mem, err := mm.NewMemory(2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := hv.New(mem, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Enable(h); err != nil {
+		t.Fatal(err)
+	}
+	d, err := h.CreateDomain("guest01", 64, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, d, NewClient(d)
+}
+
+func TestEnableRegistersHypercall(t *testing.T) {
+	h, d, _ := newInjectorEnv(t, hv.Version46())
+	if !h.ConsoleContains("intrusion injector enabled") {
+		t.Error("enable not logged")
+	}
+	// Double enable fails: the hypercall slot is taken.
+	if err := Enable(h); err == nil {
+		t.Error("double Enable succeeded")
+	}
+	// Wrong argument type is rejected.
+	if err := d.Hypercall(hv.HypercallArbitraryAccess, "nope"); !errors.Is(err, hv.ErrInval) {
+		t.Errorf("bad arg: err = %v", err)
+	}
+}
+
+func TestWriteReadLinearIDT(t *testing.T) {
+	h, _, c := newInjectorEnv(t, hv.Version413())
+	// The canonical use: write the IDT through its linear address, on a
+	// version where no vulnerability would allow it.
+	dst := h.IDTR().DescriptorAddr(cpu.VectorPageFault)
+	if err := c.WriteLinear64(dst, 0x82da9); err != nil {
+		t.Fatalf("WriteLinear64(IDT): %v", err)
+	}
+	got, err := c.ReadLinear64(dst)
+	if err != nil {
+		t.Fatalf("ReadLinear64: %v", err)
+	}
+	if got != 0x82da9 {
+		t.Errorf("read back %#x", got)
+	}
+}
+
+func TestPhysicalMode(t *testing.T) {
+	h, _, c := newInjectorEnv(t, hv.Version413())
+	target := (h.HeapBase() + 2).Addr()
+	msg := []byte("injected into the xen heap")
+	if err := c.ArbitraryAccess(uint64(target), msg, WritePhys); err != nil {
+		t.Fatalf("WritePhys: %v", err)
+	}
+	got := make([]byte, len(msg))
+	if err := c.ArbitraryAccess(uint64(target), got, ReadPhys); err != nil {
+		t.Fatalf("ReadPhys: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Errorf("round trip = %q", got)
+	}
+}
+
+func TestWriteReadPTE(t *testing.T) {
+	_, d, c := newInjectorEnv(t, hv.Version413())
+	ptr, err := pagetable.EntryAddr(d.CR3(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := pagetable.NewEntry(d.CR3(), pagetable.FlagPresent|pagetable.FlagRW|pagetable.FlagUser)
+	if err := c.WritePTE(ptr, e); err != nil {
+		t.Fatalf("WritePTE: %v", err)
+	}
+	got, err := c.ReadPTE(ptr)
+	if err != nil {
+		t.Fatalf("ReadPTE: %v", err)
+	}
+	if got != e {
+		t.Errorf("ReadPTE = %v, want %v", got, e)
+	}
+}
+
+func TestLinearModeRequiresMapping(t *testing.T) {
+	// "A linear (i.e., virtual) address is already mapped in the
+	// hypervisor and can be used directly" — an unmapped one fails.
+	_, _, c := newInjectorEnv(t, hv.Version413())
+	err := c.WriteLinear64(layout.LinearPTBase+0x1000, 1)
+	if err == nil {
+		t.Error("linear write through the removed alias succeeded on 4.13")
+	}
+	// On 4.6 the alias exists, so the same linear address works.
+	_, _, c46 := newInjectorEnv(t, hv.Version46())
+	if err := c46.WriteLinear64(layout.LinearPTBase+0x1000, 1); err != nil {
+		t.Errorf("linear write via alias on 4.6: %v", err)
+	}
+}
+
+func TestArbitraryAccessValidation(t *testing.T) {
+	_, _, c := newInjectorEnv(t, hv.Version46())
+	if err := c.ArbitraryAccess(0x1000, nil, ReadPhys); !errors.Is(err, hv.ErrInval) {
+		t.Errorf("empty buffer: err = %v", err)
+	}
+	if err := c.ArbitraryAccess(0x1000, make([]byte, 8), Action(99)); !errors.Is(err, hv.ErrInval) {
+		t.Errorf("bad action: err = %v", err)
+	}
+	// Physical access outside machine memory fails cleanly.
+	if err := c.ArbitraryAccess(1<<40, make([]byte, 8), ReadPhys); err == nil {
+		t.Error("out-of-range physical read succeeded")
+	}
+}
+
+func TestActionStrings(t *testing.T) {
+	for a, want := range map[Action]string{
+		ReadLinear:  "ARBITRARY_READ_LINEAR",
+		WriteLinear: "ARBITRARY_WRITE_LINEAR",
+		ReadPhys:    "ARBITRARY_READ_PHYS",
+		WritePhys:   "ARBITRARY_WRITE_PHYS",
+	} {
+		if a.String() != want {
+			t.Errorf("%d.String() = %q, want %q", a, a.String(), want)
+		}
+	}
+	if !strings.HasPrefix(Action(9).String(), "Action(") {
+		t.Error("unknown action string")
+	}
+}
+
+func TestClientName(t *testing.T) {
+	_, _, c := newInjectorEnv(t, hv.Version46())
+	if c.Name() != "injection" {
+		t.Errorf("Name = %q", c.Name())
+	}
+}

@@ -1,0 +1,359 @@
+package inject
+
+import "fmt"
+
+// FunctionalityClass groups abusive functionalities by their primary
+// goal, the four classes of Table I.
+type FunctionalityClass uint8
+
+// Functionality classes.
+const (
+	// ClassMemoryAccess covers direct unauthorized reads and writes.
+	ClassMemoryAccess FunctionalityClass = iota + 1
+	// ClassMemoryManagement covers corruption of translation structures
+	// and page lifecycle state.
+	ClassMemoryManagement
+	// ClassExceptionalConditions covers functionalities that trigger the
+	// system's own exception/abort machinery.
+	ClassExceptionalConditions
+	// ClassNonMemory covers the non-memory side effects observed while
+	// classifying memory-related advisories (hangs, interrupt floods).
+	ClassNonMemory
+)
+
+// String returns the class name as Table I prints it.
+func (c FunctionalityClass) String() string {
+	switch c {
+	case ClassMemoryAccess:
+		return "Memory Access"
+	case ClassMemoryManagement:
+		return "Memory Management"
+	case ClassExceptionalConditions:
+		return "Exceptional Conditions"
+	case ClassNonMemory:
+		return "Non-Memory Related"
+	default:
+		return fmt.Sprintf("FunctionalityClass(%d)", uint8(c))
+	}
+}
+
+// AbusiveFunctionality is the advantage an adversary acquires by
+// activating a vulnerability — the generalizable core of an intrusion
+// model (Section IV-B). The enumeration is Table I's taxonomy.
+type AbusiveFunctionality uint8
+
+// The taxonomy of Table I.
+const (
+	// ReadUnauthorizedMemory leaks memory the caller must not see.
+	ReadUnauthorizedMemory AbusiveFunctionality = iota + 1
+	// WriteUnauthorizedMemory corrupts memory at positions the attacker
+	// does not fully control.
+	WriteUnauthorizedMemory
+	// WriteArbitraryMemory is the write-what-where condition (CWE-123).
+	WriteArbitraryMemory
+	// ReadWriteUnauthorizedMemory combines both directions.
+	ReadWriteUnauthorizedMemory
+	// FailMemoryAccess makes a legitimate access fail.
+	FailMemoryAccess
+	// CorruptVirtualMemoryMapping corrupts an address translation.
+	CorruptVirtualMemoryMapping
+	// CorruptPageReference corrupts page reference/type bookkeeping.
+	CorruptPageReference
+	// DecreasePageMappingAvailability exhausts or blocks mappings.
+	DecreasePageMappingAvailability
+	// GuestWritablePageTableEntry hands the guest a writable mapping of
+	// a page table (XSA-148, XSA-182).
+	GuestWritablePageTableEntry
+	// FailMemoryMapping makes a mapping operation fail.
+	FailMemoryMapping
+	// UncontrolledMemoryAllocation allocates without bounds.
+	UncontrolledMemoryAllocation
+	// KeepPageAccess retains access to a page after its release
+	// (XSA-387, XSA-393).
+	KeepPageAccess
+	// InduceFatalException reaches a BUG/assert/FATAL path.
+	InduceFatalException
+	// InduceMemoryException triggers hardware memory exceptions.
+	InduceMemoryException
+	// InduceHangState wedges a CPU or the whole system.
+	InduceHangState
+	// UncontrolledInterruptRequests floods interrupt delivery.
+	UncontrolledInterruptRequests
+)
+
+// String returns the functionality name as Table I prints it.
+func (f AbusiveFunctionality) String() string {
+	switch f {
+	case ReadUnauthorizedMemory:
+		return "Read Unauthorized Memory"
+	case WriteUnauthorizedMemory:
+		return "Write Unauthorized Memory"
+	case WriteArbitraryMemory:
+		return "Write Unauthorized Arbitrary Memory"
+	case ReadWriteUnauthorizedMemory:
+		return "R/W Unauthorized Memory"
+	case FailMemoryAccess:
+		return "Fail a Memory Access"
+	case CorruptVirtualMemoryMapping:
+		return "Corrupt Virtual Memory Mapping"
+	case CorruptPageReference:
+		return "Corrupt a Page Reference"
+	case DecreasePageMappingAvailability:
+		return "Decrease Page Mapping Availability"
+	case GuestWritablePageTableEntry:
+		return "Guest-Writable Page Table Entry"
+	case FailMemoryMapping:
+		return "Fail a memory mapping"
+	case UncontrolledMemoryAllocation:
+		return "Uncontrolled Memory Allocation"
+	case KeepPageAccess:
+		return "Keep Page Access"
+	case InduceFatalException:
+		return "Induce a Fatal Exception"
+	case InduceMemoryException:
+		return "Induce a Memory Exception"
+	case InduceHangState:
+		return "Induce a Hang State"
+	case UncontrolledInterruptRequests:
+		return "Uncontrolled Arbitrary Interrupts Requests"
+	default:
+		return fmt.Sprintf("AbusiveFunctionality(%d)", uint8(f))
+	}
+}
+
+// Class returns the Table I class the functionality belongs to.
+func (f AbusiveFunctionality) Class() FunctionalityClass {
+	switch f {
+	case ReadUnauthorizedMemory, WriteUnauthorizedMemory, WriteArbitraryMemory,
+		ReadWriteUnauthorizedMemory, FailMemoryAccess:
+		return ClassMemoryAccess
+	case CorruptVirtualMemoryMapping, CorruptPageReference, DecreasePageMappingAvailability,
+		GuestWritablePageTableEntry, FailMemoryMapping, UncontrolledMemoryAllocation, KeepPageAccess:
+		return ClassMemoryManagement
+	case InduceFatalException, InduceMemoryException:
+		return ClassExceptionalConditions
+	default:
+		return ClassNonMemory
+	}
+}
+
+// AllFunctionalities returns the taxonomy in Table I order.
+func AllFunctionalities() []AbusiveFunctionality {
+	return []AbusiveFunctionality{
+		ReadUnauthorizedMemory, WriteUnauthorizedMemory, WriteArbitraryMemory,
+		ReadWriteUnauthorizedMemory, FailMemoryAccess,
+		CorruptVirtualMemoryMapping, CorruptPageReference, DecreasePageMappingAvailability,
+		GuestWritablePageTableEntry, FailMemoryMapping, UncontrolledMemoryAllocation, KeepPageAccess,
+		InduceFatalException, InduceMemoryException,
+		InduceHangState, UncontrolledInterruptRequests,
+	}
+}
+
+// Source is the triggering source of an intrusion model instantiation
+// (Section IV-C): who performs the abusive functionality.
+type Source uint8
+
+// Triggering sources.
+const (
+	// SourceUnprivilegedGuest is a malicious unprivileged guest VM.
+	SourceUnprivilegedGuest Source = iota + 1
+	// SourcePrivilegedGuest is a compromised control domain (dom0).
+	SourcePrivilegedGuest
+	// SourceDeviceDriver is a malicious or compromised device driver.
+	SourceDeviceDriver
+	// SourceManagementInterface is the toolstack/management plane.
+	SourceManagementInterface
+)
+
+// String returns the source description.
+func (s Source) String() string {
+	switch s {
+	case SourceUnprivilegedGuest:
+		return "unprivileged guest VM"
+	case SourcePrivilegedGuest:
+		return "privileged guest (dom0)"
+	case SourceDeviceDriver:
+		return "device driver"
+	case SourceManagementInterface:
+		return "management interface"
+	default:
+		return fmt.Sprintf("Source(%d)", uint8(s))
+	}
+}
+
+// Component is the target component of an intrusion model.
+type Component uint8
+
+// Target components.
+const (
+	// ComponentMemoryManagement is the hypervisor MM subsystem.
+	ComponentMemoryManagement Component = iota + 1
+	// ComponentEventHandling is interrupts and event channels.
+	ComponentEventHandling
+	// ComponentGrantTables is the grant-table subsystem.
+	ComponentGrantTables
+	// ComponentScheduler is CPU scheduling.
+	ComponentScheduler
+)
+
+// String returns the component name.
+func (c Component) String() string {
+	switch c {
+	case ComponentMemoryManagement:
+		return "memory management"
+	case ComponentEventHandling:
+		return "event handling"
+	case ComponentGrantTables:
+		return "grant tables"
+	case ComponentScheduler:
+		return "scheduler"
+	default:
+		return fmt.Sprintf("Component(%d)", uint8(c))
+	}
+}
+
+// Interface is the adversary-system interaction interface.
+type Interface uint8
+
+// Interaction interfaces.
+const (
+	// InterfaceHypercall is the PV hypercall ABI.
+	InterfaceHypercall Interface = iota + 1
+	// InterfaceIOPort is emulated I/O.
+	InterfaceIOPort
+	// InterfaceSharedMemory is grant/shared-ring communication.
+	InterfaceSharedMemory
+)
+
+// String returns the interface name.
+func (i Interface) String() string {
+	switch i {
+	case InterfaceHypercall:
+		return "hypercall"
+	case InterfaceIOPort:
+		return "I/O port"
+	case InterfaceSharedMemory:
+		return "shared memory"
+	default:
+		return fmt.Sprintf("Interface(%d)", uint8(i))
+	}
+}
+
+// IntrusionModel abstracts how an erroneous state is achieved when using
+// an abusive functionality through a given interface (Fig. 3): the
+// portable, implementation-independent definition a testing campaign
+// instantiates.
+type IntrusionModel struct {
+	// Name identifies the model (usually after the advisory family that
+	// motivated it).
+	Name string
+	// Functionality is the generalized adversary advantage.
+	Functionality AbusiveFunctionality
+	// TriggeringSource is who exercises the functionality.
+	TriggeringSource Source
+	// TargetComponent is the subsystem whose state is corrupted.
+	TargetComponent Component
+	// Interface is the adversary-system interaction channel.
+	Interface Interface
+	// ErroneousState describes the state the injection must reach, in
+	// auditable terms.
+	ErroneousState string
+	// Advisories lists the known vulnerabilities the model generalizes.
+	Advisories []string
+}
+
+// String renders the model as a one-line instantiation summary.
+func (m IntrusionModel) String() string {
+	return fmt.Sprintf("%s: %s via %s by %s targeting %s",
+		m.Name, m.Functionality, m.Interface, m.TriggeringSource, m.TargetComponent)
+}
+
+// UseCaseModels returns the intrusion models of the four evaluated use
+// cases, Table II: the full instantiation is an unprivileged guest
+// virtual machine using a hypercall against the memory-management
+// component of the virtualization layer.
+func UseCaseModels() []IntrusionModel {
+	return []IntrusionModel{
+		{
+			Name:             "XSA-212-crash",
+			Functionality:    WriteArbitraryMemory,
+			TriggeringSource: SourceUnprivilegedGuest,
+			TargetComponent:  ComponentMemoryManagement,
+			Interface:        InterfaceHypercall,
+			ErroneousState:   "IDT page-fault descriptor overwritten with an arbitrary value",
+			Advisories:       []string{"XSA-212"},
+		},
+		{
+			Name:             "XSA-212-priv",
+			Functionality:    WriteArbitraryMemory,
+			TriggeringSource: SourceUnprivilegedGuest,
+			TargetComponent:  ComponentMemoryManagement,
+			Interface:        InterfaceHypercall,
+			ErroneousState:   "forged PMD linked into a shared target PUD (guest-reachable mapping of hidden code)",
+			Advisories:       []string{"XSA-212"},
+		},
+		{
+			Name:             "XSA-148-priv",
+			Functionality:    GuestWritablePageTableEntry,
+			TriggeringSource: SourceUnprivilegedGuest,
+			TargetComponent:  ComponentMemoryManagement,
+			Interface:        InterfaceHypercall,
+			ErroneousState:   "guest L2 entry with PSE+RW mapping arbitrary machine memory",
+			Advisories:       []string{"XSA-148"},
+		},
+		{
+			Name:             "XSA-182-test",
+			Functionality:    GuestWritablePageTableEntry,
+			TriggeringSource: SourceUnprivilegedGuest,
+			TargetComponent:  ComponentMemoryManagement,
+			Interface:        InterfaceHypercall,
+			ErroneousState:   "writable recursive L4 self-mapping",
+			Advisories:       []string{"XSA-182"},
+		},
+	}
+}
+
+// ExtensionModels returns additional models beyond the paper's four use
+// cases, demonstrating the single-interface coverage claim: the same
+// injector (or a sibling) covers page-reference, exception, hang and
+// interrupt states.
+func ExtensionModels() []IntrusionModel {
+	return []IntrusionModel{
+		{
+			Name:             "grant-status-leak",
+			Functionality:    KeepPageAccess,
+			TriggeringSource: SourceUnprivilegedGuest,
+			TargetComponent:  ComponentGrantTables,
+			Interface:        InterfaceHypercall,
+			ErroneousState:   "guest retains a reference to a hypervisor status page after grant v2->v1 downgrade",
+			Advisories:       []string{"XSA-387", "XSA-393"},
+		},
+		{
+			Name:             "fatal-exception",
+			Functionality:    InduceFatalException,
+			TriggeringSource: SourceUnprivilegedGuest,
+			TargetComponent:  ComponentMemoryManagement,
+			Interface:        InterfaceHypercall,
+			ErroneousState:   "unservable exception vector reached (double fault path)",
+			Advisories:       []string{"XSA-denial-class"},
+		},
+		{
+			Name:             "hang-state",
+			Functionality:    InduceHangState,
+			TriggeringSource: SourceUnprivilegedGuest,
+			TargetComponent:  ComponentScheduler,
+			Interface:        InterfaceHypercall,
+			ErroneousState:   "CPU wedged executing a non-terminating handler",
+			Advisories:       []string{"CVE-hang-class"},
+		},
+		{
+			Name:             "interrupt-flood",
+			Functionality:    UncontrolledInterruptRequests,
+			TriggeringSource: SourceUnprivilegedGuest,
+			TargetComponent:  ComponentEventHandling,
+			Interface:        InterfaceHypercall,
+			ErroneousState:   "unbounded pending-event backlog on a victim domain",
+			Advisories:       []string{"CVE-2019-17343-class"},
+		},
+	}
+}

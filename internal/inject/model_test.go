@@ -1,0 +1,205 @@
+package inject
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTaxonomyCoversTableI(t *testing.T) {
+	all := AllFunctionalities()
+	if len(all) != 16 {
+		t.Fatalf("taxonomy has %d functionalities, Table I lists 16", len(all))
+	}
+	seen := make(map[AbusiveFunctionality]bool)
+	for _, f := range all {
+		if seen[f] {
+			t.Errorf("%v appears twice", f)
+		}
+		seen[f] = true
+		if strings.HasPrefix(f.String(), "AbusiveFunctionality(") {
+			t.Errorf("functionality %d has no name", f)
+		}
+	}
+}
+
+func TestClassAssignment(t *testing.T) {
+	wantCounts := map[FunctionalityClass]int{
+		ClassMemoryAccess:          5,
+		ClassMemoryManagement:      7,
+		ClassExceptionalConditions: 2,
+		ClassNonMemory:             2,
+	}
+	got := make(map[FunctionalityClass]int)
+	for _, f := range AllFunctionalities() {
+		got[f.Class()]++
+	}
+	for class, want := range wantCounts {
+		if got[class] != want {
+			t.Errorf("class %v has %d functionalities, want %d (Table I)", class, got[class], want)
+		}
+	}
+}
+
+func TestClassNamesMatchTableI(t *testing.T) {
+	for class, want := range map[FunctionalityClass]string{
+		ClassMemoryAccess:          "Memory Access",
+		ClassMemoryManagement:      "Memory Management",
+		ClassExceptionalConditions: "Exceptional Conditions",
+		ClassNonMemory:             "Non-Memory Related",
+	} {
+		if class.String() != want {
+			t.Errorf("class %d = %q, want %q", class, class.String(), want)
+		}
+	}
+	if !strings.HasPrefix(FunctionalityClass(9).String(), "FunctionalityClass(") {
+		t.Error("unknown class string")
+	}
+}
+
+func TestFunctionalityNamesMatchTableI(t *testing.T) {
+	// Spot-check the names the paper prints verbatim.
+	for f, want := range map[AbusiveFunctionality]string{
+		ReadUnauthorizedMemory:        "Read Unauthorized Memory",
+		WriteArbitraryMemory:          "Write Unauthorized Arbitrary Memory",
+		GuestWritablePageTableEntry:   "Guest-Writable Page Table Entry",
+		KeepPageAccess:                "Keep Page Access",
+		InduceHangState:               "Induce a Hang State",
+		UncontrolledInterruptRequests: "Uncontrolled Arbitrary Interrupts Requests",
+	} {
+		if f.String() != want {
+			t.Errorf("%d = %q, want %q", f, f.String(), want)
+		}
+	}
+}
+
+func TestUseCaseModelsMatchTableII(t *testing.T) {
+	models := UseCaseModels()
+	if len(models) != 4 {
+		t.Fatalf("use-case models = %d, want 4", len(models))
+	}
+	want := map[string]AbusiveFunctionality{
+		"XSA-212-crash": WriteArbitraryMemory,
+		"XSA-212-priv":  WriteArbitraryMemory,
+		"XSA-148-priv":  GuestWritablePageTableEntry,
+		"XSA-182-test":  GuestWritablePageTableEntry,
+	}
+	for _, m := range models {
+		if got, ok := want[m.Name]; !ok || m.Functionality != got {
+			t.Errorf("%s -> %v, Table II says %v", m.Name, m.Functionality, got)
+		}
+		// The full instantiation of Section VI-A.
+		if m.TriggeringSource != SourceUnprivilegedGuest ||
+			m.TargetComponent != ComponentMemoryManagement ||
+			m.Interface != InterfaceHypercall {
+			t.Errorf("%s instantiation = %v", m.Name, m)
+		}
+		if m.ErroneousState == "" || len(m.Advisories) == 0 {
+			t.Errorf("%s: incomplete model", m.Name)
+		}
+	}
+}
+
+func TestExtensionModelsCoverOtherClasses(t *testing.T) {
+	classes := make(map[FunctionalityClass]bool)
+	for _, m := range ExtensionModels() {
+		classes[m.Functionality.Class()] = true
+		if m.String() == "" || m.ErroneousState == "" {
+			t.Errorf("incomplete extension model %q", m.Name)
+		}
+	}
+	for _, want := range []FunctionalityClass{
+		ClassMemoryManagement, ClassExceptionalConditions, ClassNonMemory,
+	} {
+		if !classes[want] {
+			t.Errorf("extension models do not cover class %v", want)
+		}
+	}
+}
+
+func TestModelString(t *testing.T) {
+	m := UseCaseModels()[0]
+	s := m.String()
+	for _, want := range []string{"XSA-212-crash", "hypercall", "unprivileged guest", "memory management"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	for src, want := range map[Source]string{
+		SourcePrivilegedGuest:     "dom0",
+		SourceDeviceDriver:        "device driver",
+		SourceManagementInterface: "management interface",
+	} {
+		if !strings.Contains(src.String(), want) {
+			t.Errorf("source %d = %q", src, src.String())
+		}
+	}
+	for comp, want := range map[Component]string{
+		ComponentEventHandling: "event",
+		ComponentGrantTables:   "grant",
+		ComponentScheduler:     "scheduler",
+	} {
+		if !strings.Contains(comp.String(), want) {
+			t.Errorf("component %d = %q", comp, comp.String())
+		}
+	}
+	for iface, want := range map[Interface]string{
+		InterfaceIOPort:       "I/O",
+		InterfaceSharedMemory: "shared",
+	} {
+		if !strings.Contains(iface.String(), want) {
+			t.Errorf("interface %d = %q", iface, iface.String())
+		}
+	}
+}
+
+func TestStateMachineReachability(t *testing.T) {
+	internal := InternalIntrusionMachine()
+	ok, path := internal.Reachable(StateErroneous)
+	if !ok {
+		t.Fatal("internal machine cannot reach the erroneous state")
+	}
+	if len(path) != 4 || path[len(path)-1] != "vulnerability activation" {
+		t.Errorf("witness = %v", path)
+	}
+	abstract := AbstractIntrusionMachine(WriteArbitraryMemory)
+	ok, path = abstract.Reachable(StateErroneous)
+	if !ok || len(path) != 1 {
+		t.Errorf("abstract reach = %v, %v", ok, path)
+	}
+	if !strings.Contains(path[0], "Write Unauthorized Arbitrary Memory") {
+		t.Errorf("abstract edge = %q", path[0])
+	}
+	if !Equivalent(internal, abstract) {
+		t.Error("Fig. 3 equivalence does not hold")
+	}
+	// An unreachable target.
+	if ok, _ := internal.Reachable("mars"); ok {
+		t.Error("reached a nonexistent state")
+	}
+}
+
+func TestStateMachineStates(t *testing.T) {
+	m := InternalIntrusionMachine()
+	states := m.States()
+	if states[0] != StateInitial {
+		t.Errorf("first state = %v", states[0])
+	}
+	if len(states) != 5 {
+		t.Errorf("states = %v", states)
+	}
+	// A machine with a cycle still terminates.
+	cyclic := &StateMachine{
+		Name:    "cyclic",
+		Initial: "a",
+		Transitions: []Transition{
+			{From: "a", To: "b", Label: "x"},
+			{From: "b", To: "a", Label: "y"},
+		},
+	}
+	if ok, _ := cyclic.Reachable("c"); ok {
+		t.Error("cyclic machine reached missing state")
+	}
+	if ok, _ := cyclic.Reachable("b"); !ok {
+		t.Error("cyclic machine failed to reach b")
+	}
+}

@@ -1,0 +1,115 @@
+package inject
+
+import "fmt"
+
+// State is one node of an intrusion state machine (Fig. 3).
+type State string
+
+// Distinguished states.
+const (
+	// StateInitial is where the system awaits input.
+	StateInitial State = "initial"
+	// StateErroneous is the intrusion-induced error state.
+	StateErroneous State = "erroneous"
+)
+
+// Transition is one labelled edge.
+type Transition struct {
+	From, To State
+	// Label names the input or step driving the transition.
+	Label string
+}
+
+// StateMachine models a system's reaction to adversarial input. Two
+// machines appear in Fig. 3: the internal view (every instruction-set
+// step the intrusion takes through the implementation) and the abstract
+// view (one abusive-functionality edge from the initial state to the
+// erroneous state). The paper's claim is that the two are equivalent in
+// functionality: both place the system in the same erroneous state for
+// the same input.
+type StateMachine struct {
+	Name        string
+	Initial     State
+	Transitions []Transition
+}
+
+// States returns every state mentioned by the machine.
+func (m *StateMachine) States() []State {
+	seen := map[State]bool{m.Initial: true}
+	out := []State{m.Initial}
+	for _, t := range m.Transitions {
+		for _, s := range []State{t.From, t.To} {
+			if !seen[s] {
+				seen[s] = true
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// Reachable reports whether target can be reached from the initial
+// state, and returns one witness path of transition labels.
+func (m *StateMachine) Reachable(target State) (bool, []string) {
+	type node struct {
+		s    State
+		path []string
+	}
+	visited := map[State]bool{m.Initial: true}
+	queue := []node{{s: m.Initial}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.s == target {
+			return true, cur.path
+		}
+		for _, t := range m.Transitions {
+			if t.From != cur.s || visited[t.To] {
+				continue
+			}
+			visited[t.To] = true
+			next := make([]string, len(cur.path), len(cur.path)+1)
+			copy(next, cur.path)
+			queue = append(queue, node{s: t.To, path: append(next, t.Label)})
+		}
+	}
+	return false, nil
+}
+
+// InternalIntrusionMachine is the left diagram of Fig. 3: the system
+// transits internal states processing instruction sets until the
+// vulnerability activation lands it in the erroneous state.
+func InternalIntrusionMachine() *StateMachine {
+	return &StateMachine{
+		Name:    "internal",
+		Initial: StateInitial,
+		Transitions: []Transition{
+			{From: StateInitial, To: "state-2", Label: "malicious input / instruction set a"},
+			{From: "state-2", To: "state-3", Label: "instruction set b"},
+			{From: "state-3", To: "state-n", Label: "instruction set c"},
+			{From: "state-n", To: StateErroneous, Label: "vulnerability activation"},
+		},
+	}
+}
+
+// AbstractIntrusionMachine is the right diagram of Fig. 3: the external
+// (attacker) view, where the whole interaction is one abusive
+// functionality taking the system straight to the erroneous state.
+func AbstractIntrusionMachine(f AbusiveFunctionality) *StateMachine {
+	return &StateMachine{
+		Name:    "abstract",
+		Initial: StateInitial,
+		Transitions: []Transition{
+			{From: StateInitial, To: StateErroneous,
+				Label: fmt.Sprintf("abusive functionality: %s", f)},
+		},
+	}
+}
+
+// Equivalent implements Fig. 3's equivalence claim operationally: both
+// machines must reach the erroneous state from the initial state.
+func Equivalent(a, b *StateMachine) bool {
+	ra, _ := a.Reachable(StateErroneous)
+	rb, _ := b.Reachable(StateErroneous)
+	return ra && rb
+}

@@ -1,0 +1,148 @@
+package inject
+
+import (
+	"fmt"
+
+	"repro/internal/hv"
+	"repro/internal/mm"
+)
+
+// HypercallStateInject is the dispatch-table slot of the second
+// prototype injector: where arbitrary_access covers memory-corruption
+// erroneous states, state_inject covers the remaining Table I classes —
+// page-lifecycle, exceptional-condition and non-memory states. The paper
+// anticipates exactly this: "several implementations of this component
+// may be needed, as different erroneous states may require different
+// injection approaches and locations" (Section IV-A).
+const HypercallStateInject = 42
+
+// StateOp selects which erroneous state the state injector induces.
+type StateOp uint8
+
+// State-injection operations, each implementing one extension intrusion
+// model (see ExtensionModels).
+const (
+	// OpKeepPageAccess leaves the calling domain holding a reference to
+	// a hypervisor-owned page (XSA-387/393 class).
+	OpKeepPageAccess StateOp = iota + 1
+	// OpInterruptFlood marks pending events on a victim domain that
+	// nothing ever sent.
+	OpInterruptFlood
+	// OpHangState wedges a CPU in a non-terminating handler.
+	OpHangState
+	// OpFatalException drives execution into an abort path.
+	OpFatalException
+)
+
+// String returns the operation name.
+func (o StateOp) String() string {
+	switch o {
+	case OpKeepPageAccess:
+		return "KEEP_PAGE_ACCESS"
+	case OpInterruptFlood:
+		return "INTERRUPT_FLOOD"
+	case OpHangState:
+		return "HANG_STATE"
+	case OpFatalException:
+		return "FATAL_EXCEPTION"
+	default:
+		return fmt.Sprintf("StateOp(%d)", uint8(o))
+	}
+}
+
+// StateArgs is the state-injection hypercall argument.
+type StateArgs struct {
+	Op StateOp
+	// Victim selects the target domain for OpInterruptFlood.
+	Victim mm.DomID
+	// Port and Count parameterize OpInterruptFlood.
+	Port  int
+	Count int
+	// Site labels the abort location for OpFatalException.
+	Site string
+
+	// LeakedFrame receives the retained frame for OpKeepPageAccess.
+	LeakedFrame mm.MFN
+}
+
+// EnableStateOps compiles the state injector into the build alongside
+// (or independently of) the arbitrary-access injector.
+func EnableStateOps(h *hv.Hypervisor) error {
+	handler := func(d *hv.Domain, arg any) error {
+		a, ok := arg.(*StateArgs)
+		if !ok {
+			return fmt.Errorf("%w: state_inject wants *StateArgs, got %T", hv.ErrInval, arg)
+		}
+		return stateInject(h, d, a)
+	}
+	if err := h.RegisterHypercall(HypercallStateInject, handler); err != nil {
+		return fmt.Errorf("inject: enabling state injector: %w", err)
+	}
+	h.Logf("state injector enabled (hypercall %d)", HypercallStateInject)
+	return nil
+}
+
+func stateInject(h *hv.Hypervisor, d *hv.Domain, a *StateArgs) error {
+	switch a.Op {
+	case OpKeepPageAccess:
+		mfn, err := h.InjectGrantStatusLeak(d)
+		if err != nil {
+			return err
+		}
+		a.LeakedFrame = mfn
+		return nil
+	case OpInterruptFlood:
+		victim, err := h.Domain(a.Victim)
+		if err != nil {
+			return err
+		}
+		return h.InjectEventFlood(victim, a.Port, a.Count)
+	case OpHangState:
+		h.InjectHang(fmt.Sprintf("requested by dom%d", d.ID()))
+		return nil
+	case OpFatalException:
+		site := a.Site
+		if site == "" {
+			site = "common/unreachable.c:42"
+		}
+		h.InjectFatalException(site)
+		return nil
+	default:
+		return fmt.Errorf("%w: state op %d", hv.ErrInval, a.Op)
+	}
+}
+
+// StateClient wraps the state-injection hypercall for testing scripts.
+type StateClient struct {
+	d *hv.Domain
+}
+
+// NewStateClient returns a state injector client for the domain.
+func NewStateClient(d *hv.Domain) *StateClient { return &StateClient{d: d} }
+
+// KeepPageAccess induces the page-reference-retention state and returns
+// the leaked frame.
+func (c *StateClient) KeepPageAccess() (mm.MFN, error) {
+	args := &StateArgs{Op: OpKeepPageAccess}
+	if err := c.d.Hypercall(HypercallStateInject, args); err != nil {
+		return 0, err
+	}
+	return args.LeakedFrame, nil
+}
+
+// InterruptFlood marks count unsolicited pending events on the victim.
+func (c *StateClient) InterruptFlood(victim mm.DomID, port, count int) error {
+	return c.d.Hypercall(HypercallStateInject, &StateArgs{
+		Op: OpInterruptFlood, Victim: victim, Port: port, Count: count,
+	})
+}
+
+// HangState wedges the hypervisor.
+func (c *StateClient) HangState() error {
+	return c.d.Hypercall(HypercallStateInject, &StateArgs{Op: OpHangState})
+}
+
+// FatalException drives the hypervisor into an abort path.
+func (c *StateClient) FatalException(site string) error {
+	return c.d.Hypercall(HypercallStateInject, &StateArgs{Op: OpFatalException, Site: site})
+}

@@ -1,0 +1,235 @@
+// Package layout describes a hypervisor's virtual memory map: the named
+// address ranges ("segments") the hypervisor installs above the guest
+// address space, each with its own translation rule and per-privilege
+// access rights.
+//
+// Section V-A of the paper calls these out directly: "the memory layout
+// of Xen has segmented areas with different access permission levels by
+// definition ... e.g., the range 0xffff800000000000 - 0xffff807fffffffff
+// is read-only for guest domains. These rules and definitions are checked
+// and must be enforced by the hypervisor. Any error in this memory layout
+// implementation directly affects the system security."
+//
+// The 4.13 profile's removal of the guest-accessible RWX linear-page-
+// table alias (the XSA-213..315 follow-up hardening discussed in §VIII)
+// is expressed simply as that segment's absence from the map.
+package layout
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/mm"
+)
+
+// Perm is a set of access rights.
+type Perm uint8
+
+// Permission bits.
+const (
+	// PermR allows data reads.
+	PermR Perm = 1 << iota
+	// PermW allows data writes.
+	PermW
+	// PermX allows instruction fetch.
+	PermX
+)
+
+// Convenience permission sets.
+const (
+	// PermNone grants nothing.
+	PermNone Perm = 0
+	// PermRW grants read and write.
+	PermRW = PermR | PermW
+	// PermRX grants read and execute.
+	PermRX = PermR | PermX
+	// PermRWX grants everything.
+	PermRWX = PermR | PermW | PermX
+)
+
+// String renders the permission set in "rwx" notation.
+func (p Perm) String() string {
+	var b strings.Builder
+	for _, bit := range []struct {
+		p Perm
+		c byte
+	}{{PermR, 'r'}, {PermW, 'w'}, {PermX, 'x'}} {
+		if p&bit.p != 0 {
+			b.WriteByte(bit.c)
+		} else {
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// Allows reports whether the set includes all bits of want.
+func (p Perm) Allows(want Perm) bool { return p&want == want }
+
+// Canonical hypervisor address-space constants. The values match the Xen
+// x86-64 memory map cited by the paper and its exploits so that addresses
+// appearing in experiment logs are recognizable.
+const (
+	// GuestROBase..GuestROEnd is the hypervisor range that is, by
+	// definition, readable but never writable by guest domains.
+	GuestROBase = 0xffff800000000000
+	GuestROEnd  = 0xffff808000000000
+
+	// LinearPTBase..LinearPTEnd is the linear-page-table alias window the
+	// XSA-212-priv exploit relied on to install its payload: a guest-
+	// accessible RWX alias of machine memory present on 4.6/4.8 and
+	// removed by the 4.9+ hardening.
+	LinearPTBase = 0xffff804000000000
+	LinearPTEnd  = 0xffff804040000000
+
+	// HypervisorVirtStart is the base of the hypervisor's own text and
+	// data, where the IDT and other global structures live.
+	HypervisorVirtStart = 0xffff82d080000000
+
+	// DirectmapBase is the hypervisor-private 1:1 map of all machine
+	// memory, used by map_domain_page-style internal accesses and by the
+	// injector's physical address mode.
+	DirectmapBase = 0xffff830000000000
+)
+
+// Errors reported by map lookups.
+var (
+	// ErrNoSegment is returned when no segment covers the address.
+	ErrNoSegment = errors.New("layout: address not covered by any segment")
+	// ErrBadSegment is returned when a segment definition is invalid.
+	ErrBadSegment = errors.New("layout: invalid segment")
+)
+
+// Segment is one named range of hypervisor virtual address space with a
+// linear translation rule: virtual address v inside the segment maps to
+// machine-physical PhysBase + (v - Start).
+type Segment struct {
+	// Name identifies the segment in logs and audits.
+	Name string
+	// Start and End delimit the half-open virtual range [Start, End).
+	Start, End uint64
+	// PhysBase is the machine-physical address the Start of the segment
+	// maps to.
+	PhysBase mm.PhysAddr
+	// GuestPerm applies to guest-initiated accesses.
+	GuestPerm Perm
+	// HVPerm applies to the hypervisor's own accesses.
+	HVPerm Perm
+}
+
+// Size returns the byte length of the segment.
+func (s *Segment) Size() uint64 { return s.End - s.Start }
+
+// Contains reports whether the virtual address falls inside the segment.
+func (s *Segment) Contains(va uint64) bool { return va >= s.Start && va < s.End }
+
+// Translate maps a virtual address inside the segment to its machine-
+// physical address.
+func (s *Segment) Translate(va uint64) (mm.PhysAddr, error) {
+	if !s.Contains(va) {
+		return 0, fmt.Errorf("layout: %#x outside segment %q", va, s.Name)
+	}
+	return s.PhysBase + mm.PhysAddr(va-s.Start), nil
+}
+
+// String renders the segment like a memory-map line.
+func (s *Segment) String() string {
+	return fmt.Sprintf("%#016x-%#016x %s guest=%s hv=%s (%s)",
+		s.Start, s.End, s.Name, s.GuestPerm, s.HVPerm, humanSize(s.Size()))
+}
+
+func humanSize(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%dGiB", n>>30)
+	case n >= 1<<20:
+		return fmt.Sprintf("%dMiB", n>>20)
+	case n >= 1<<10:
+		return fmt.Sprintf("%dKiB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// Map is an ordered collection of segments. Segments may nest (the
+// linear-page-table alias sits inside the guest-RO window); lookups
+// return the smallest segment containing the address so the most specific
+// rule wins.
+type Map struct {
+	segments []Segment
+}
+
+// NewMap validates and assembles a memory map.
+func NewMap(segments ...Segment) (*Map, error) {
+	for i := range segments {
+		s := &segments[i]
+		if s.End <= s.Start {
+			return nil, fmt.Errorf("%w: %q has non-positive extent [%#x, %#x)", ErrBadSegment, s.Name, s.Start, s.End)
+		}
+		if s.Name == "" {
+			return nil, fmt.Errorf("%w: segment [%#x, %#x) has no name", ErrBadSegment, s.Start, s.End)
+		}
+	}
+	m := &Map{segments: make([]Segment, len(segments))}
+	copy(m.segments, segments)
+	// Sort by size ascending so Find can return the first hit.
+	sort.SliceStable(m.segments, func(i, j int) bool {
+		return m.segments[i].Size() < m.segments[j].Size()
+	})
+	return m, nil
+}
+
+// Segments returns the segments ordered by ascending size.
+func (m *Map) Segments() []Segment {
+	out := make([]Segment, len(m.segments))
+	copy(out, m.segments)
+	return out
+}
+
+// Find returns the smallest segment containing the address.
+func (m *Map) Find(va uint64) (*Segment, error) {
+	for i := range m.segments {
+		if m.segments[i].Contains(va) {
+			return &m.segments[i], nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %#x", ErrNoSegment, va)
+}
+
+// ByName returns the segment with the given name.
+func (m *Map) ByName(name string) (*Segment, error) {
+	for i := range m.segments {
+		if m.segments[i].Name == name {
+			return &m.segments[i], nil
+		}
+	}
+	return nil, fmt.Errorf("%w: no segment named %q", ErrNoSegment, name)
+}
+
+// Translate resolves a hypervisor virtual address to physical, returning
+// the governing segment alongside.
+func (m *Map) Translate(va uint64) (mm.PhysAddr, *Segment, error) {
+	seg, err := m.Find(va)
+	if err != nil {
+		return 0, nil, err
+	}
+	phys, err := seg.Translate(va)
+	if err != nil {
+		return 0, nil, err
+	}
+	return phys, seg, nil
+}
+
+// String renders the whole map, one line per segment, ordered by start
+// address (the natural reading order for a memory map).
+func (m *Map) String() string {
+	ordered := m.Segments()
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Start < ordered[j].Start })
+	lines := make([]string, 0, len(ordered))
+	for i := range ordered {
+		lines = append(lines, ordered[i].String())
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,190 @@
+package layout
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mm"
+)
+
+func TestPermString(t *testing.T) {
+	tests := []struct {
+		p    Perm
+		want string
+	}{
+		{PermNone, "---"},
+		{PermR, "r--"},
+		{PermRW, "rw-"},
+		{PermRX, "r-x"},
+		{PermRWX, "rwx"},
+		{PermW, "-w-"},
+	}
+	for _, tt := range tests {
+		if got := tt.p.String(); got != tt.want {
+			t.Errorf("Perm(%d).String() = %q, want %q", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestPermAllows(t *testing.T) {
+	if !PermRWX.Allows(PermRW) || !PermRW.Allows(PermR) || !PermR.Allows(PermNone) {
+		t.Error("Allows rejected a subset")
+	}
+	if PermR.Allows(PermW) || PermRW.Allows(PermX) {
+		t.Error("Allows granted a missing bit")
+	}
+}
+
+func TestSegmentTranslate(t *testing.T) {
+	s := Segment{Name: "directmap", Start: DirectmapBase, End: DirectmapBase + 1<<20, PhysBase: 0}
+	phys, err := s.Translate(DirectmapBase + 0x1234)
+	if err != nil {
+		t.Fatalf("Translate: %v", err)
+	}
+	if phys != 0x1234 {
+		t.Errorf("Translate = %#x, want 0x1234", uint64(phys))
+	}
+	if _, err := s.Translate(DirectmapBase + 2<<20); err == nil {
+		t.Error("Translate outside segment succeeded")
+	}
+}
+
+func TestNewMapValidation(t *testing.T) {
+	if _, err := NewMap(Segment{Name: "bad", Start: 10, End: 10}); !errors.Is(err, ErrBadSegment) {
+		t.Errorf("empty segment: err = %v, want ErrBadSegment", err)
+	}
+	if _, err := NewMap(Segment{Start: 0, End: 10}); !errors.Is(err, ErrBadSegment) {
+		t.Errorf("unnamed segment: err = %v, want ErrBadSegment", err)
+	}
+}
+
+func testMap(t *testing.T) *Map {
+	t.Helper()
+	m, err := NewMap(
+		Segment{
+			Name: "guest-ro", Start: GuestROBase, End: GuestROEnd,
+			PhysBase: 0, GuestPerm: PermR, HVPerm: PermRW,
+		},
+		Segment{
+			Name: "linear-pt-alias", Start: LinearPTBase, End: LinearPTEnd,
+			PhysBase: 0, GuestPerm: PermRWX, HVPerm: PermRWX,
+		},
+		Segment{
+			Name: "hv-text", Start: HypervisorVirtStart, End: HypervisorVirtStart + 1<<20,
+			PhysBase: 0x100000, GuestPerm: PermNone, HVPerm: PermRWX,
+		},
+	)
+	if err != nil {
+		t.Fatalf("NewMap: %v", err)
+	}
+	return m
+}
+
+func TestFindPrefersSmallestSegment(t *testing.T) {
+	m := testMap(t)
+	// An address inside the alias window is covered by both guest-ro and
+	// the alias; the alias (smaller) must win.
+	seg, err := m.Find(LinearPTBase + 0x1000)
+	if err != nil {
+		t.Fatalf("Find: %v", err)
+	}
+	if seg.Name != "linear-pt-alias" {
+		t.Errorf("Find = %q, want linear-pt-alias", seg.Name)
+	}
+	// Outside the alias but inside guest-ro.
+	seg, err = m.Find(GuestROBase + 0x1000)
+	if err != nil {
+		t.Fatalf("Find: %v", err)
+	}
+	if seg.Name != "guest-ro" {
+		t.Errorf("Find = %q, want guest-ro", seg.Name)
+	}
+	if _, err := m.Find(0x1000); !errors.Is(err, ErrNoSegment) {
+		t.Errorf("Find of unmapped va: err = %v, want ErrNoSegment", err)
+	}
+}
+
+func TestByName(t *testing.T) {
+	m := testMap(t)
+	seg, err := m.ByName("hv-text")
+	if err != nil {
+		t.Fatalf("ByName: %v", err)
+	}
+	if seg.Start != HypervisorVirtStart {
+		t.Errorf("hv-text start = %#x", seg.Start)
+	}
+	if _, err := m.ByName("nope"); !errors.Is(err, ErrNoSegment) {
+		t.Errorf("ByName(nope): err = %v, want ErrNoSegment", err)
+	}
+}
+
+func TestMapTranslate(t *testing.T) {
+	m := testMap(t)
+	phys, seg, err := m.Translate(HypervisorVirtStart + 0x40)
+	if err != nil {
+		t.Fatalf("Translate: %v", err)
+	}
+	if seg.Name != "hv-text" || phys != mm.PhysAddr(0x100040) {
+		t.Errorf("Translate = %#x via %q, want 0x100040 via hv-text", uint64(phys), seg.Name)
+	}
+}
+
+func TestMapString(t *testing.T) {
+	m := testMap(t)
+	s := m.String()
+	for _, want := range []string{"guest-ro", "linear-pt-alias", "hv-text", "rwx", "r--"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Map.String() missing %q:\n%s", want, s)
+		}
+	}
+	// Ordered by start: guest-ro (lowest) must appear before hv-text.
+	if strings.Index(s, "guest-ro") > strings.Index(s, "hv-text") {
+		t.Error("Map.String() not ordered by start address")
+	}
+}
+
+func TestSegmentsReturnsCopy(t *testing.T) {
+	m := testMap(t)
+	segs := m.Segments()
+	segs[0].Name = "mutated"
+	if _, err := m.ByName("mutated"); err == nil {
+		t.Error("mutating the returned slice affected the map")
+	}
+}
+
+// Property: Translate is consistent with Find — any address Find covers
+// translates via that segment's linear rule, and addresses outside all
+// segments error.
+func TestQuickTranslateConsistency(t *testing.T) {
+	m := testMap(t)
+	f := func(off uint32, pick uint8) bool {
+		var va uint64
+		switch pick % 4 {
+		case 0:
+			va = GuestROBase + uint64(off)
+		case 1:
+			va = LinearPTBase + uint64(off)%(LinearPTEnd-LinearPTBase)
+		case 2:
+			va = HypervisorVirtStart + uint64(off)%(1<<20)
+		case 3:
+			va = uint64(off) // low canonical, unmapped
+		}
+		phys, seg, err := m.Translate(va)
+		found, ferr := m.Find(va)
+		if (err == nil) != (ferr == nil) {
+			return false
+		}
+		if err != nil {
+			return true
+		}
+		if seg.Name != found.Name {
+			return false
+		}
+		return phys == seg.PhysBase+mm.PhysAddr(va-seg.Start)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

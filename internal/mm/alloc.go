@@ -1,0 +1,172 @@
+package mm
+
+import "fmt"
+
+// Alloc takes the lowest-numbered free frame, assigns it to the owner and
+// zeroes its contents. Deterministic lowest-first allocation keeps
+// experiment runs reproducible and lets exploits perform the allocator
+// grooming that real attacks rely on.
+func (m *Memory) Alloc(owner DomID) (MFN, error) {
+	if len(m.freeList) == 0 {
+		return 0, ErrOutOfMemory
+	}
+	mfn := m.freeList[len(m.freeList)-1]
+	m.freeList = m.freeList[:len(m.freeList)-1]
+	m.claim(mfn, owner)
+	return mfn, nil
+}
+
+// AllocAt takes a specific free frame, for allocator grooming and for the
+// domain builder, which lays frames out at fixed machine addresses.
+func (m *Memory) AllocAt(mfn MFN, owner DomID) error {
+	if !m.ValidMFN(mfn) {
+		return fmt.Errorf("%w: mfn %#x", ErrBadMFN, uint64(mfn))
+	}
+	for i := len(m.freeList) - 1; i >= 0; i-- {
+		if m.freeList[i] != mfn {
+			continue
+		}
+		m.freeList = append(m.freeList[:i], m.freeList[i+1:]...)
+		m.claim(mfn, owner)
+		return nil
+	}
+	return fmt.Errorf("mm: frame %#x is not free", uint64(mfn))
+}
+
+// AllocRange allocates n consecutive free frames and returns the first.
+// Used by the domain builder to give each domain a contiguous machine
+// region, which keeps the physical-memory scans of the XSA-148 exploit
+// realistic.
+func (m *Memory) AllocRange(n int, owner DomID) (MFN, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("mm: AllocRange needs a positive count, got %d", n)
+	}
+	free := make(map[MFN]bool, len(m.freeList))
+	for _, f := range m.freeList {
+		free[f] = true
+	}
+	for start := 0; start+n <= len(m.frames); start++ {
+		ok := true
+		for i := 0; i < n; i++ {
+			if !free[MFN(start+i)] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			if err := m.AllocAt(MFN(start+i), owner); err != nil {
+				return 0, err
+			}
+		}
+		return MFN(start), nil
+	}
+	return 0, fmt.Errorf("%w: no run of %d consecutive free frames", ErrOutOfMemory, n)
+}
+
+func (m *Memory) claim(mfn MFN, owner DomID) {
+	pi := &m.pageInfo[mfn]
+	*pi = PageInfo{Owner: owner, Type: TypeNone}
+	if m.frames[mfn] != nil {
+		clear(m.frames[mfn])
+	}
+	m.m2p[mfn] = m2pEntry{}
+	m.allocated++
+}
+
+// Free returns a frame to the allocator. The frame must have no
+// outstanding references or type uses; the hypervisor's put paths must
+// drive the counts to zero first. This check is the backstop that the
+// "Keep Page Access" class of erroneous states (XSA-387/393 style)
+// subverts by leaking a reference before the free.
+func (m *Memory) Free(mfn MFN) error {
+	pi, err := m.Info(mfn)
+	if err != nil {
+		return err
+	}
+	if pi.Owner == DomInvalid {
+		return fmt.Errorf("mm: double free of frame %#x", uint64(mfn))
+	}
+	if pi.RefCount != 0 || pi.TypeCount != 0 {
+		return fmt.Errorf("%w: mfn %#x ref=%d typecount=%d", ErrFrameBusy, uint64(mfn), pi.RefCount, pi.TypeCount)
+	}
+	*pi = PageInfo{Owner: DomInvalid, Type: TypeNone}
+	m.m2p[mfn] = m2pEntry{}
+	m.freeList = append(m.freeList, mfn)
+	m.allocated--
+	return nil
+}
+
+// GetRef takes a general reference on the frame on behalf of the domain.
+// Foreign frames may not be referenced, which is exactly the isolation
+// property intrusions break.
+func (m *Memory) GetRef(mfn MFN, dom DomID) error {
+	pi, err := m.Info(mfn)
+	if err != nil {
+		return err
+	}
+	if pi.Owner != dom {
+		return fmt.Errorf("%w: mfn %#x owned by dom%d, caller dom%d", ErrNotOwner, uint64(mfn), pi.Owner, dom)
+	}
+	pi.RefCount++
+	return nil
+}
+
+// PutRef drops a general reference.
+func (m *Memory) PutRef(mfn MFN) error {
+	pi, err := m.Info(mfn)
+	if err != nil {
+		return err
+	}
+	if pi.RefCount == 0 {
+		return fmt.Errorf("mm: reference underflow on frame %#x", uint64(mfn))
+	}
+	pi.RefCount--
+	return nil
+}
+
+// GetType validates the frame for use as the given type and takes a type
+// reference. A frame whose TypeCount is zero may change type; otherwise
+// the requested type must match the current one. This is the skeleton of
+// Xen's get_page_type; the per-level entry validation that must run when
+// a frame is first promoted to a page-table type lives in the hypervisor,
+// which calls this after its checks pass.
+func (m *Memory) GetType(mfn MFN, t FrameType) error {
+	pi, err := m.Info(mfn)
+	if err != nil {
+		return err
+	}
+	if t == TypeNone {
+		return fmt.Errorf("mm: cannot take a reference of type none on frame %#x", uint64(mfn))
+	}
+	if pi.TypeCount == 0 {
+		pi.Type = t
+		pi.TypeCount = 1
+		return nil
+	}
+	if pi.Type != t {
+		return fmt.Errorf("%w: mfn %#x is %s (count %d), wanted %s",
+			ErrTypeConflict, uint64(mfn), pi.Type, pi.TypeCount, t)
+	}
+	pi.TypeCount++
+	return nil
+}
+
+// PutType drops a type reference. When the count reaches zero the frame
+// reverts to type none and may be revalidated as something else.
+func (m *Memory) PutType(mfn MFN) error {
+	pi, err := m.Info(mfn)
+	if err != nil {
+		return err
+	}
+	if pi.TypeCount == 0 {
+		return fmt.Errorf("mm: type-reference underflow on frame %#x", uint64(mfn))
+	}
+	pi.TypeCount--
+	if pi.TypeCount == 0 && !pi.Pinned {
+		pi.Type = TypeNone
+	}
+	return nil
+}

@@ -1,0 +1,460 @@
+package mm
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func newTestMemory(t *testing.T, frames int) *Memory {
+	t.Helper()
+	m, err := NewMemory(frames)
+	if err != nil {
+		t.Fatalf("NewMemory(%d): %v", frames, err)
+	}
+	return m
+}
+
+func TestNewMemoryRejectsNonPositiveSizes(t *testing.T) {
+	for _, n := range []int{0, -1, -4096} {
+		if _, err := NewMemory(n); err == nil {
+			t.Errorf("NewMemory(%d) succeeded, want error", n)
+		}
+	}
+}
+
+func TestPhysAddrGeometry(t *testing.T) {
+	tests := []struct {
+		addr   PhysAddr
+		frame  MFN
+		offset uint64
+	}{
+		{0, 0, 0},
+		{1, 0, 1},
+		{PageSize - 1, 0, PageSize - 1},
+		{PageSize, 1, 0},
+		{3*PageSize + 17, 3, 17},
+	}
+	for _, tt := range tests {
+		if got := tt.addr.Frame(); got != tt.frame {
+			t.Errorf("PhysAddr(%#x).Frame() = %#x, want %#x", uint64(tt.addr), uint64(got), uint64(tt.frame))
+		}
+		if got := tt.addr.Offset(); got != tt.offset {
+			t.Errorf("PhysAddr(%#x).Offset() = %#x, want %#x", uint64(tt.addr), got, tt.offset)
+		}
+	}
+	if got := MFN(5).Addr(); got != 5*PageSize {
+		t.Errorf("MFN(5).Addr() = %#x, want %#x", uint64(got), uint64(5*PageSize))
+	}
+}
+
+func TestFrameTypeClassification(t *testing.T) {
+	tests := []struct {
+		typ     FrameType
+		isPT    bool
+		level   int
+		wantStr string
+	}{
+		{TypeNone, false, 0, "none"},
+		{TypeWritable, false, 0, "writable"},
+		{TypeL1, true, 1, "l1"},
+		{TypeL2, true, 2, "l2"},
+		{TypeL3, true, 3, "l3"},
+		{TypeL4, true, 4, "l4"},
+		{TypeSegDesc, false, 0, "segdesc"},
+		{TypeGrant, false, 0, "grant"},
+	}
+	for _, tt := range tests {
+		if got := tt.typ.IsPageTable(); got != tt.isPT {
+			t.Errorf("%v.IsPageTable() = %v, want %v", tt.typ, got, tt.isPT)
+		}
+		if got := tt.typ.PageTableLevel(); got != tt.level {
+			t.Errorf("%v.PageTableLevel() = %d, want %d", tt.typ, got, tt.level)
+		}
+		if got := tt.typ.String(); got != tt.wantStr {
+			t.Errorf("%v.String() = %q, want %q", tt.typ, got, tt.wantStr)
+		}
+	}
+}
+
+func TestTypeForLevel(t *testing.T) {
+	for level := 1; level <= 4; level++ {
+		typ, err := TypeForLevel(level)
+		if err != nil {
+			t.Fatalf("TypeForLevel(%d): %v", level, err)
+		}
+		if typ.PageTableLevel() != level {
+			t.Errorf("TypeForLevel(%d) = %v (level %d)", level, typ, typ.PageTableLevel())
+		}
+	}
+	for _, level := range []int{0, 5, -1} {
+		if _, err := TypeForLevel(level); err == nil {
+			t.Errorf("TypeForLevel(%d) succeeded, want error", level)
+		}
+	}
+}
+
+func TestAllocIsLowestFirstAndZeroed(t *testing.T) {
+	m := newTestMemory(t, 8)
+	first, err := m.Alloc(Dom0)
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	if first != 0 {
+		t.Errorf("first Alloc = %#x, want 0", uint64(first))
+	}
+	second, err := m.Alloc(Dom0)
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	if second != 1 {
+		t.Errorf("second Alloc = %#x, want 1", uint64(second))
+	}
+	// Dirty, free and re-allocate: contents must come back zeroed.
+	if err := m.WritePhys(first.Addr(), []byte("dirty")); err != nil {
+		t.Fatalf("WritePhys: %v", err)
+	}
+	if err := m.Free(first); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	again, err := m.Alloc(Dom0)
+	if err != nil {
+		t.Fatalf("Alloc after free: %v", err)
+	}
+	if again != first {
+		t.Errorf("re-alloc = %#x, want %#x (lowest free)", uint64(again), uint64(first))
+	}
+	buf := make([]byte, 5)
+	if err := m.ReadPhys(again.Addr(), buf); err != nil {
+		t.Fatalf("ReadPhys: %v", err)
+	}
+	if !bytes.Equal(buf, make([]byte, 5)) {
+		t.Errorf("re-allocated frame not zeroed: %q", buf)
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	m := newTestMemory(t, 2)
+	for i := 0; i < 2; i++ {
+		if _, err := m.Alloc(Dom0); err != nil {
+			t.Fatalf("Alloc %d: %v", i, err)
+		}
+	}
+	if _, err := m.Alloc(Dom0); !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("Alloc on full machine: err = %v, want ErrOutOfMemory", err)
+	}
+	if got := m.AllocatedFrames(); got != 2 {
+		t.Errorf("AllocatedFrames = %d, want 2", got)
+	}
+}
+
+func TestAllocAt(t *testing.T) {
+	m := newTestMemory(t, 8)
+	if err := m.AllocAt(5, DomFirstGuest); err != nil {
+		t.Fatalf("AllocAt(5): %v", err)
+	}
+	pi, err := m.Info(5)
+	if err != nil {
+		t.Fatalf("Info: %v", err)
+	}
+	if pi.Owner != DomFirstGuest {
+		t.Errorf("owner = %d, want %d", pi.Owner, DomFirstGuest)
+	}
+	if err := m.AllocAt(5, Dom0); err == nil {
+		t.Error("AllocAt on allocated frame succeeded, want error")
+	}
+	if err := m.AllocAt(100, Dom0); !errors.Is(err, ErrBadMFN) {
+		t.Errorf("AllocAt out of range: err = %v, want ErrBadMFN", err)
+	}
+}
+
+func TestAllocRange(t *testing.T) {
+	m := newTestMemory(t, 16)
+	// Fragment the low memory.
+	if err := m.AllocAt(2, Dom0); err != nil {
+		t.Fatalf("AllocAt: %v", err)
+	}
+	start, err := m.AllocRange(4, DomFirstGuest)
+	if err != nil {
+		t.Fatalf("AllocRange: %v", err)
+	}
+	if start != 3 {
+		t.Errorf("AllocRange start = %#x, want 3 (first gap after the fragment)", uint64(start))
+	}
+	for i := 0; i < 4; i++ {
+		pi, err := m.Info(start + MFN(i))
+		if err != nil {
+			t.Fatalf("Info: %v", err)
+		}
+		if pi.Owner != DomFirstGuest {
+			t.Errorf("frame %d owner = %d, want %d", i, pi.Owner, DomFirstGuest)
+		}
+	}
+	if _, err := m.AllocRange(100, Dom0); !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("oversized AllocRange: err = %v, want ErrOutOfMemory", err)
+	}
+	if _, err := m.AllocRange(0, Dom0); err == nil {
+		t.Error("AllocRange(0) succeeded, want error")
+	}
+}
+
+func TestFreeChecks(t *testing.T) {
+	m := newTestMemory(t, 4)
+	mfn, err := m.Alloc(Dom0)
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	if err := m.GetRef(mfn, Dom0); err != nil {
+		t.Fatalf("GetRef: %v", err)
+	}
+	if err := m.Free(mfn); !errors.Is(err, ErrFrameBusy) {
+		t.Errorf("Free of referenced frame: err = %v, want ErrFrameBusy", err)
+	}
+	if err := m.PutRef(mfn); err != nil {
+		t.Fatalf("PutRef: %v", err)
+	}
+	if err := m.Free(mfn); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	if err := m.Free(mfn); err == nil {
+		t.Error("double Free succeeded, want error")
+	}
+}
+
+func TestRefCounting(t *testing.T) {
+	m := newTestMemory(t, 4)
+	mfn, err := m.Alloc(DomFirstGuest)
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	if err := m.GetRef(mfn, Dom0); !errors.Is(err, ErrNotOwner) {
+		t.Errorf("GetRef by non-owner: err = %v, want ErrNotOwner", err)
+	}
+	if err := m.PutRef(mfn); err == nil {
+		t.Error("PutRef with zero count succeeded, want underflow error")
+	}
+}
+
+func TestTypeTransitions(t *testing.T) {
+	m := newTestMemory(t, 4)
+	mfn, err := m.Alloc(Dom0)
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	if err := m.GetType(mfn, TypeL2); err != nil {
+		t.Fatalf("GetType l2: %v", err)
+	}
+	if err := m.GetType(mfn, TypeL2); err != nil {
+		t.Fatalf("second GetType l2: %v", err)
+	}
+	if err := m.GetType(mfn, TypeWritable); !errors.Is(err, ErrTypeConflict) {
+		t.Errorf("conflicting GetType: err = %v, want ErrTypeConflict", err)
+	}
+	if err := m.PutType(mfn); err != nil {
+		t.Fatalf("PutType: %v", err)
+	}
+	if err := m.PutType(mfn); err != nil {
+		t.Fatalf("PutType: %v", err)
+	}
+	pi, _ := m.Info(mfn)
+	if pi.Type != TypeNone || pi.TypeCount != 0 {
+		t.Errorf("after draining, type = %v count = %d, want none/0", pi.Type, pi.TypeCount)
+	}
+	// Now retyping must succeed.
+	if err := m.GetType(mfn, TypeWritable); err != nil {
+		t.Errorf("GetType writable after drain: %v", err)
+	}
+	if err := m.GetType(mfn, TypeNone); err == nil {
+		t.Error("GetType(TypeNone) succeeded, want error")
+	}
+	if err := m.PutType(999); !errors.Is(err, ErrBadMFN) {
+		t.Errorf("PutType out of range: err = %v, want ErrBadMFN", err)
+	}
+}
+
+func TestPinnedTypeSurvivesDrain(t *testing.T) {
+	m := newTestMemory(t, 4)
+	mfn, _ := m.Alloc(Dom0)
+	if err := m.GetType(mfn, TypeL4); err != nil {
+		t.Fatalf("GetType: %v", err)
+	}
+	pi, _ := m.Info(mfn)
+	pi.Pinned = true
+	if err := m.PutType(mfn); err != nil {
+		t.Fatalf("PutType: %v", err)
+	}
+	pi, _ = m.Info(mfn)
+	if pi.Type != TypeL4 {
+		t.Errorf("pinned frame lost its type: %v", pi.Type)
+	}
+}
+
+func TestPhysReadWriteRoundTrip(t *testing.T) {
+	m := newTestMemory(t, 4)
+	msg := []byte("spanning two frames deliberately")
+	addr := PhysAddr(PageSize - 7) // straddles frames 0 and 1
+	if err := m.WritePhys(addr, msg); err != nil {
+		t.Fatalf("WritePhys: %v", err)
+	}
+	got := make([]byte, len(msg))
+	if err := m.ReadPhys(addr, got); err != nil {
+		t.Fatalf("ReadPhys: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Errorf("round trip = %q, want %q", got, msg)
+	}
+}
+
+func TestPhysAccessBounds(t *testing.T) {
+	m := newTestMemory(t, 2)
+	buf := make([]byte, 16)
+	if err := m.ReadPhys(PhysAddr(m.Bytes()-8), buf); !errors.Is(err, ErrBadPhysAddr) {
+		t.Errorf("read past end: err = %v, want ErrBadPhysAddr", err)
+	}
+	if err := m.WritePhys(PhysAddr(m.Bytes()), buf[:1]); !errors.Is(err, ErrBadPhysAddr) {
+		t.Errorf("write at end: err = %v, want ErrBadPhysAddr", err)
+	}
+	// Overflowing range.
+	if err := m.ReadPhys(PhysAddr(^uint64(0)-4), buf); !errors.Is(err, ErrBadPhysAddr) {
+		t.Errorf("overflowing read: err = %v, want ErrBadPhysAddr", err)
+	}
+	// Zero-length access is a no-op even at a bad address.
+	if err := m.ReadPhys(PhysAddr(m.Bytes()+PageSize), nil); err != nil {
+		t.Errorf("zero-length read: %v", err)
+	}
+}
+
+func TestU64Accessors(t *testing.T) {
+	m := newTestMemory(t, 2)
+	const v = 0x0102030405060708
+	if err := m.WriteU64(40, v); err != nil {
+		t.Fatalf("WriteU64: %v", err)
+	}
+	got, err := m.ReadU64(40)
+	if err != nil {
+		t.Fatalf("ReadU64: %v", err)
+	}
+	if got != v {
+		t.Errorf("ReadU64 = %#x, want %#x", got, v)
+	}
+	// Verify little-endian layout explicitly.
+	b := make([]byte, 8)
+	if err := m.ReadPhys(40, b); err != nil {
+		t.Fatalf("ReadPhys: %v", err)
+	}
+	if b[0] != 0x08 || b[7] != 0x01 {
+		t.Errorf("byte order = % x, want little-endian", b)
+	}
+}
+
+func TestP2MRoundTrip(t *testing.T) {
+	m := newTestMemory(t, 8)
+	p2m := m.NewP2M(DomFirstGuest)
+	mfn, err := m.Alloc(DomFirstGuest)
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	if err := p2m.Set(7, mfn); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	got, err := p2m.Lookup(7)
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	if got != mfn {
+		t.Errorf("Lookup = %#x, want %#x", uint64(got), uint64(mfn))
+	}
+	dom, pfn, err := m.M2P(mfn)
+	if err != nil {
+		t.Fatalf("M2P: %v", err)
+	}
+	if dom != DomFirstGuest || pfn != 7 {
+		t.Errorf("M2P = dom%d pfn %#x, want dom%d pfn 7", dom, uint64(pfn), DomFirstGuest)
+	}
+	if p2m.MaxPFN() != 7 {
+		t.Errorf("MaxPFN = %d, want 7", p2m.MaxPFN())
+	}
+}
+
+func TestP2MRejectsForeignFrames(t *testing.T) {
+	m := newTestMemory(t, 8)
+	p2m := m.NewP2M(DomFirstGuest)
+	mfn, err := m.Alloc(Dom0)
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	if err := p2m.Set(0, mfn); !errors.Is(err, ErrNotOwner) {
+		t.Errorf("Set foreign frame: err = %v, want ErrNotOwner", err)
+	}
+}
+
+func TestP2MClearInvalidatesM2P(t *testing.T) {
+	m := newTestMemory(t, 8)
+	p2m := m.NewP2M(DomFirstGuest)
+	mfn, _ := m.Alloc(DomFirstGuest)
+	if err := p2m.Set(3, mfn); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	got, err := p2m.Clear(3)
+	if err != nil {
+		t.Fatalf("Clear: %v", err)
+	}
+	if got != mfn {
+		t.Errorf("Clear returned %#x, want %#x", uint64(got), uint64(mfn))
+	}
+	if _, err := p2m.Lookup(3); !errors.Is(err, ErrNoMapping) {
+		t.Errorf("Lookup after clear: err = %v, want ErrNoMapping", err)
+	}
+	if _, _, err := m.M2P(mfn); !errors.Is(err, ErrNoMapping) {
+		t.Errorf("M2P after clear: err = %v, want ErrNoMapping", err)
+	}
+	if _, err := p2m.Clear(3); !errors.Is(err, ErrNoMapping) {
+		t.Errorf("double Clear: err = %v, want ErrNoMapping", err)
+	}
+}
+
+func TestP2MRemapReplacesM2P(t *testing.T) {
+	m := newTestMemory(t, 8)
+	p2m := m.NewP2M(DomFirstGuest)
+	a, _ := m.Alloc(DomFirstGuest)
+	b, _ := m.Alloc(DomFirstGuest)
+	if err := p2m.Set(1, a); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	if err := p2m.Set(1, b); err != nil {
+		t.Fatalf("re-Set: %v", err)
+	}
+	if _, _, err := m.M2P(a); !errors.Is(err, ErrNoMapping) {
+		t.Errorf("old frame still has m2p entry after remap: %v", err)
+	}
+	dom, pfn, err := m.M2P(b)
+	if err != nil || dom != DomFirstGuest || pfn != 1 {
+		t.Errorf("M2P(b) = dom%d pfn %d err %v, want dom%d pfn 1", dom, pfn, err, DomFirstGuest)
+	}
+}
+
+func TestP2MPFNsAndContains(t *testing.T) {
+	m := newTestMemory(t, 8)
+	p2m := m.NewP2M(DomFirstGuest)
+	for i := 0; i < 3; i++ {
+		mfn, _ := m.Alloc(DomFirstGuest)
+		if err := p2m.Set(PFN(i*10), mfn); err != nil {
+			t.Fatalf("Set: %v", err)
+		}
+	}
+	if p2m.Len() != 3 {
+		t.Errorf("Len = %d, want 3", p2m.Len())
+	}
+	if !p2m.Contains(20) || p2m.Contains(5) {
+		t.Error("Contains gave wrong answers")
+	}
+	seen := make(map[PFN]bool)
+	for _, pfn := range p2m.PFNs() {
+		seen[pfn] = true
+	}
+	for _, want := range []PFN{0, 10, 20} {
+		if !seen[want] {
+			t.Errorf("PFNs missing %d", want)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package mm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: for any sequence of Set/Clear operations, P2M and M2P remain
+// exact inverses of each other.
+func TestQuickP2MM2PInverse(t *testing.T) {
+	const frames = 64
+	f := func(ops []uint16, seed int64) bool {
+		m, err := NewMemory(frames)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		p2m := m.NewP2M(DomFirstGuest)
+		owned := make([]MFN, 0, frames)
+		for i := 0; i < frames/2; i++ {
+			mfn, err := m.Alloc(DomFirstGuest)
+			if err != nil {
+				return false
+			}
+			owned = append(owned, mfn)
+		}
+		for _, op := range ops {
+			pfn := PFN(op % 97)
+			if rng.Intn(2) == 0 {
+				mfn := owned[rng.Intn(len(owned))]
+				// Skip frames already mapped at another PFN; the
+				// invariant under test is per-mapping consistency.
+				if dom, at, err := m.M2P(mfn); err == nil && dom == DomFirstGuest && at != pfn {
+					continue
+				}
+				if err := p2m.Set(pfn, mfn); err != nil {
+					return false
+				}
+			} else if p2m.Contains(pfn) {
+				if _, err := p2m.Clear(pfn); err != nil {
+					return false
+				}
+			}
+		}
+		// Forward check: every P2M entry has a matching M2P entry.
+		for _, pfn := range p2m.PFNs() {
+			mfn, err := p2m.Lookup(pfn)
+			if err != nil {
+				return false
+			}
+			dom, back, err := m.M2P(mfn)
+			if err != nil || dom != DomFirstGuest || back != pfn {
+				return false
+			}
+		}
+		// Backward check: every valid M2P entry appears in the P2M.
+		for mfn := MFN(0); m.ValidMFN(mfn); mfn++ {
+			dom, pfn, err := m.M2P(mfn)
+			if err != nil {
+				continue
+			}
+			if dom != DomFirstGuest {
+				return false
+			}
+			got, err := p2m.Lookup(pfn)
+			if err != nil || got != mfn {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: reference and type counts never underflow and always balance —
+// after applying any random sequence of get/put pairs that the API
+// accepts, draining the recorded outstanding counts brings every frame
+// back to zero and makes it freeable.
+func TestQuickRefcountBalance(t *testing.T) {
+	const frames = 16
+	f := func(script []byte) bool {
+		m, err := NewMemory(frames)
+		if err != nil {
+			return false
+		}
+		var mfns []MFN
+		for i := 0; i < frames; i++ {
+			mfn, err := m.Alloc(Dom0)
+			if err != nil {
+				return false
+			}
+			mfns = append(mfns, mfn)
+		}
+		refs := make(map[MFN]int)
+		types := make(map[MFN]int)
+		for i, b := range script {
+			mfn := mfns[int(b)%len(mfns)]
+			switch i % 4 {
+			case 0:
+				if err := m.GetRef(mfn, Dom0); err != nil {
+					return false
+				}
+				refs[mfn]++
+			case 1:
+				typ := TypeWritable
+				if b%2 == 0 {
+					typ = TypeL1
+				}
+				if err := m.GetType(mfn, typ); err == nil {
+					types[mfn]++
+				}
+				// A type conflict is a legal refusal, not a violation.
+			case 2:
+				if refs[mfn] > 0 {
+					if err := m.PutRef(mfn); err != nil {
+						return false
+					}
+					refs[mfn]--
+				}
+			case 3:
+				if types[mfn] > 0 {
+					if err := m.PutType(mfn); err != nil {
+						return false
+					}
+					types[mfn]--
+				}
+			}
+		}
+		// Drain and verify every frame becomes freeable.
+		for _, mfn := range mfns {
+			for refs[mfn] > 0 {
+				if err := m.PutRef(mfn); err != nil {
+					return false
+				}
+				refs[mfn]--
+			}
+			for types[mfn] > 0 {
+				if err := m.PutType(mfn); err != nil {
+					return false
+				}
+				types[mfn]--
+			}
+			pi, err := m.Info(mfn)
+			if err != nil || pi.RefCount != 0 || pi.TypeCount != 0 {
+				return false
+			}
+			if err := m.Free(mfn); err != nil {
+				return false
+			}
+		}
+		return m.AllocatedFrames() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: physical read-after-write returns exactly the written bytes
+// for arbitrary (address, payload) pairs inside the machine.
+func TestQuickPhysReadAfterWrite(t *testing.T) {
+	const frames = 8
+	m, err := NewMemory(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(addr uint16, payload []byte) bool {
+		if len(payload) == 0 {
+			return true
+		}
+		a := PhysAddr(uint64(addr) % (m.Bytes() - uint64(len(payload)%int(m.Bytes()))))
+		if uint64(a)+uint64(len(payload)) > m.Bytes() {
+			return true
+		}
+		if err := m.WritePhys(a, payload); err != nil {
+			return false
+		}
+		got := make([]byte, len(payload))
+		if err := m.ReadPhys(a, got); err != nil {
+			return false
+		}
+		for i := range got {
+			if got[i] != payload[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: AllocRange always returns frames that are consecutive, owned
+// by the requester, and previously free.
+func TestQuickAllocRange(t *testing.T) {
+	f := func(pre []byte, n uint8) bool {
+		m, err := NewMemory(64)
+		if err != nil {
+			return false
+		}
+		for _, b := range pre {
+			_ = m.AllocAt(MFN(b%64), Dom0) // fragment arbitrarily; duplicates fail harmlessly
+		}
+		count := int(n%8) + 1
+		start, err := m.AllocRange(count, DomFirstGuest)
+		if err != nil {
+			// Failure is acceptable only if no run of `count` consecutive
+			// free frames exists.
+			run := 0
+			for mfn := MFN(0); m.ValidMFN(mfn); mfn++ {
+				pi, err := m.Info(mfn)
+				if err != nil {
+					return false
+				}
+				if pi.Owner == DomInvalid {
+					run++
+					if run >= count {
+						return false // a run existed; AllocRange should have found it
+					}
+				} else {
+					run = 0
+				}
+			}
+			return true
+		}
+		for i := 0; i < count; i++ {
+			pi, err := m.Info(start + MFN(i))
+			if err != nil || pi.Owner != DomFirstGuest {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,123 @@
+package monitor
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/guest"
+	"repro/internal/hv"
+)
+
+// Health is a point-in-time sample of the whole environment's condition:
+// the "system monitoring" box of Fig. 2 generalized beyond the four use
+// cases, so campaigns over arbitrary erroneous states (the randomized
+// injector, the state injector) have a uniform oracle.
+type Health struct {
+	// Crashed and CrashReason reflect a hypervisor panic.
+	Crashed     bool
+	CrashReason string
+	// Hung reflects a wedged hypervisor.
+	Hung bool
+	// ConsoleWarnings counts WARNING lines on the hypervisor console —
+	// reference/type accounting damage shows up here.
+	ConsoleWarnings int
+	// AccountingFindings are the memory auditor's discrepancies: page
+	// mappings not backed by references, unaccounted superpages,
+	// guest-writable page tables (the Corrupt-a-Page-Reference class).
+	AccountingFindings []string
+	// PageFaults is the cumulative #PF count absorbed by the native
+	// handler.
+	PageFaults int
+	// PendingEvents maps hostname to unconsumed event backlog.
+	PendingEvents map[string]int
+	// GrantLeaks maps hostname to hypervisor status frames the domain
+	// still references.
+	GrantLeaks map[string]int
+	// GuestOops maps hostname to kernel-oops counts.
+	GuestOops map[string]int
+	// PausedDomains lists suspended domains.
+	PausedDomains []string
+}
+
+// Probe samples the environment.
+func Probe(h *hv.Hypervisor, guests []*guest.Kernel) Health {
+	out := Health{
+		Crashed:       h.Crashed(),
+		CrashReason:   h.CrashReason(),
+		Hung:          h.Hung(),
+		PageFaults:    h.PageFaults(),
+		PendingEvents: make(map[string]int),
+		GrantLeaks:    make(map[string]int),
+		GuestOops:     make(map[string]int),
+	}
+	for _, line := range h.Console() {
+		if strings.Contains(line, "WARNING") {
+			out.ConsoleWarnings++
+		}
+	}
+	out.AccountingFindings = h.AuditMemory()
+	for _, k := range guests {
+		d := k.Domain()
+		if n := d.PendingEvents(); n > 0 {
+			out.PendingEvents[k.Hostname()] = n
+		}
+		if n := len(d.GrantStatusFrames()); n > 0 {
+			out.GrantLeaks[k.Hostname()] = n
+		}
+		oops := 0
+		for _, line := range k.Dmesg() {
+			if strings.Contains(line, "Oops:") {
+				oops++
+			}
+		}
+		if oops > 0 {
+			out.GuestOops[k.Hostname()] = oops
+		}
+		if d.Paused() {
+			out.PausedDomains = append(out.PausedDomains, k.Hostname())
+		}
+	}
+	return out
+}
+
+// Healthy reports whether the sample shows no availability-relevant or
+// accounting-relevant damage. Guest oopses are contained failures and do
+// not make the platform unhealthy on their own.
+func (h Health) Healthy() bool {
+	return !h.Crashed && !h.Hung && h.ConsoleWarnings == 0 &&
+		len(h.AccountingFindings) == 0 &&
+		len(h.PendingEvents) == 0 && len(h.GrantLeaks) == 0 && len(h.PausedDomains) == 0
+}
+
+// Summary renders the sample as one line per finding.
+func (h Health) Summary() string {
+	var b strings.Builder
+	if h.Crashed {
+		fmt.Fprintf(&b, "CRASHED: %s\n", h.CrashReason)
+	}
+	if h.Hung {
+		b.WriteString("HUNG: hypervisor stopped making progress\n")
+	}
+	if h.ConsoleWarnings > 0 {
+		fmt.Fprintf(&b, "accounting warnings on console: %d\n", h.ConsoleWarnings)
+	}
+	for _, f := range h.AccountingFindings {
+		fmt.Fprintf(&b, "memory audit: %s\n", f)
+	}
+	for host, n := range h.PendingEvents {
+		fmt.Fprintf(&b, "%s: %d unconsumed events\n", host, n)
+	}
+	for host, n := range h.GrantLeaks {
+		fmt.Fprintf(&b, "%s: retains %d hypervisor status frames\n", host, n)
+	}
+	for host, n := range h.GuestOops {
+		fmt.Fprintf(&b, "%s: %d kernel oopses (contained)\n", host, n)
+	}
+	for _, host := range h.PausedDomains {
+		fmt.Fprintf(&b, "%s: paused\n", host)
+	}
+	if b.Len() == 0 {
+		return "healthy\n"
+	}
+	return b.String()
+}

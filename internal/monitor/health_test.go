@@ -1,0 +1,140 @@
+package monitor_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/hv"
+	"repro/internal/inject"
+	"repro/internal/mm"
+	"repro/internal/monitor"
+	"repro/internal/pagetable"
+)
+
+func TestProbeCleanEnvironmentIsHealthy(t *testing.T) {
+	e, err := campaign.NewEnvironment(hv.Version413(), campaign.ModeInjection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := monitor.Probe(e.HV, e.Guests)
+	if !h.Healthy() {
+		t.Errorf("fresh environment unhealthy:\n%s", h.Summary())
+	}
+	if h.Summary() != "healthy\n" {
+		t.Errorf("summary = %q", h.Summary())
+	}
+}
+
+func TestProbeDetectsCrash(t *testing.T) {
+	e, err := campaign.NewEnvironment(hv.Version46(), campaign.ModeExploit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.HV.Crash("FATAL TRAP: vector = 8 (double fault)")
+	h := monitor.Probe(e.HV, e.Guests)
+	if h.Healthy() || !h.Crashed {
+		t.Errorf("crash not detected: %+v", h)
+	}
+	if !strings.Contains(h.Summary(), "CRASHED") {
+		t.Errorf("summary = %q", h.Summary())
+	}
+}
+
+func TestProbeDetectsInjectedStates(t *testing.T) {
+	e, err := campaign.NewEnvironment(hv.Version413(), campaign.ModeInjection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inject.EnableStateOps(e.HV); err != nil {
+		t.Fatal(err)
+	}
+	sc := inject.NewStateClient(e.Attacker.Domain())
+	if _, err := sc.KeepPageAccess(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.InterruptFlood(e.Guests[1].Domain().ID(), 0, 77); err != nil {
+		t.Fatal(err)
+	}
+	h := monitor.Probe(e.HV, e.Guests)
+	if h.Healthy() {
+		t.Fatal("injected states invisible to the probe")
+	}
+	if h.GrantLeaks[e.Attacker.Hostname()] != 1 {
+		t.Errorf("grant leaks = %v", h.GrantLeaks)
+	}
+	if h.PendingEvents[e.Guests[1].Hostname()] != 77 {
+		t.Errorf("pending = %v", h.PendingEvents)
+	}
+	for _, want := range []string{"status frames", "unconsumed events"} {
+		if !strings.Contains(h.Summary(), want) {
+			t.Errorf("summary missing %q:\n%s", want, h.Summary())
+		}
+	}
+}
+
+func TestProbeCountsContainedOops(t *testing.T) {
+	e, err := campaign.NewEnvironment(hv.Version413(), campaign.ModeInjection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = e.Attacker.Peek(0xdead000000000, make([]byte, 4))
+	h := monitor.Probe(e.HV, e.Guests)
+	if h.GuestOops[e.Attacker.Hostname()] == 0 {
+		t.Errorf("oops not counted: %+v", h.GuestOops)
+	}
+	// Oopses alone are contained failures.
+	if !h.Healthy() {
+		t.Errorf("contained oops flagged unhealthy:\n%s", h.Summary())
+	}
+	if h.PageFaults == 0 {
+		t.Error("page-fault counter not sampled")
+	}
+}
+
+func TestProbeDetectsPausedDomains(t *testing.T) {
+	e, err := campaign.NewEnvironment(hv.Version413(), campaign.ModeInjection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = e.Dom0.Domain().Hypercall(hv.HypercallDomctl, &hv.DomctlArgs{
+		Op: hv.DomctlPause, Target: e.Attacker.Domain().ID(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := monitor.Probe(e.HV, e.Guests)
+	if h.Healthy() || len(h.PausedDomains) != 1 {
+		t.Errorf("pause not detected: %+v", h)
+	}
+}
+
+func TestProbeRunsTheMemoryAudit(t *testing.T) {
+	e, err := campaign.NewEnvironment(hv.Version413(), campaign.ModeInjection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A raw injector write into a page-table entry leaves a mapping with
+	// no backing references; the probe must surface the auditor finding.
+	d := e.Attacker.Domain()
+	target, err := d.P2M().Lookup(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := pagetable.LeafEntryAddr(e.HV.Memory(), d.CR3(), d.PhysmapVA(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptr := base + mm.PhysAddr((uint64(d.Frames())+70)*pagetable.EntrySize)
+	raw := pagetable.NewEntry(target, pagetable.FlagPresent|pagetable.FlagRW|pagetable.FlagUser)
+	if err := e.Injector.WritePTE(ptr, raw); err != nil {
+		t.Fatal(err)
+	}
+	h := monitor.Probe(e.HV, e.Guests)
+	if h.Healthy() || len(h.AccountingFindings) == 0 {
+		t.Errorf("raw PTE write invisible to the probe: %+v", h.AccountingFindings)
+	}
+	if !strings.Contains(h.Summary(), "memory audit") {
+		t.Errorf("summary = %q", h.Summary())
+	}
+}

@@ -1,0 +1,207 @@
+// Package monitor implements the system-monitoring step of the
+// methodology (Fig. 2): after a scenario runs, it audits whether the
+// erroneous state was really induced — by reading the relevant
+// descriptors and walking the relevant page tables, never by trusting
+// the attack script's own transcript — and decides whether a security
+// violation occurred.
+package monitor
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cpu"
+	"repro/internal/exploits"
+	"repro/internal/guest"
+	"repro/internal/hv"
+	"repro/internal/pagetable"
+)
+
+// Verdict is the assessed result of one run: the two columns of
+// Table III.
+type Verdict struct {
+	// UseCase, Mode and Version identify the run.
+	UseCase, Mode, Version string
+	// ErroneousState reports whether the audit found the state induced.
+	ErroneousState bool
+	// SecurityViolation reports whether the violation materialized.
+	SecurityViolation bool
+	// Handled reports that the state was induced but the system coped —
+	// the shield cells of Table III.
+	Handled bool
+	// Evidence records what the audit saw.
+	Evidence []string
+}
+
+func (v *Verdict) addf(format string, args ...any) {
+	v.Evidence = append(v.Evidence, fmt.Sprintf(format, args...))
+}
+
+// String renders the verdict as a Table III row fragment.
+func (v *Verdict) String() string {
+	mark := func(b bool) string {
+		if b {
+			return "yes"
+		}
+		return "no"
+	}
+	s := fmt.Sprintf("%s/%s on %s: err-state=%s violation=%s",
+		v.UseCase, v.Mode, v.Version, mark(v.ErroneousState), mark(v.SecurityViolation))
+	if v.Handled {
+		s += " (handled by the system)"
+	}
+	return s
+}
+
+// Assess audits a scenario outcome against the live system state.
+func Assess(h *hv.Hypervisor, guests []*guest.Kernel, o *exploits.Outcome) *Verdict {
+	v := &Verdict{UseCase: o.UseCase, Mode: o.Mode, Version: o.Version}
+	switch o.UseCase {
+	case "XSA-212-crash":
+		assess212Crash(h, o, v)
+	case "XSA-212-priv":
+		assess212Priv(h, guests, o, v)
+	case "XSA-148-priv":
+		assess148Priv(h, guests, o, v)
+	case "XSA-182-test":
+		assess182Test(h, o, v)
+	default:
+		v.addf("no auditor for use case %q", o.UseCase)
+	}
+	v.Handled = v.ErroneousState && !v.SecurityViolation
+	return v
+}
+
+// assess212Crash checks the IDT descriptor bytes and the crash state.
+func assess212Crash(h *hv.Hypervisor, o *exploits.Outcome, v *Verdict) {
+	if o.Artifacts.IDTDescriptorAddr != 0 {
+		raw := make([]byte, cpu.DescriptorSize)
+		if err := h.ReadHV(o.Artifacts.IDTDescriptorAddr, raw); err == nil {
+			gate, derr := cpu.DecodeGate(raw)
+			if derr == nil && !gate.Valid() {
+				v.ErroneousState = true
+				v.addf("IDT #PF descriptor at %#x decodes invalid (corrupted): % x",
+					o.Artifacts.IDTDescriptorAddr, raw[:8])
+			} else {
+				v.addf("IDT #PF descriptor still valid")
+			}
+		} else {
+			v.addf("IDT unreadable: %v", err)
+		}
+	}
+	if h.Crashed() && strings.Contains(h.CrashReason(), "double fault") {
+		v.SecurityViolation = true
+		v.addf("hypervisor panic: %s", h.CrashReason())
+	} else if h.Crashed() {
+		v.SecurityViolation = true
+		v.addf("hypervisor crashed: %s", h.CrashReason())
+	} else {
+		v.addf("hypervisor alive")
+	}
+}
+
+// assess212Priv walks the shared PUD linkage and checks for the dropped
+// root file in every domain.
+func assess212Priv(h *hv.Hypervisor, guests []*guest.Kernel, o *exploits.Outcome, v *Verdict) {
+	// Audit the page linkage: target PUD entry -> forged PMD -> forged
+	// PT -> payload frame, the "page-table walk for the virtual address"
+	// of Sections VI-C and VII.
+	e, err := pagetable.ReadEntry(h.Memory(), h.XenL3(), hv.MiscL3Index)
+	if err == nil && e.Present() && e.MFN() == o.Artifacts.ForgedL2 && o.Artifacts.ForgedL2 != 0 {
+		l2e, err2 := pagetable.ReadEntry(h.Memory(), o.Artifacts.ForgedL2, 0)
+		l1ok := false
+		if err2 == nil && l2e.Present() && l2e.MFN() == o.Artifacts.ForgedL1 {
+			l1e, err3 := pagetable.ReadEntry(h.Memory(), o.Artifacts.ForgedL1, 0)
+			l1ok = err3 == nil && l1e.Present() && l1e.MFN() == o.Artifacts.PayloadFrame
+		}
+		if l1ok {
+			v.ErroneousState = true
+			v.addf("target PUD[%d] -> PMD %#x -> PT %#x -> payload frame %#x: linkage verified by walk",
+				hv.MiscL3Index, uint64(o.Artifacts.ForgedL2), uint64(o.Artifacts.ForgedL1),
+				uint64(o.Artifacts.PayloadFrame))
+		} else {
+			v.addf("PUD entry present but downstream linkage incomplete")
+		}
+	} else {
+		v.addf("target PUD entry not linked")
+	}
+
+	// Violation oracle: the escalation file exists, root-owned with root
+	// identity content, in every domain.
+	all := len(guests) > 0
+	for _, k := range guests {
+		content, err := k.ReadFile("/tmp/injector_log", guest.UIDRoot)
+		if err != nil || !strings.Contains(content, "uid=0(root)") ||
+			!strings.Contains(content, "@"+k.Hostname()) {
+			all = false
+			v.addf("%s: no escalation evidence", k.Hostname())
+			continue
+		}
+		v.addf("%s: /tmp/injector_log = %q", k.Hostname(), content)
+	}
+	if all {
+		v.SecurityViolation = true
+		v.addf("privilege escalation confirmed in all %d domains", len(guests))
+	}
+}
+
+// assess148Priv checks the superpage window entry and the reverse-shell
+// evidence on the dom0 side.
+func assess148Priv(h *hv.Hypervisor, guests []*guest.Kernel, o *exploits.Outcome, v *Verdict) {
+	if o.Artifacts.WindowPTEAddr != 0 {
+		e, err := pagetable.ReadEntry(h.Memory(),
+			o.Artifacts.WindowPTEAddr.Frame(), int(o.Artifacts.WindowPTEAddr.Offset()/pagetable.EntrySize))
+		if err == nil && e.Present() && e.Superpage() && e.Writable() {
+			v.ErroneousState = true
+			v.addf("guest L2 holds writable PSE superpage entry: %v", e)
+		} else {
+			v.addf("no writable superpage entry in guest L2 (entry=%v err=%v)", e, err)
+		}
+	}
+	// Violation oracle: dom0's kernel shows a root reverse shell.
+	for _, k := range guests {
+		if !k.Domain().Privileged() {
+			continue
+		}
+		if k.DmesgContains("reverse shell connected") && k.DmesgContains("(uid 0)") {
+			v.SecurityViolation = true
+			v.addf("dom0 (%s) served a root reverse shell", k.Hostname())
+		} else {
+			v.addf("dom0 (%s) shows no reverse-shell activity", k.Hostname())
+		}
+	}
+}
+
+// assess182Test checks the self-map entry flags and re-performs the
+// guest write-access check through the self-mapping.
+func assess182Test(h *hv.Hypervisor, o *exploits.Outcome, v *Verdict) {
+	if o.Artifacts.SelfMapPTEAddr == 0 {
+		v.addf("scenario recorded no self-map location")
+		return
+	}
+	root := o.Artifacts.SelfMapPTEAddr.Frame()
+	e, err := pagetable.ReadEntry(h.Memory(), root, o.Artifacts.SelfMapSlot)
+	if err == nil && e.Present() && e.Writable() && e.MFN() == root {
+		v.ErroneousState = true
+		v.addf("L4[%d] is a writable self-reference: %v", o.Artifacts.SelfMapSlot, e)
+	} else {
+		v.addf("L4[%d] = %v: not a writable self-reference", o.Artifacts.SelfMapSlot, e)
+	}
+	if !v.ErroneousState {
+		return
+	}
+	// Independent violation check: does a guest-privilege write through
+	// the self-mapping actually reach the page-table frame?
+	va, err := pagetable.Compose(o.Artifacts.SelfMapSlot, o.Artifacts.SelfMapSlot,
+		o.Artifacts.SelfMapSlot, o.Artifacts.SelfMapSlot, uint64(o.Artifacts.SelfMapSlot)*pagetable.EntrySize)
+	if err != nil {
+		v.addf("compose failed: %v", err)
+		return
+	}
+	if _, werr := h.Walker().Translate(root, va, pagetable.AccessWrite, true); werr == nil {
+		v.SecurityViolation = true
+		v.addf("guest write access through self-mapping granted at %#x", va)
+	} else {
+		v.addf("guest write through self-mapping refused: %v", werr)
+	}
+}

@@ -1,0 +1,176 @@
+package pagetable
+
+import (
+	"fmt"
+
+	"repro/internal/mm"
+)
+
+// FrameSource supplies zeroed frames to the Builder for intermediate
+// tables. The hypervisor's domain builder passes an allocator that also
+// records frame-table types; tests pass a plain allocation closure.
+type FrameSource func() (mm.MFN, error)
+
+// Builder constructs page-table trees directly in machine memory. It is
+// the trusted-path constructor used at boot and by the domain builder —
+// no validation happens here because the hypervisor itself is the author.
+// Runtime updates coming from guests go through the hypervisor's
+// validated mmu_update path instead.
+type Builder struct {
+	mem   *mm.Memory
+	alloc FrameSource
+	// OnTableAlloc, when set, is told about every intermediate table
+	// frame the builder creates and the level (1..4) it serves.
+	OnTableAlloc func(mfn mm.MFN, level int)
+}
+
+// NewBuilder creates a builder over the machine with the given frame
+// source.
+func NewBuilder(mem *mm.Memory, alloc FrameSource) *Builder {
+	return &Builder{mem: mem, alloc: alloc}
+}
+
+// NewRoot allocates and returns a fresh, empty L4 root.
+func (b *Builder) NewRoot() (mm.MFN, error) {
+	mfn, err := b.alloc()
+	if err != nil {
+		return 0, fmt.Errorf("pagetable: allocating L4 root: %w", err)
+	}
+	if b.OnTableAlloc != nil {
+		b.OnTableAlloc(mfn, 4)
+	}
+	return mfn, nil
+}
+
+// Map installs a 4 KiB translation va -> mfn with the given leaf flags,
+// creating intermediate tables as needed. Intermediate entries get
+// P|RW|US so that leaf flags alone decide effective permissions; this is
+// how both Linux-style guest kernels and the hypervisor's own mappings
+// are commonly laid out.
+func (b *Builder) Map(root mm.MFN, va uint64, mfn mm.MFN, flags uint64) error {
+	if !Canonical(va) {
+		return fmt.Errorf("%w: %#x", ErrNotCanonical, va)
+	}
+	table := root
+	for level := 4; level >= 2; level-- {
+		next, err := b.descend(table, va, level)
+		if err != nil {
+			return err
+		}
+		table = next
+	}
+	idx, err := Index(va, 1)
+	if err != nil {
+		return err
+	}
+	return WriteEntry(b.mem, table, idx, NewEntry(mfn, flags|FlagPresent))
+}
+
+// MapSuperpage installs a 2 MiB L2 superpage leaf covering va. The base
+// frame maps the start of the aligned 2 MiB region.
+func (b *Builder) MapSuperpage(root mm.MFN, va uint64, base mm.MFN, flags uint64) error {
+	if !Canonical(va) {
+		return fmt.Errorf("%w: %#x", ErrNotCanonical, va)
+	}
+	if va&(SuperpageSize-1) != 0 {
+		return fmt.Errorf("pagetable: superpage va %#x not 2MiB-aligned", va)
+	}
+	table := root
+	for level := 4; level >= 3; level-- {
+		next, err := b.descend(table, va, level)
+		if err != nil {
+			return err
+		}
+		table = next
+	}
+	idx, err := Index(va, 2)
+	if err != nil {
+		return err
+	}
+	return WriteEntry(b.mem, table, idx, NewEntry(base, flags|FlagPresent|FlagPSE))
+}
+
+// MapRange installs n consecutive 4 KiB translations starting at va for
+// frames base, base+1, ...
+func (b *Builder) MapRange(root mm.MFN, va uint64, base mm.MFN, n int, flags uint64) error {
+	for i := 0; i < n; i++ {
+		if err := b.Map(root, va+uint64(i)*mm.PageSize, base+mm.MFN(i), flags); err != nil {
+			return fmt.Errorf("pagetable: mapping page %d of range: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// TableAt returns the table frame serving the given level (4..1) for va,
+// without creating anything. Exploits use it to locate the exact L2/L3
+// frames whose entries they corrupt.
+func (b *Builder) TableAt(root mm.MFN, va uint64, level int) (mm.MFN, error) {
+	return TableFor(b.mem, root, va, level)
+}
+
+// TableFor walks the tree rooted at root down to the table frame serving
+// the given level (4..1) for va, without creating anything.
+func TableFor(mem *mm.Memory, root mm.MFN, va uint64, level int) (mm.MFN, error) {
+	if level < 1 || level > 4 {
+		return 0, fmt.Errorf("%w: %d", ErrBadLevel, level)
+	}
+	table := root
+	for cur := 4; cur > level; cur-- {
+		idx, err := Index(va, cur)
+		if err != nil {
+			return 0, err
+		}
+		e, err := ReadEntry(mem, table, idx)
+		if err != nil {
+			return 0, err
+		}
+		if !e.Present() {
+			return 0, fmt.Errorf("pagetable: no L%d table for %#x (L%d entry not present)", level, va, cur)
+		}
+		table = e.MFN()
+	}
+	return table, nil
+}
+
+// LeafEntryAddr returns the machine-physical address of the level-1
+// entry translating va under root — the "PTE machine address" that
+// mmu_update takes and that attacks target.
+func LeafEntryAddr(mem *mm.Memory, root mm.MFN, va uint64) (mm.PhysAddr, error) {
+	l1, err := TableFor(mem, root, va, 1)
+	if err != nil {
+		return 0, err
+	}
+	idx, err := Index(va, 1)
+	if err != nil {
+		return 0, err
+	}
+	return EntryAddr(l1, idx)
+}
+
+func (b *Builder) descend(table mm.MFN, va uint64, level int) (mm.MFN, error) {
+	idx, err := Index(va, level)
+	if err != nil {
+		return 0, err
+	}
+	e, err := ReadEntry(b.mem, table, idx)
+	if err != nil {
+		return 0, err
+	}
+	if e.Present() {
+		if e.Superpage() {
+			return 0, fmt.Errorf("pagetable: L%d entry for %#x is a superpage leaf", level, va)
+		}
+		return e.MFN(), nil
+	}
+	next, err := b.alloc()
+	if err != nil {
+		return 0, fmt.Errorf("pagetable: allocating L%d table: %w", level-1, err)
+	}
+	if b.OnTableAlloc != nil {
+		b.OnTableAlloc(next, level-1)
+	}
+	if err := WriteEntry(b.mem, table, idx, NewEntry(next, FlagPresent|FlagRW|FlagUser)); err != nil {
+		return 0, err
+	}
+	return next, nil
+}

@@ -1,0 +1,202 @@
+// Package pagetable models x86-64 long-mode paging as used by a
+// paravirtualized hypervisor practicing direct paging: guests write
+// page-table entries holding machine frame numbers, and the hypervisor
+// validates every update. The package provides the entry codec, virtual
+// address geometry, and a 4-level table walker with pluggable access
+// policy — the hook through which version-specific hardening (removal of
+// writable mappings of page-table frames in the 4.13 profile) is applied.
+package pagetable
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/mm"
+)
+
+// Entry flag bits, the subset of the x86-64 PTE format the simulator
+// honours. Bit positions match the architecture so that values printed in
+// experiment logs (e.g. "page_directory[42] = 0x...007") read exactly as
+// they would on hardware.
+const (
+	// FlagPresent (P) marks the entry as valid.
+	FlagPresent uint64 = 1 << 0
+	// FlagRW allows writes through this entry.
+	FlagRW uint64 = 1 << 1
+	// FlagUser (U/S) allows user-mode (and, in the PV model, guest
+	// kernel ring-3) access.
+	FlagUser uint64 = 1 << 2
+	// FlagPWT and FlagPCD are cache-control bits, carried but ignored.
+	FlagPWT uint64 = 1 << 3
+	FlagPCD uint64 = 1 << 4
+	// FlagAccessed and FlagDirty are set by the walker on use.
+	FlagAccessed uint64 = 1 << 5
+	FlagDirty    uint64 = 1 << 6
+	// FlagPSE (page size) in an L2 entry maps a 2 MiB superpage. The
+	// missing check on this bit in the 4.6 profile is XSA-148.
+	FlagPSE uint64 = 1 << 7
+	// FlagGlobal is carried but ignored.
+	FlagGlobal uint64 = 1 << 8
+	// FlagNX (bit 63) forbids instruction fetch through the entry.
+	FlagNX uint64 = 1 << 63
+)
+
+// addrMask extracts the frame base address from an entry: bits 12..51.
+const addrMask uint64 = 0x000ffffffffff000
+
+// flagsMask are the bits Flags() reports: the low attribute bits plus NX.
+const flagsMask uint64 = 0xfff | FlagNX
+
+// Entry is one 64-bit page-table entry holding a machine address and
+// attribute flags, as written by a PV guest.
+type Entry uint64
+
+// NewEntry builds an entry pointing at the given machine frame with the
+// given flags.
+func NewEntry(mfn mm.MFN, flags uint64) Entry {
+	return Entry((uint64(mfn) << mm.PageShift & addrMask) | (flags & flagsMask))
+}
+
+// MFN returns the machine frame the entry points at.
+func (e Entry) MFN() mm.MFN { return mm.MFN((uint64(e) & addrMask) >> mm.PageShift) }
+
+// Flags returns the attribute bits of the entry.
+func (e Entry) Flags() uint64 { return uint64(e) & flagsMask }
+
+// Present reports whether the entry is valid.
+func (e Entry) Present() bool { return uint64(e)&FlagPresent != 0 }
+
+// Writable reports whether the entry permits writes.
+func (e Entry) Writable() bool { return uint64(e)&FlagRW != 0 }
+
+// User reports whether the entry permits unprivileged access.
+func (e Entry) User() bool { return uint64(e)&FlagUser != 0 }
+
+// Superpage reports whether the PSE bit is set.
+func (e Entry) Superpage() bool { return uint64(e)&FlagPSE != 0 }
+
+// NoExec reports whether the NX bit is set.
+func (e Entry) NoExec() bool { return uint64(e)&FlagNX != 0 }
+
+// WithFlags returns a copy of the entry with the given flag bits set.
+func (e Entry) WithFlags(flags uint64) Entry { return e | Entry(flags&flagsMask) }
+
+// WithoutFlags returns a copy of the entry with the given flag bits clear.
+func (e Entry) WithoutFlags(flags uint64) Entry { return e &^ Entry(flags&flagsMask) }
+
+// String formats the entry the way the experiment logs print PTEs.
+func (e Entry) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%#016x", uint64(e))
+	if e.Present() {
+		b.WriteString(" [P")
+		if e.Writable() {
+			b.WriteString("|RW")
+		}
+		if e.User() {
+			b.WriteString("|US")
+		}
+		if e.Superpage() {
+			b.WriteString("|PSE")
+		}
+		if e.NoExec() {
+			b.WriteString("|NX")
+		}
+		b.WriteString("]")
+	}
+	return b.String()
+}
+
+// Virtual address geometry: 48-bit canonical addresses, 9 index bits per
+// level, 12 offset bits.
+const (
+	// EntriesPerTable is the number of entries in one page-table frame.
+	EntriesPerTable = 512
+	// EntrySize is the size of one entry in bytes.
+	EntrySize = 8
+	// SuperpageShift is log2 of a 2 MiB L2 superpage.
+	SuperpageShift = 21
+	// SuperpageSize is the extent mapped by an L2 superpage entry.
+	SuperpageSize = 1 << SuperpageShift
+)
+
+// Errors reported by the walker.
+var (
+	// ErrNotCanonical is returned for addresses whose bits 48..63 are not
+	// a sign extension of bit 47.
+	ErrNotCanonical = errors.New("pagetable: address is not canonical")
+	// ErrBadLevel is returned for page-table levels outside 1..4.
+	ErrBadLevel = errors.New("pagetable: level out of range")
+	// ErrBadIndex is returned for table indexes outside 0..511.
+	ErrBadIndex = errors.New("pagetable: index out of range")
+)
+
+// Canonical reports whether va is a valid 48-bit sign-extended address.
+func Canonical(va uint64) bool {
+	top := va >> 47
+	return top == 0 || top == 0x1ffff
+}
+
+// Index returns the 9-bit table index of va at the given level (1..4).
+func Index(va uint64, level int) (int, error) {
+	if level < 1 || level > 4 {
+		return 0, fmt.Errorf("%w: %d", ErrBadLevel, level)
+	}
+	shift := mm.PageShift + 9*(level-1)
+	return int(va >> shift & (EntriesPerTable - 1)), nil
+}
+
+// Compose builds the canonical virtual address addressed by the four
+// table indexes and page offset. It is the inverse of Index and is used
+// by exploits to craft addresses that resolve through attacker-linked
+// tables.
+func Compose(l4, l3, l2, l1 int, offset uint64) (uint64, error) {
+	for _, idx := range []int{l4, l3, l2, l1} {
+		if idx < 0 || idx >= EntriesPerTable {
+			return 0, fmt.Errorf("%w: %d", ErrBadIndex, idx)
+		}
+	}
+	if offset >= mm.PageSize {
+		return 0, fmt.Errorf("pagetable: offset %#x exceeds page size", offset)
+	}
+	va := uint64(l4)<<39 | uint64(l3)<<30 | uint64(l2)<<21 | uint64(l1)<<12 | offset
+	// Sign-extend bit 47.
+	if va&(1<<47) != 0 {
+		va |= 0xffff << 48
+	}
+	return va, nil
+}
+
+// EntryAddr returns the machine-physical address of entry idx in the
+// table frame.
+func EntryAddr(table mm.MFN, idx int) (mm.PhysAddr, error) {
+	if idx < 0 || idx >= EntriesPerTable {
+		return 0, fmt.Errorf("%w: %d", ErrBadIndex, idx)
+	}
+	return table.Addr() + mm.PhysAddr(idx*EntrySize), nil
+}
+
+// ReadEntry loads entry idx of the table frame from machine memory.
+func ReadEntry(mem *mm.Memory, table mm.MFN, idx int) (Entry, error) {
+	addr, err := EntryAddr(table, idx)
+	if err != nil {
+		return 0, err
+	}
+	v, err := mem.ReadU64(addr)
+	if err != nil {
+		return 0, err
+	}
+	return Entry(v), nil
+}
+
+// WriteEntry stores entry idx of the table frame to machine memory. This
+// is the raw store; validated updates go through the hypervisor's
+// mmu_update path.
+func WriteEntry(mem *mm.Memory, table mm.MFN, idx int, e Entry) error {
+	addr, err := EntryAddr(table, idx)
+	if err != nil {
+		return err
+	}
+	return mem.WriteU64(addr, uint64(e))
+}

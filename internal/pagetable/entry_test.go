@@ -1,0 +1,156 @@
+package pagetable
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/mm"
+)
+
+func TestEntryCodec(t *testing.T) {
+	tests := []struct {
+		name  string
+		mfn   mm.MFN
+		flags uint64
+	}{
+		{"zero frame, present", 0, FlagPresent},
+		{"typical leaf", 0x1234, FlagPresent | FlagRW | FlagUser},
+		{"superpage", 0x200, FlagPresent | FlagRW | FlagPSE},
+		{"nx leaf", 7, FlagPresent | FlagNX},
+		{"max frame", mm.MFN(0xffffffffff), FlagPresent | FlagRW},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			e := NewEntry(tt.mfn, tt.flags)
+			if got := e.MFN(); got != tt.mfn {
+				t.Errorf("MFN() = %#x, want %#x", uint64(got), uint64(tt.mfn))
+			}
+			if got := e.Flags(); got != tt.flags {
+				t.Errorf("Flags() = %#x, want %#x", got, tt.flags)
+			}
+		})
+	}
+}
+
+func TestEntryPredicates(t *testing.T) {
+	e := NewEntry(5, FlagPresent|FlagRW|FlagUser|FlagPSE|FlagNX)
+	if !e.Present() || !e.Writable() || !e.User() || !e.Superpage() || !e.NoExec() {
+		t.Errorf("predicates wrong for %v", e)
+	}
+	var zero Entry
+	if zero.Present() || zero.Writable() || zero.User() || zero.Superpage() || zero.NoExec() {
+		t.Errorf("zero entry has unexpected attributes")
+	}
+}
+
+func TestEntryFlagEditing(t *testing.T) {
+	e := NewEntry(9, FlagPresent)
+	e = e.WithFlags(FlagRW | FlagUser)
+	if !e.Writable() || !e.User() {
+		t.Error("WithFlags did not set RW|US")
+	}
+	e = e.WithoutFlags(FlagRW)
+	if e.Writable() {
+		t.Error("WithoutFlags did not clear RW")
+	}
+	if e.MFN() != 9 {
+		t.Errorf("flag edits disturbed the frame: %#x", uint64(e.MFN()))
+	}
+}
+
+func TestEntryStringShowsFlags(t *testing.T) {
+	e := NewEntry(0x82da9, FlagPresent|FlagRW|FlagUser)
+	s := e.String()
+	for _, want := range []string{"0x0000000082da9007", "P", "RW", "US"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+	if got := NewEntry(1, 0).String(); strings.Contains(got, "[") {
+		t.Errorf("non-present entry should print without flags: %q", got)
+	}
+}
+
+func TestCanonical(t *testing.T) {
+	tests := []struct {
+		va   uint64
+		want bool
+	}{
+		{0, true},
+		{0x00007fffffffffff, true},
+		{0xffff800000000000, true},
+		{0xffffffffffffffff, true},
+		{0x0000800000000000, false},
+		{0xfffe800000000000, false},
+		{0x0001000000000000, false},
+	}
+	for _, tt := range tests {
+		if got := Canonical(tt.va); got != tt.want {
+			t.Errorf("Canonical(%#x) = %v, want %v", tt.va, got, tt.want)
+		}
+	}
+}
+
+func TestIndexAndCompose(t *testing.T) {
+	va, err := Compose(256, 1, 2, 3, 0x45)
+	if err != nil {
+		t.Fatalf("Compose: %v", err)
+	}
+	// Index 256 sets bit 47, so the address must be sign-extended.
+	if !Canonical(va) {
+		t.Fatalf("Compose produced non-canonical %#x", va)
+	}
+	for level, want := range map[int]int{4: 256, 3: 1, 2: 2, 1: 3} {
+		got, err := Index(va, level)
+		if err != nil {
+			t.Fatalf("Index(level %d): %v", level, err)
+		}
+		if got != want {
+			t.Errorf("Index(%#x, %d) = %d, want %d", va, level, got, want)
+		}
+	}
+	if va&mm.PageMask != 0x45 {
+		t.Errorf("offset = %#x, want 0x45", va&mm.PageMask)
+	}
+	if _, err := Index(va, 5); !errors.Is(err, ErrBadLevel) {
+		t.Errorf("Index level 5: err = %v, want ErrBadLevel", err)
+	}
+	if _, err := Compose(512, 0, 0, 0, 0); !errors.Is(err, ErrBadIndex) {
+		t.Errorf("Compose index 512: err = %v, want ErrBadIndex", err)
+	}
+	if _, err := Compose(0, 0, 0, 0, mm.PageSize); err == nil {
+		t.Error("Compose with oversized offset succeeded")
+	}
+}
+
+func TestEntryAddr(t *testing.T) {
+	addr, err := EntryAddr(3, 7)
+	if err != nil {
+		t.Fatalf("EntryAddr: %v", err)
+	}
+	if want := mm.PhysAddr(3*mm.PageSize + 7*EntrySize); addr != want {
+		t.Errorf("EntryAddr = %#x, want %#x", uint64(addr), uint64(want))
+	}
+	if _, err := EntryAddr(3, EntriesPerTable); !errors.Is(err, ErrBadIndex) {
+		t.Errorf("EntryAddr bad index: err = %v, want ErrBadIndex", err)
+	}
+}
+
+func TestReadWriteEntry(t *testing.T) {
+	mem, err := mm.NewMemory(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEntry(5, FlagPresent|FlagRW)
+	if err := WriteEntry(mem, 2, 100, e); err != nil {
+		t.Fatalf("WriteEntry: %v", err)
+	}
+	got, err := ReadEntry(mem, 2, 100)
+	if err != nil {
+		t.Fatalf("ReadEntry: %v", err)
+	}
+	if got != e {
+		t.Errorf("round trip = %v, want %v", got, e)
+	}
+}

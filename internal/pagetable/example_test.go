@@ -1,0 +1,28 @@
+package pagetable_test
+
+import (
+	"fmt"
+
+	"repro/internal/pagetable"
+)
+
+// Entries print the way the experiment transcripts show PTEs — the
+// XSA-182 success line "page_directory[42] = 0x...007" is this format.
+func ExampleEntry_String() {
+	e := pagetable.NewEntry(0x82da9, pagetable.FlagPresent|pagetable.FlagRW|pagetable.FlagUser)
+	fmt.Println(e)
+	// Output:
+	// 0x0000000082da9007 [P|RW|US]
+}
+
+// Compose crafts the recursive self-mapping address the XSA-182 test
+// uses: all four levels index the same slot.
+func ExampleCompose() {
+	va, _ := pagetable.Compose(42, 42, 42, 42, 42*pagetable.EntrySize)
+	fmt.Printf("%#x\n", va)
+	idx, _ := pagetable.Index(va, 4)
+	fmt.Println("L4 index:", idx)
+	// Output:
+	// 0x150a8542a150
+	// L4 index: 42
+}

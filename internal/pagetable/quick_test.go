@@ -1,0 +1,147 @@
+package pagetable
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mm"
+)
+
+// Property: entry pack/unpack round-trips for every frame/flags pair.
+func TestQuickEntryRoundTrip(t *testing.T) {
+	f := func(rawMFN uint64, rawFlags uint64) bool {
+		mfn := mm.MFN(rawMFN & 0xffffffffff) // 40-bit frame numbers
+		flags := rawFlags & (0xfff | FlagNX)
+		e := NewEntry(mfn, flags)
+		return e.MFN() == mfn && e.Flags() == flags
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Compose and Index are inverses for all in-range indexes, and
+// Compose always yields canonical addresses.
+func TestQuickComposeIndexInverse(t *testing.T) {
+	f := func(a, b, c, d uint16, off uint16) bool {
+		l4 := int(a) % EntriesPerTable
+		l3 := int(b) % EntriesPerTable
+		l2 := int(c) % EntriesPerTable
+		l1 := int(d) % EntriesPerTable
+		offset := uint64(off) % mm.PageSize
+		va, err := Compose(l4, l3, l2, l1, offset)
+		if err != nil {
+			return false
+		}
+		if !Canonical(va) {
+			return false
+		}
+		for level, want := range map[int]int{4: l4, 3: l3, 2: l2, 1: l1} {
+			got, err := Index(va, level)
+			if err != nil || got != want {
+				return false
+			}
+		}
+		return va&mm.PageMask == offset
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for any set of mappings installed by the trusted builder, the
+// walker resolves each mapped page to exactly the frame that was mapped
+// (walker/builder agreement).
+func TestQuickWalkerBuilderAgreement(t *testing.T) {
+	f := func(pages []uint16) bool {
+		mem, err := mm.NewMemory(512)
+		if err != nil {
+			return false
+		}
+		b := NewBuilder(mem, func() (mm.MFN, error) { return mem.Alloc(mm.DomXen) })
+		root, err := b.NewRoot()
+		if err != nil {
+			return false
+		}
+		w := NewWalker(mem, nil)
+		installed := make(map[uint64]mm.MFN)
+		for _, p := range pages {
+			if len(installed) > 40 {
+				break
+			}
+			va, err := Compose(256+int(p%4), int(p/4)%8, int(p/32)%8, int(p)%EntriesPerTable, 0)
+			if err != nil {
+				return false
+			}
+			target, err := mem.Alloc(mm.DomXen)
+			if err != nil {
+				return false
+			}
+			if err := b.Map(root, va, target, FlagRW|FlagUser); err != nil {
+				return false
+			}
+			installed[va] = target
+		}
+		for va, want := range installed {
+			walk, err := w.Translate(root, va, AccessWrite, true)
+			if err != nil || walk.MFN != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the walker never resolves an address whose leaf is absent,
+// and never grants a guest write through an entry chain that contains a
+// read-only level.
+func TestQuickWalkerNeverEscalates(t *testing.T) {
+	f := func(roLevel uint8) bool {
+		mem, err := mm.NewMemory(128)
+		if err != nil {
+			return false
+		}
+		b := NewBuilder(mem, func() (mm.MFN, error) { return mem.Alloc(mm.DomXen) })
+		root, err := b.NewRoot()
+		if err != nil {
+			return false
+		}
+		target, err := mem.Alloc(mm.DomXen)
+		if err != nil {
+			return false
+		}
+		const va = 0xffff880000042000
+		if err := b.Map(root, va, target, FlagRW|FlagUser); err != nil {
+			return false
+		}
+		// Clear RW at one arbitrary level of the chain.
+		level := int(roLevel)%4 + 1
+		table, err := b.TableAt(root, va, level)
+		if err != nil {
+			return false
+		}
+		idx, err := Index(va, level)
+		if err != nil {
+			return false
+		}
+		e, err := ReadEntry(mem, table, idx)
+		if err != nil {
+			return false
+		}
+		if err := WriteEntry(mem, table, idx, e.WithoutFlags(FlagRW)); err != nil {
+			return false
+		}
+		w := NewWalker(mem, nil)
+		if _, err := w.Translate(root, va, AccessWrite, true); err == nil {
+			return false // write must fault: some level is read-only
+		}
+		_, err = w.Translate(root, va, AccessRead, true)
+		return err == nil // read stays fine
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,129 @@
+package pagetable
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mm"
+)
+
+func TestTLBBasicHitMiss(t *testing.T) {
+	tlb := NewTLB(4)
+	if !tlb.Enabled() {
+		t.Fatal("not enabled")
+	}
+	if _, ok := tlb.Lookup(0x1000); ok {
+		t.Error("hit on empty cache")
+	}
+	tlb.Insert(0x1234, TLBEntry{Frame: 7, Writable: true, User: true})
+	e, ok := tlb.Lookup(0x1fff) // same page
+	if !ok || e.Frame != 7 || !e.Writable {
+		t.Errorf("lookup = %+v, %v", e, ok)
+	}
+	if _, ok := tlb.Lookup(0x2000); ok {
+		t.Error("hit on a different page")
+	}
+	stats := tlb.Stats()
+	if stats.Hits != 1 || stats.Misses != 2 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestTLBFIFOEviction(t *testing.T) {
+	tlb := NewTLB(2)
+	tlb.Insert(0x1000, TLBEntry{Frame: 1})
+	tlb.Insert(0x2000, TLBEntry{Frame: 2})
+	tlb.Insert(0x3000, TLBEntry{Frame: 3}) // evicts 0x1000
+	if _, ok := tlb.Lookup(0x1000); ok {
+		t.Error("oldest entry survived eviction")
+	}
+	if _, ok := tlb.Lookup(0x2000); !ok {
+		t.Error("second entry evicted prematurely")
+	}
+	if tlb.Len() != 2 {
+		t.Errorf("len = %d", tlb.Len())
+	}
+	// Reinserting an existing page must not duplicate it.
+	tlb.Insert(0x2000, TLBEntry{Frame: 22})
+	if tlb.Len() != 2 {
+		t.Errorf("len after reinsert = %d", tlb.Len())
+	}
+	if e, _ := tlb.Lookup(0x2000); e.Frame != 22 {
+		t.Errorf("reinsert did not update: %+v", e)
+	}
+}
+
+func TestTLBFlush(t *testing.T) {
+	tlb := NewTLB(8)
+	for i := uint64(0); i < 5; i++ {
+		tlb.Insert(i<<12, TLBEntry{Frame: mm.MFN(i)})
+	}
+	tlb.Flush()
+	if tlb.Len() != 0 {
+		t.Errorf("len after flush = %d", tlb.Len())
+	}
+	if tlb.Stats().Flushes != 1 {
+		t.Errorf("flushes = %d", tlb.Stats().Flushes)
+	}
+}
+
+func TestTLBFlushVA(t *testing.T) {
+	tlb := NewTLB(8)
+	tlb.Insert(0x1000, TLBEntry{Frame: 1})
+	tlb.Insert(0x2000, TLBEntry{Frame: 2})
+	tlb.FlushVA(0x1abc) // same page as 0x1000
+	if _, ok := tlb.Lookup(0x1000); ok {
+		t.Error("invlpg missed the page")
+	}
+	if _, ok := tlb.Lookup(0x2000); !ok {
+		t.Error("invlpg hit the wrong page")
+	}
+	// Flushing an absent page is a no-op.
+	tlb.FlushVA(0x9000)
+	if tlb.Len() != 1 {
+		t.Errorf("len = %d", tlb.Len())
+	}
+}
+
+func TestTLBDisabled(t *testing.T) {
+	tlb := NewTLB(0)
+	if tlb.Enabled() {
+		t.Fatal("capacity 0 should disable")
+	}
+	tlb.Insert(0x1000, TLBEntry{Frame: 1})
+	if _, ok := tlb.Lookup(0x1000); ok {
+		t.Error("disabled cache produced a hit")
+	}
+	tlb.Flush()
+	tlb.FlushVA(0x1000)
+	if tlb.Len() != 0 {
+		t.Errorf("len = %d", tlb.Len())
+	}
+}
+
+// Property: the cache never exceeds its capacity and a flush always
+// empties it, for arbitrary insert/flush interleavings.
+func TestQuickTLBCapacityInvariant(t *testing.T) {
+	f := func(ops []uint16, capRaw uint8) bool {
+		capacity := int(capRaw%16) + 1
+		tlb := NewTLB(capacity)
+		for _, op := range ops {
+			switch op % 4 {
+			case 0, 1, 2:
+				tlb.Insert(uint64(op)<<12, TLBEntry{Frame: mm.MFN(op)})
+			case 3:
+				tlb.Flush()
+				if tlb.Len() != 0 {
+					return false
+				}
+			}
+			if tlb.Len() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

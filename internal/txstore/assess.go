@@ -1,0 +1,88 @@
+package txstore
+
+import (
+	"fmt"
+
+	"repro/internal/inject"
+	"repro/internal/mm"
+)
+
+// Target selects which part of the tenant database an injected
+// hypervisor-level intrusion corrupts. Each target models a different
+// consequence class for the application above the virtualization layer.
+type Target uint8
+
+// Corruption targets.
+const (
+	// TargetBalance overwrites one balance without fixing its checksum:
+	// corruption the application can detect.
+	TargetBalance Target = iota + 1
+	// TargetForgedRecord overwrites a balance *and* forges a matching
+	// checksum: the silent consistency violation — money created from
+	// hypervisor context, invisible to the application's own integrity
+	// machinery.
+	TargetForgedRecord
+	// TargetJournal corrupts the write-ahead journal state.
+	TargetJournal
+	// TargetMagic destroys the data-page identity.
+	TargetMagic
+)
+
+// String names the target.
+func (t Target) String() string {
+	switch t {
+	case TargetBalance:
+		return "balance-no-checksum"
+	case TargetForgedRecord:
+		return "forged-record"
+	case TargetJournal:
+		return "journal-state"
+	case TargetMagic:
+		return "page-magic"
+	default:
+		return fmt.Sprintf("Target(%d)", uint8(t))
+	}
+}
+
+// AllTargets returns every corruption target.
+func AllTargets() []Target {
+	return []Target{TargetBalance, TargetForgedRecord, TargetJournal, TargetMagic}
+}
+
+// InjectCorruption drives the store into the erroneous state selected by
+// the target, using the intrusion injector's physical mode — the
+// hypervisor-level write a real memory-corruption intrusion would
+// perform against a tenant's pages.
+func (s *Store) InjectCorruption(c *inject.Client, t Target) error {
+	data, err := s.DataPage()
+	if err != nil {
+		return err
+	}
+	journal, err := s.JournalPage()
+	if err != nil {
+		return err
+	}
+	writeU64 := func(addr mm.PhysAddr, v uint64) error {
+		var b [8]byte
+		for i := range b {
+			b[i] = byte(v >> (8 * i))
+		}
+		return c.ArbitraryAccess(uint64(addr), b[:], inject.WritePhys)
+	}
+	switch t {
+	case TargetBalance:
+		return writeU64(data.Addr()+headerSize, 0xffff_ffff)
+	case TargetForgedRecord:
+		const forged = 1_000_000
+		if err := writeU64(data.Addr()+headerSize, forged); err != nil {
+			return err
+		}
+		return writeU64(data.Addr()+headerSize+8, checksum(0, forged))
+	case TargetJournal:
+		return writeU64(journal.Addr(), 0xdeadbeef)
+	case TargetMagic:
+		return writeU64(data.Addr(), 0x4141414141414141)
+	default:
+		return fmt.Errorf("txstore: unknown corruption target %d", t)
+	}
+}

@@ -1,0 +1,85 @@
+package txstore
+
+import "fmt"
+
+// Report is the outcome of an ACID audit over the store: which
+// properties survived whatever the hypervisor did to the guest's memory.
+type Report struct {
+	// MagicIntact: the data page still identifies as a database.
+	MagicIntact bool
+	// ChecksumErrors counts records whose integrity check fails —
+	// corruption the application *detects*.
+	ChecksumErrors int
+	// ConservationHolds: the summed balances equal the expected total —
+	// the consistency invariant of the transfer workload.
+	ConservationHolds bool
+	// Total is the summed balance over verifiable records.
+	Total uint64
+	// JournalSane: the journal state field holds a defined value.
+	JournalSane bool
+}
+
+// Consistent reports whether the audit found full ACID health.
+func (r Report) Consistent() bool {
+	return r.MagicIntact && r.ChecksumErrors == 0 && r.ConservationHolds && r.JournalSane
+}
+
+// Classify names the failure mode for campaign tables. Detection beats
+// the other labels: once the application's own integrity machinery fires
+// it can refuse service, whatever else is broken.
+func (r Report) Classify() string {
+	switch {
+	case r.Consistent():
+		return "consistent"
+	case !r.MagicIntact:
+		return "destroyed"
+	case r.ChecksumErrors > 0:
+		return "detected-corruption"
+	case !r.ConservationHolds:
+		return "silent-consistency-violation"
+	default:
+		return "journal-damage"
+	}
+}
+
+// String renders the report.
+func (r Report) String() string {
+	return fmt.Sprintf("magic=%v checksumErrors=%d conservation=%v journal=%v total=%d -> %s",
+		r.MagicIntact, r.ChecksumErrors, r.ConservationHolds, r.JournalSane, r.Total, r.Classify())
+}
+
+// Check audits the store against the expected total balance.
+func (s *Store) Check(expectedTotal uint64) (Report, error) {
+	var r Report
+	m, err := s.k.PeekU64(s.dataVA)
+	if err != nil {
+		return r, err
+	}
+	r.MagicIntact = m == magic
+
+	for i := 0; i < s.accounts; i++ {
+		balance, err := s.k.PeekU64(s.recordVA(i))
+		if err != nil {
+			return r, err
+		}
+		sum, err := s.k.PeekU64(s.recordVA(i) + 8)
+		if err != nil {
+			return r, err
+		}
+		if sum != checksum(i, balance) {
+			r.ChecksumErrors++
+			continue
+		}
+		r.Total += balance
+	}
+	// Conservation is judged only when every record is verifiable;
+	// checksum failures already mark the store damaged.
+	r.ConservationHolds = r.ChecksumErrors == 0 && r.Total == expectedTotal
+
+	state, err := s.k.PeekU64(s.journalVA)
+	if err != nil {
+		return r, err
+	}
+	r.JournalSane = state == journalIdle || state == journalPrepared || state == journalCommitted
+	return r, nil
+}

@@ -1,0 +1,243 @@
+// Package txstore implements the tenant application of the paper's
+// Section III-C motivation: "a transactional business-critical system
+// that runs on a public cloud. How can one assess the impact of
+// successful intrusions on the hypervisor in the ability of the
+// transactional system to ensure the ACID properties?"
+//
+// The store is a small journaled account database whose entire state
+// lives in the guest's memory pages and is accessed through guest
+// memory operations — so erroneous states injected at the hypervisor
+// level reach it exactly the way a real intrusion would reach a real
+// database's pages.
+package txstore
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/guest"
+	"repro/internal/mm"
+)
+
+// Page layout constants.
+const (
+	// magic identifies an intact data page.
+	magic uint64 = 0x5458_4442_5630_31 // "TXDBV01"
+	// recordSize is one account record: balance + checksum.
+	recordSize = 16
+	// headerSize is the data-page header: magic + account count.
+	headerSize = 16
+	// checksumSalt decorrelates checksums from balances.
+	checksumSalt uint64 = 0x9e3779b97f4a7c15
+)
+
+// Journal states.
+const (
+	journalIdle      uint64 = 0
+	journalPrepared  uint64 = 1
+	journalCommitted uint64 = 2
+)
+
+// Store errors.
+var (
+	// ErrBadAccount is returned for out-of-range account numbers.
+	ErrBadAccount = errors.New("txstore: no such account")
+	// ErrInsufficient is returned when a transfer exceeds the balance.
+	ErrInsufficient = errors.New("txstore: insufficient funds")
+	// ErrCorrupted is returned when an operation touches a record whose
+	// checksum no longer matches (the store's own detection).
+	ErrCorrupted = errors.New("txstore: record checksum mismatch")
+)
+
+// Store is one guest-resident transactional account store.
+type Store struct {
+	k        *guest.Kernel
+	accounts int
+
+	dataPFN    mm.PFN
+	journalPFN mm.PFN
+	dataVA     uint64
+	journalVA  uint64
+
+	committed int
+}
+
+// New creates a store with the given number of accounts, each holding
+// the initial balance.
+func New(k *guest.Kernel, accounts int, initial uint64) (*Store, error) {
+	if accounts <= 0 || headerSize+accounts*recordSize > mm.PageSize {
+		return nil, fmt.Errorf("txstore: %d accounts do not fit one page", accounts)
+	}
+	dataPFN, err := k.Domain().AllocPage()
+	if err != nil {
+		return nil, err
+	}
+	journalPFN, err := k.Domain().AllocPage()
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		k:          k,
+		accounts:   accounts,
+		dataPFN:    dataPFN,
+		journalPFN: journalPFN,
+		dataVA:     k.Domain().PhysmapVA(dataPFN),
+		journalVA:  k.Domain().PhysmapVA(journalPFN),
+	}
+	if err := s.k.PokeU64(s.dataVA, magic); err != nil {
+		return nil, err
+	}
+	if err := s.k.PokeU64(s.dataVA+8, uint64(accounts)); err != nil {
+		return nil, err
+	}
+	for i := 0; i < accounts; i++ {
+		if err := s.writeRecord(i, initial); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.k.PokeU64(s.journalVA, journalIdle); err != nil {
+		return nil, err
+	}
+	k.Printk("txstore: %d accounts initialized, %d total units", accounts, uint64(accounts)*initial)
+	return s, nil
+}
+
+// Accounts returns the account count.
+func (s *Store) Accounts() int { return s.accounts }
+
+// Committed returns how many transfers have committed.
+func (s *Store) Committed() int { return s.committed }
+
+// DataPage returns the machine frame holding account records — the
+// target surface for hypervisor-level intrusion experiments.
+func (s *Store) DataPage() (mm.MFN, error) { return s.k.Domain().P2M().Lookup(s.dataPFN) }
+
+// JournalPage returns the machine frame holding the journal.
+func (s *Store) JournalPage() (mm.MFN, error) { return s.k.Domain().P2M().Lookup(s.journalPFN) }
+
+func (s *Store) recordVA(i int) uint64 {
+	return s.dataVA + headerSize + uint64(i)*recordSize
+}
+
+func checksum(idx int, balance uint64) uint64 {
+	return balance ^ checksumSalt ^ uint64(idx)*0x0101010101010101
+}
+
+func (s *Store) writeRecord(i int, balance uint64) error {
+	if err := s.k.PokeU64(s.recordVA(i), balance); err != nil {
+		return err
+	}
+	return s.k.PokeU64(s.recordVA(i)+8, checksum(i, balance))
+}
+
+// Balance reads one account, verifying its checksum.
+func (s *Store) Balance(i int) (uint64, error) {
+	if i < 0 || i >= s.accounts {
+		return 0, fmt.Errorf("%w: %d", ErrBadAccount, i)
+	}
+	balance, err := s.k.PeekU64(s.recordVA(i))
+	if err != nil {
+		return 0, err
+	}
+	sum, err := s.k.PeekU64(s.recordVA(i) + 8)
+	if err != nil {
+		return 0, err
+	}
+	if sum != checksum(i, balance) {
+		return 0, fmt.Errorf("%w: account %d", ErrCorrupted, i)
+	}
+	return balance, nil
+}
+
+// Transfer moves amount between accounts under a write-ahead journal:
+// prepare, apply both sides, commit, clear.
+func (s *Store) Transfer(from, to int, amount uint64) error {
+	if from == to {
+		return fmt.Errorf("%w: self transfer", ErrBadAccount)
+	}
+	fromBal, err := s.Balance(from)
+	if err != nil {
+		return err
+	}
+	toBal, err := s.Balance(to)
+	if err != nil {
+		return err
+	}
+	if fromBal < amount {
+		return fmt.Errorf("%w: account %d has %d, needs %d", ErrInsufficient, from, fromBal, amount)
+	}
+	// Journal: state, from, to, amount, pre-images.
+	for off, v := range map[uint64]uint64{
+		8:  uint64(from),
+		16: uint64(to),
+		24: amount,
+		32: fromBal,
+		40: toBal,
+	} {
+		if err := s.k.PokeU64(s.journalVA+off, v); err != nil {
+			return err
+		}
+	}
+	if err := s.k.PokeU64(s.journalVA, journalPrepared); err != nil {
+		return err
+	}
+	// Apply.
+	if err := s.writeRecord(from, fromBal-amount); err != nil {
+		return err
+	}
+	if err := s.writeRecord(to, toBal+amount); err != nil {
+		return err
+	}
+	if err := s.k.PokeU64(s.journalVA, journalCommitted); err != nil {
+		return err
+	}
+	if err := s.k.PokeU64(s.journalVA, journalIdle); err != nil {
+		return err
+	}
+	s.committed++
+	return nil
+}
+
+// Recover applies journal-based crash recovery: a prepared transaction
+// is rolled back from its pre-images; a committed one only needs the
+// journal cleared.
+func (s *Store) Recover() error {
+	state, err := s.k.PeekU64(s.journalVA)
+	if err != nil {
+		return err
+	}
+	switch state {
+	case journalIdle, journalCommitted:
+		return s.k.PokeU64(s.journalVA, journalIdle)
+	case journalPrepared:
+		from, err := s.k.PeekU64(s.journalVA + 8)
+		if err != nil {
+			return err
+		}
+		to, err := s.k.PeekU64(s.journalVA + 16)
+		if err != nil {
+			return err
+		}
+		fromBal, err := s.k.PeekU64(s.journalVA + 32)
+		if err != nil {
+			return err
+		}
+		toBal, err := s.k.PeekU64(s.journalVA + 40)
+		if err != nil {
+			return err
+		}
+		if int(from) >= s.accounts || int(to) >= s.accounts {
+			return fmt.Errorf("txstore: journal references invalid accounts %d/%d", from, to)
+		}
+		if err := s.writeRecord(int(from), fromBal); err != nil {
+			return err
+		}
+		if err := s.writeRecord(int(to), toBal); err != nil {
+			return err
+		}
+		s.k.Printk("txstore: rolled back prepared transfer %d -> %d", from, to)
+		return s.k.PokeU64(s.journalVA, journalIdle)
+	default:
+		return fmt.Errorf("txstore: journal state %#x is garbage", state)
+	}
+}

@@ -1,0 +1,164 @@
+package vnet
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestListenDialAccept(t *testing.T) {
+	n := New()
+	l, err := n.Listen("10.3.1.100:1234")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	if l.Addr() != "10.3.1.100:1234" {
+		t.Errorf("Addr = %q", l.Addr())
+	}
+	client, err := n.Dial("10.3.1.181:40000", "10.3.1.100:1234")
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	if l.Pending() != 1 {
+		t.Errorf("Pending = %d", l.Pending())
+	}
+	server, err := l.Accept()
+	if err != nil {
+		t.Fatalf("Accept: %v", err)
+	}
+	if server.RemoteAddr() != client.LocalAddr() || client.RemoteAddr() != server.LocalAddr() {
+		t.Errorf("addresses: client %s<->%s server %s<->%s",
+			client.LocalAddr(), client.RemoteAddr(), server.LocalAddr(), server.RemoteAddr())
+	}
+}
+
+func TestDialRefusedAndDuplicateListen(t *testing.T) {
+	n := New()
+	if _, err := n.Dial("a:1", "b:2"); !errors.Is(err, ErrRefused) {
+		t.Errorf("dial nowhere: err = %v, want ErrRefused", err)
+	}
+	if _, err := n.Listen("b:2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Listen("b:2"); !errors.Is(err, ErrAddrInUse) {
+		t.Errorf("double listen: err = %v, want ErrAddrInUse", err)
+	}
+}
+
+func TestListenerClose(t *testing.T) {
+	n := New()
+	l, _ := n.Listen("b:2")
+	l.Close()
+	if _, err := n.Dial("a:1", "b:2"); !errors.Is(err, ErrRefused) {
+		t.Errorf("dial closed listener: err = %v, want ErrRefused", err)
+	}
+	if _, err := l.Accept(); !errors.Is(err, ErrClosed) {
+		t.Errorf("accept on closed: err = %v, want ErrClosed", err)
+	}
+	// Address is reusable after close.
+	if _, err := n.Listen("b:2"); err != nil {
+		t.Errorf("relisten after close: %v", err)
+	}
+}
+
+func TestAcceptEmpty(t *testing.T) {
+	n := New()
+	l, _ := n.Listen("b:2")
+	if _, err := l.Accept(); !errors.Is(err, ErrNoData) {
+		t.Errorf("accept empty: err = %v, want ErrNoData", err)
+	}
+}
+
+func TestRawLineExchange(t *testing.T) {
+	n := New()
+	l, _ := n.Listen("b:2")
+	client, _ := n.Dial("a:1", "b:2")
+	server, _ := l.Accept()
+	if err := client.WriteLine("ping"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := server.ReadLine()
+	if err != nil || got != "ping" {
+		t.Errorf("server read %q, %v", got, err)
+	}
+	if err := server.WriteLine("pong"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := client.ReadLine(); got != "pong" {
+		t.Errorf("client read %q", got)
+	}
+	if _, err := client.ReadLine(); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty read: err = %v", err)
+	}
+}
+
+func TestHandlerShell(t *testing.T) {
+	n := New()
+	l, _ := n.Listen("attacker:1234")
+	client, _ := n.Dial("victim:55555", "attacker:1234")
+	server, _ := l.Accept()
+	// The victim side serves a fake shell.
+	client.SetHandler(func(line string) string {
+		if line == "whoami && hostname" {
+			return "root\nxen3"
+		}
+		return "sh: command not found"
+	})
+	out, err := server.Exec("whoami && hostname")
+	if err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	if out != "root\nxen3" {
+		t.Errorf("Exec = %q", out)
+	}
+	out, _ = server.Exec("frobnicate")
+	if !strings.Contains(out, "not found") {
+		t.Errorf("Exec unknown = %q", out)
+	}
+}
+
+func TestReadAll(t *testing.T) {
+	n := New()
+	l, _ := n.Listen("b:2")
+	client, _ := n.Dial("a:1", "b:2")
+	server, _ := l.Accept()
+	for _, s := range []string{"one", "two", "three"} {
+		if err := client.WriteLine(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := server.ReadAll(); got != "one\ntwo\nthree" {
+		t.Errorf("ReadAll = %q", got)
+	}
+	if got := server.ReadAll(); got != "" {
+		t.Errorf("second ReadAll = %q", got)
+	}
+}
+
+func TestClosedConnSemantics(t *testing.T) {
+	n := New()
+	l, _ := n.Listen("b:2")
+	client, _ := n.Dial("a:1", "b:2")
+	server, _ := l.Accept()
+	server.Close()
+	if err := client.WriteLine("x"); !errors.Is(err, ErrClosed) {
+		t.Errorf("write to closed peer: err = %v", err)
+	}
+	client.Close()
+	if _, err := client.ReadLine(); !errors.Is(err, ErrClosed) {
+		t.Errorf("read on closed conn: err = %v", err)
+	}
+}
+
+func TestNetworkLog(t *testing.T) {
+	n := New()
+	l, _ := n.Listen("10.3.1.100:1234")
+	_, _ = n.Dial("10.3.1.181:40000", "10.3.1.100:1234")
+	_ = l
+	log := strings.Join(n.Log(), "\n")
+	for _, want := range []string{"Listening on [10.3.1.100:1234]", "Connection from [10.3.1.181:40000]"} {
+		if !strings.Contains(log, want) {
+			t.Errorf("log missing %q:\n%s", want, log)
+		}
+	}
+}

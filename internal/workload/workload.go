@@ -1,0 +1,132 @@
+// Package workload drives deterministic guest activity — filesystem
+// traffic, shell sessions, memory access, hypercalls — so campaigns can
+// measure how a system behaves *as used* while erroneous states are
+// present. It is the workload half of the dependability-benchmark
+// pairing the paper builds toward (faultload = injected intrusions,
+// workload = this).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/guest"
+	"repro/internal/hv"
+	"repro/internal/mm"
+)
+
+// Config parameterizes one workload run.
+type Config struct {
+	// Ops is the number of operations to attempt.
+	Ops int
+	// Seed makes the operation mix reproducible.
+	Seed int64
+}
+
+// DefaultConfig is a moderate mixed workload.
+func DefaultConfig() Config { return Config{Ops: 200, Seed: 1} }
+
+// Result summarizes a run.
+type Result struct {
+	// Completed counts operations that succeeded.
+	Completed int
+	// Failed counts operations that returned errors.
+	Failed int
+	// Stopped is set when the run aborted early because the platform
+	// died (crash or hang) — the availability signal.
+	Stopped bool
+	// StopReason describes why.
+	StopReason string
+}
+
+// CompletionRate returns the fraction of attempted operations that
+// succeeded, in [0, 1].
+func (r Result) CompletionRate(cfg Config) float64 {
+	if cfg.Ops == 0 {
+		return 0
+	}
+	return float64(r.Completed) / float64(cfg.Ops)
+}
+
+// Session is a workload bound to one guest with its scratch pages
+// allocated; it can run any number of times without consuming further
+// guest memory.
+type Session struct {
+	k     *guest.Kernel
+	pages []mm.PFN
+}
+
+// NewSession allocates the workload's scratch pages on the guest. The
+// workload owns these pages and never touches memory other actors
+// (stores, exploit artifacts) allocated.
+func NewSession(k *guest.Kernel) (*Session, error) {
+	s := &Session{k: k}
+	for len(s.pages) < 4 {
+		pfn, err := k.Domain().AllocPage()
+		if err != nil {
+			return nil, err
+		}
+		s.pages = append(s.pages, pfn)
+	}
+	return s, nil
+}
+
+// Run executes the mixed workload on the guest. The mix touches every
+// service layer the experiments monitor: files, the shell, guest memory
+// through real page walks, and the hypercall interface.
+func Run(k *guest.Kernel, cfg Config) Result {
+	s, err := NewSession(k)
+	if err != nil {
+		return Result{Stopped: true, StopReason: "no scratch memory: " + err.Error()}
+	}
+	return s.Run(cfg)
+}
+
+// Run executes the workload once over the session's scratch pages.
+func (s *Session) Run(cfg Config) Result {
+	if cfg.Ops <= 0 {
+		return Result{Stopped: true, StopReason: "no operations requested"}
+	}
+	k, pages := s.k, s.pages
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var res Result
+	h := k.Domain().Hypervisor()
+	for i := 0; i < cfg.Ops; i++ {
+		if h.Crashed() || h.Hung() {
+			res.Stopped = true
+			if h.Crashed() {
+				res.StopReason = "hypervisor crashed: " + h.CrashReason()
+			} else {
+				res.StopReason = "hypervisor hung"
+			}
+			return res
+		}
+		if err := oneOp(k, rng, i, pages); err != nil {
+			res.Failed++
+			continue
+		}
+		res.Completed++
+	}
+	return res
+}
+
+func oneOp(k *guest.Kernel, rng *rand.Rand, i int, pages []mm.PFN) error {
+	switch rng.Intn(5) {
+	case 0:
+		path := fmt.Sprintf("/tmp/wl-%d", i%16)
+		return k.WriteFile(path, fmt.Sprintf("op %d", i), guest.UIDUser)
+	case 1:
+		_, err := k.Exec("whoami && hostname", guest.UIDUser)
+		return err
+	case 2:
+		// Touch a scratch page through the MMU.
+		pfn := pages[rng.Intn(len(pages))]
+		return k.PokeU64(k.Domain().PhysmapVA(pfn)+uint64(rng.Intn(400))*8, uint64(i))
+	case 3:
+		var b [8]byte
+		pfn := pages[rng.Intn(len(pages))]
+		return k.Peek(k.Domain().PhysmapVA(pfn), b[:])
+	default:
+		return k.Domain().Hypercall(hv.HypercallConsoleIO, fmt.Sprintf("workload op %d", i))
+	}
+}

@@ -1,0 +1,111 @@
+package workload_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/hv"
+	"repro/internal/workload"
+)
+
+func newGuest(t *testing.T, v hv.Version) *campaign.Environment {
+	t.Helper()
+	e, err := campaign.NewEnvironment(v, campaign.ModeInjection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestWorkloadCompletesOnHealthySystem(t *testing.T) {
+	e := newGuest(t, hv.Version413())
+	cfg := workload.Config{Ops: 150, Seed: 7}
+	res := workload.Run(e.Guests[1], cfg)
+	if res.Stopped {
+		t.Fatalf("stopped: %s", res.StopReason)
+	}
+	if res.Failed != 0 {
+		t.Errorf("failed ops on healthy system: %d", res.Failed)
+	}
+	if got := res.CompletionRate(cfg); got != 1.0 {
+		t.Errorf("completion = %.2f", got)
+	}
+}
+
+func TestWorkloadIsDeterministic(t *testing.T) {
+	cfg := workload.Config{Ops: 80, Seed: 42}
+	a := workload.Run(newGuest(t, hv.Version48()).Guests[1], cfg)
+	b := workload.Run(newGuest(t, hv.Version48()).Guests[1], cfg)
+	if a != b {
+		t.Errorf("runs differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestWorkloadStopsOnCrash(t *testing.T) {
+	e := newGuest(t, hv.Version46())
+	e.HV.Crash("FATAL TRAP: vector = 8 (double fault)")
+	res := workload.Run(e.Guests[1], workload.Config{Ops: 50, Seed: 1})
+	if !res.Stopped || !strings.Contains(res.StopReason, "crashed") {
+		t.Errorf("result = %+v", res)
+	}
+	if res.Completed != 0 {
+		t.Errorf("completed %d ops on a dead platform", res.Completed)
+	}
+}
+
+func TestWorkloadStopsOnHang(t *testing.T) {
+	e := newGuest(t, hv.Version46())
+	e.HV.InjectHang("test")
+	res := workload.Run(e.Guests[1], workload.Config{Ops: 50, Seed: 1})
+	if !res.Stopped || !strings.Contains(res.StopReason, "hung") {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestWorkloadRejectsZeroOps(t *testing.T) {
+	e := newGuest(t, hv.Version46())
+	res := workload.Run(e.Guests[1], workload.Config{})
+	if !res.Stopped {
+		t.Error("zero-op run not stopped")
+	}
+	if res.CompletionRate(workload.Config{}) != 0 {
+		t.Error("zero-op completion not zero")
+	}
+}
+
+// TestAvailabilityUnderInjection asserts the dependability view of
+// Table III: crash-class injections zero out a bystander guest's
+// service; the others leave it fully available.
+func TestAvailabilityUnderInjection(t *testing.T) {
+	for _, v := range []hv.Version{hv.Version48(), hv.Version413()} {
+		t.Run(v.Name, func(t *testing.T) {
+			rows, err := campaign.AvailabilityUnderInjection(v, workload.Config{Ops: 60, Seed: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rows) != 4 {
+				t.Fatalf("rows = %d", len(rows))
+			}
+			for _, r := range rows {
+				if !r.Injected {
+					t.Errorf("%s: state not injected", r.UseCase)
+				}
+				switch r.UseCase {
+				case "XSA-212-crash":
+					if r.VictimCompletion != 0 || !r.Stopped {
+						t.Errorf("%s: bystander survived a host crash: %v", r.UseCase, r)
+					}
+				default:
+					if r.VictimCompletion != 1.0 {
+						t.Errorf("%s: bystander availability = %.2f, want 1.00 (%s)",
+							r.UseCase, r.VictimCompletion, r.StopReason)
+					}
+				}
+				if r.String() == "" {
+					t.Error("empty row string")
+				}
+			}
+		})
+	}
+}
