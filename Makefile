@@ -1,0 +1,35 @@
+# Build/verify/benchmark targets for the reproduction.
+#
+# `race` is mandatory in CI now that the campaign engine runs cells on
+# a goroutine worker pool. `bench` tracks the campaign-matrix perf
+# trajectory across PRs by emitting BENCH_matrix.json (test2json
+# stream of `go test -bench Matrix -benchmem`).
+
+GO ?= go
+
+.PHONY: all build test race vet bench check clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -run '^$$' -bench Matrix -benchmem -json . > BENCH_matrix.json
+	@grep -o '"Output":"[^"]*ns/op[^"]*' BENCH_matrix.json | sed 's/"Output":"//;s/\\t/  /g;s/\\n//'
+	@echo "wrote BENCH_matrix.json"
+
+check: build vet test race
+
+clean:
+	rm -f BENCH_matrix.json
+	$(GO) clean ./...

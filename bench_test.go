@@ -5,6 +5,7 @@
 package repro
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/campaign"
@@ -92,7 +93,7 @@ func BenchmarkFig4(b *testing.B) {
 }
 
 // BenchmarkFullMatrix runs the complete 24-run campaign the repro binary
-// prints with -matrix.
+// prints with -matrix, on the serial (Workers: 1) path.
 func BenchmarkFullMatrix(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		entries, err := campaign.RunMatrix()
@@ -103,7 +104,108 @@ func BenchmarkFullMatrix(b *testing.B) {
 	}
 }
 
+// BenchmarkMatrixParallel runs the same 24-run campaign through the
+// parallel engine at increasing pool sizes. Output is byte-identical to
+// the serial path at every size; on a machine with >= 4 CPUs the larger
+// pools should cut wall-clock time by the core count (each cell is an
+// independent fresh environment, so the campaign is embarrassingly
+// parallel). Compare against BenchmarkFullMatrix for the speedup.
+func BenchmarkMatrixParallel(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			r := &campaign.Runner{Workers: w}
+			for i := 0; i < b.N; i++ {
+				entries, err := r.RunMatrix()
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = report.Matrix(entries)
+			}
+		})
+	}
+}
+
 // --- Substrate microbenchmarks ---
+
+// Allocator microbenchmarks. The free-set used to be a linear-scan free
+// list (AllocAt O(n), AllocRange O(n^2) worst case); it is now a
+// two-level bitmap with O(1) Alloc/AllocAt/Free and O(range)
+// AllocRange, which these benchmarks track on a 64 Ki-frame machine —
+// large enough that a linear scan would dominate per-environment boot.
+
+const benchFrames = 1 << 16
+
+func benchMemory(b *testing.B) *mm.Memory {
+	b.Helper()
+	m, err := mm.NewMemory(benchFrames)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkAlloc measures one lowest-first Alloc/Free cycle with half
+// the machine already allocated (the allocator's steady state during an
+// environment boot).
+func BenchmarkAlloc(b *testing.B) {
+	m := benchMemory(b)
+	for i := 0; i < benchFrames/2; i++ {
+		if _, err := m.Alloc(mm.Dom0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mfn, err := m.Alloc(mm.Dom0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Free(mfn); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllocAt measures claiming a specific high frame — the case
+// the old free list scanned O(n) for.
+func BenchmarkAllocAt(b *testing.B) {
+	m := benchMemory(b)
+	target := mm.MFN(benchFrames - 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.AllocAt(target, mm.Dom0); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Free(target); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllocRange measures finding and claiming a 64-frame run
+// beyond a fragmented low region (every other frame of the first 4096
+// allocated) — the case the old implementation re-scanned the whole
+// free list for at every candidate start.
+func BenchmarkAllocRange(b *testing.B) {
+	m := benchMemory(b)
+	for f := 0; f < 4096; f += 2 {
+		if err := m.AllocAt(mm.MFN(f), mm.Dom0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start, err := m.AllocRange(64, mm.Dom0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 64; j++ {
+			if err := m.Free(start + mm.MFN(j)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
 
 func benchEnv(b *testing.B, v hv.Version, mode campaign.Mode) *campaign.Environment {
 	b.Helper()

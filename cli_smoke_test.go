@@ -39,6 +39,7 @@ func TestCLISmoke(t *testing.T) {
 		{"table2", "repro", []string{"-table", "2"}, []string{"TABLE II", "Write Page Table Entries"}},
 		{"fig3", "repro", []string{"-figure", "3"}, []string{"equivalence", "true"}},
 		{"score", "repro", []string{"-score"}, []string{"SECURITY BENCHMARK", "0.50"}},
+		{"matrix-parallel", "repro", []string{"-matrix", "-workers", "4"}, []string{"FULL CAMPAIGN MATRIX", "4.13"}},
 		{"xsalab", "xsalab", []string{"-version", "4.8", "-case", "XSA-182-test"}, []string{"not vulnerable", "err-state=no"}},
 		{"iinject", "iinject", []string{"-version", "4.13", "-case", "XSA-182-test"}, []string{"handled by the system"}},
 		{"iinject-models", "iinject", []string{"-models"}, []string{"Guest-Writable Page Table Entry", "grant-status-leak"}},

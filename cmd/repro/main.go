@@ -3,10 +3,16 @@
 //
 // Usage:
 //
-//	repro               # everything
-//	repro -table 3      # one table (1..3)
-//	repro -figure 4     # one figure (1..4)
-//	repro -matrix       # the full 24-run campaign matrix
+//	repro                    # everything
+//	repro -table 3           # one table (1..3)
+//	repro -figure 4          # one figure (1..4)
+//	repro -matrix            # the full 24-run campaign matrix
+//	repro -matrix -workers 8 # the matrix on an 8-worker pool
+//
+// Campaign cells always run in fresh, isolated environments, so they
+// are spread over a worker pool (one worker per CPU by default;
+// -workers overrides, and -workers 1 forces the serial debug path).
+// The rendered output is byte-identical at any worker count.
 package main
 
 import (
@@ -33,10 +39,12 @@ func main() {
 	score := flag.Bool("score", false, "run the per-version security benchmark")
 	jsonOut := flag.Bool("json", false, "emit the full campaign as a JSON artifact")
 	avail := flag.Bool("availability", false, "run the availability-under-injection experiment")
+	workers := flag.Int("workers", 0, "campaign worker-pool size (0 = one per CPU, 1 = serial)")
 	flag.Parse()
 
 	all := *table == 0 && *figure == 0 && !*matrix && *fuzz == 0 && !*score && !*jsonOut && !*avail
 	out := os.Stdout
+	runner := &campaign.Runner{Workers: *workers}
 
 	if all || *table == 1 {
 		t := fieldstudy.Classify(fieldstudy.Dataset())
@@ -49,7 +57,7 @@ func main() {
 		fmt.Fprintln(out, report.TableII(inject.UseCaseModels()))
 	}
 	if all || *table == 3 {
-		rows, err := campaign.RunTable3()
+		rows, err := runner.RunTable3()
 		if err != nil {
 			log.Fatalf("table III campaign: %v", err)
 		}
@@ -71,14 +79,14 @@ func main() {
 		fmt.Fprintln(out, report.Fig3(inject.GuestWritablePageTableEntry))
 	}
 	if all || *figure == 4 {
-		rows, err := campaign.RunFig4()
+		rows, err := runner.RunFig4()
 		if err != nil {
 			log.Fatalf("figure 4 campaign: %v", err)
 		}
 		fmt.Fprintln(out, report.Fig4(rows))
 	}
 	if all || *matrix {
-		entries, err := campaign.RunMatrix()
+		entries, err := runner.RunMatrix()
 		if err != nil {
 			log.Fatalf("full matrix: %v", err)
 		}
@@ -94,14 +102,14 @@ func main() {
 		}
 	}
 	if *score {
-		scores, err := campaign.SecurityBenchmark()
+		scores, err := runner.SecurityBenchmark()
 		if err != nil {
 			log.Fatalf("security benchmark: %v", err)
 		}
 		fmt.Fprintln(out, report.Scoreboard(scores))
 	}
 	if *jsonOut {
-		if err := campaign.ExportMatrix(out); err != nil {
+		if err := runner.ExportMatrix(out); err != nil {
 			log.Fatalf("json export: %v", err)
 		}
 	}

@@ -60,6 +60,13 @@ type Environment struct {
 // mode compiles the injector hypercall into the build, as the prototype
 // does per version.
 func NewEnvironment(v hv.Version, mode Mode) (*Environment, error) {
+	return newEnvironment(campaignPlan(), v, mode)
+}
+
+// newEnvironment boots an environment from the precomputed campaign
+// plan, so the version-independent pieces (IP plan, domain names) are
+// laid out once per process instead of once per run.
+func newEnvironment(p *plan, v hv.Version, mode Mode) (*Environment, error) {
 	mem, err := mm.NewMemory(MachineFrames)
 	if err != nil {
 		return nil, err
@@ -82,9 +89,8 @@ func NewEnvironment(v hv.Version, mode Mode) (*Environment, error) {
 	e.Dom0 = guest.New(dom0, e.Net, "10.3.1.1")
 	e.Guests = append(e.Guests, e.Dom0)
 
-	ips := []string{"10.3.1.178", "10.3.1.179", AttackerIP}
-	for i, ip := range ips {
-		name := fmt.Sprintf("guest%02d", i+1)
+	for i, ip := range p.guestIPs {
+		name := p.guestNames[i]
 		d, err := h.CreateDomain(name, DomainFrames, false)
 		if err != nil {
 			return nil, fmt.Errorf("campaign: creating %s: %w", name, err)
@@ -138,19 +144,5 @@ type RunResult struct {
 // Run executes one (version, use case, mode) cell in a fresh
 // environment.
 func Run(v hv.Version, useCase string, mode Mode) (*RunResult, error) {
-	e, err := NewEnvironment(v, mode)
-	if err != nil {
-		return nil, err
-	}
-	scen, err := exploits.ScenarioByName(useCase)
-	if err != nil {
-		return nil, err
-	}
-	env, err := e.ScenarioEnv(mode)
-	if err != nil {
-		return nil, err
-	}
-	outcome := scen.Run(env)
-	verdict := monitor.Assess(e.HV, e.Guests, outcome)
-	return &RunResult{Outcome: outcome, Verdict: verdict}, nil
+	return runCell(cell{version: v, useCase: useCase, mode: mode})
 }

@@ -1,11 +1,6 @@
 package campaign
 
-import (
-	"fmt"
-
-	"repro/internal/exploits"
-	"repro/internal/hv"
-)
+import "repro/internal/hv"
 
 // Fig4Row is one use case of the RQ1 validation (Fig. 4): the original
 // exploit and the injection script on the vulnerable version, compared.
@@ -21,27 +16,9 @@ type Fig4Row struct {
 
 // RunFig4 executes the RQ1 experiment: every use case, exploit vs
 // injection, on the vulnerable 4.6 version, each in a fresh environment.
+// Cells run serially; use a Runner to spread them over a worker pool.
 func RunFig4() ([]Fig4Row, error) {
-	v := hv.Version46()
-	rows := make([]Fig4Row, 0, len(exploits.Scenarios()))
-	for _, s := range exploits.Scenarios() {
-		ex, err := Run(v, s.Name, ModeExploit)
-		if err != nil {
-			return nil, fmt.Errorf("campaign: fig4 %s exploit: %w", s.Name, err)
-		}
-		in, err := Run(v, s.Name, ModeInjection)
-		if err != nil {
-			return nil, fmt.Errorf("campaign: fig4 %s injection: %w", s.Name, err)
-		}
-		rows = append(rows, Fig4Row{
-			UseCase:         s.Name,
-			Exploit:         ex,
-			Injection:       in,
-			StatesMatch:     ex.Verdict.ErroneousState == in.Verdict.ErroneousState,
-			ViolationsMatch: ex.Verdict.SecurityViolation == in.Verdict.SecurityViolation,
-		})
-	}
-	return rows, nil
+	return (&Runner{Workers: 1}).RunFig4()
 }
 
 // Table3Cell is one (use case, version) cell of Table III.
@@ -57,30 +34,17 @@ type Table3Row struct {
 }
 
 // Table3Versions are the non-vulnerable versions the campaign injects
-// into.
+// into. The returned slice is freshly allocated on every call; callers
+// may mutate it freely.
 func Table3Versions() []hv.Version {
 	return []hv.Version{hv.Version48(), hv.Version413()}
 }
 
 // RunTable3 executes the RQ2/RQ3 injection campaign: every use case's
-// injection script against 4.8 and 4.13.
+// injection script against 4.8 and 4.13. Cells run serially; use a
+// Runner to spread them over a worker pool.
 func RunTable3() ([]Table3Row, error) {
-	rows := make([]Table3Row, 0, len(exploits.Scenarios()))
-	for _, s := range exploits.Scenarios() {
-		row := Table3Row{UseCase: s.Name, Cells: make(map[string]Table3Cell, 2)}
-		for _, v := range Table3Versions() {
-			res, err := Run(v, s.Name, ModeInjection)
-			if err != nil {
-				return nil, fmt.Errorf("campaign: table3 %s on %s: %w", s.Name, v.Name, err)
-			}
-			row.Cells[v.Name] = Table3Cell{
-				ErrState: res.Verdict.ErroneousState,
-				SecViol:  res.Verdict.SecurityViolation,
-			}
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+	return (&Runner{Workers: 1}).RunTable3()
 }
 
 // MatrixEntry is one cell of the full campaign: every version, use case
@@ -94,19 +58,8 @@ type MatrixEntry struct {
 }
 
 // RunMatrix executes the full 3 versions x 4 use cases x 2 modes
-// campaign (24 runs, each in a fresh environment).
+// campaign (24 runs, each in a fresh environment). Cells run serially;
+// use a Runner to spread them over a worker pool.
 func RunMatrix() ([]MatrixEntry, error) {
-	var out []MatrixEntry
-	for _, v := range hv.Versions() {
-		for _, s := range exploits.Scenarios() {
-			for _, mode := range []Mode{ModeExploit, ModeInjection} {
-				res, err := Run(v, s.Name, mode)
-				if err != nil {
-					return nil, fmt.Errorf("campaign: matrix %s/%s/%s: %w", v.Name, s.Name, mode, err)
-				}
-				out = append(out, MatrixEntry{Version: v.Name, UseCase: s.Name, Mode: mode, Result: res})
-			}
-		}
-	}
-	return out, nil
+	return (&Runner{Workers: 1}).RunMatrix()
 }

@@ -49,14 +49,21 @@ func exportRun(version, useCase string, mode Mode, res *RunResult) ExportedRun {
 	return out
 }
 
-// ExportMatrix runs the full campaign and writes the JSON artifact,
-// including the per-version security-benchmark scores.
+// ExportMatrix runs the full campaign serially and writes the JSON
+// artifact, including the per-version security-benchmark scores. Use a
+// Runner's ExportMatrix to spread the runs over a worker pool.
 func ExportMatrix(w io.Writer) error {
-	entries, err := RunMatrix()
+	return (&Runner{Workers: 1}).ExportMatrix(w)
+}
+
+// ExportMatrix runs the full campaign across the pool and writes the
+// JSON artifact, including the per-version security-benchmark scores.
+func (r *Runner) ExportMatrix(w io.Writer) error {
+	entries, err := r.RunMatrix()
 	if err != nil {
 		return err
 	}
-	scores, err := SecurityBenchmark()
+	scores, err := r.SecurityBenchmark()
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,277 @@
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/exploits"
+	"repro/internal/hv"
+	"repro/internal/monitor"
+)
+
+// The parallel campaign engine. Every cell of the paper's evaluation
+// runs "in a fresh environment" by design — no state is shared between
+// runs — so the 24-run matrix is embarrassingly parallel. The Runner
+// fans cells out to a worker pool of goroutine-owned environments and
+// reassembles the results in deterministic cell order, so the rendered
+// tables are byte-identical to the serial path no matter how many
+// workers raced to produce them.
+
+// Runner executes campaign cells on a configurable worker pool.
+// The zero value uses one worker per available CPU.
+type Runner struct {
+	// Workers is the worker-pool size. Zero (or negative) means
+	// GOMAXPROCS. Workers == 1 runs cells strictly serially in cell
+	// order — today's single-threaded behaviour, kept for debugging —
+	// and stops at the first failing cell instead of finishing the
+	// batch.
+	Workers int
+}
+
+// workers resolves the configured pool size.
+func (r *Runner) workers() int {
+	if r.Workers > 0 {
+		return r.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// cell is one (version, use case, mode) coordinate of a campaign.
+type cell struct {
+	version hv.Version
+	useCase string
+	mode    Mode
+}
+
+// plan is the version-independent part of the experimental setup,
+// precomputed once per process instead of once per run: the scenario
+// lookup, the paper-ordered scenario list, and the domain/IP layout of
+// the standard environment. Everything in it is immutable after
+// construction, so concurrent workers may share it freely.
+type plan struct {
+	scenarios  map[string]exploits.Scenario
+	order      []exploits.Scenario
+	guestNames []string
+	guestIPs   []string
+}
+
+var (
+	planOnce   sync.Once
+	sharedPlan *plan
+)
+
+// campaignPlan returns the shared warm-boot prototype.
+func campaignPlan() *plan {
+	planOnce.Do(func() {
+		p := &plan{scenarios: make(map[string]exploits.Scenario)}
+		p.order = exploits.Scenarios()
+		for _, s := range p.order {
+			p.scenarios[s.Name] = s
+		}
+		p.guestIPs = []string{"10.3.1.178", "10.3.1.179", AttackerIP}
+		for i := range p.guestIPs {
+			p.guestNames = append(p.guestNames, fmt.Sprintf("guest%02d", i+1))
+		}
+		sharedPlan = p
+	})
+	return sharedPlan
+}
+
+// runCell executes one cell in its own fresh environment. It is the
+// unit of work a pool worker owns; nothing it touches outlives the call
+// or is shared with another cell.
+func runCell(c cell) (*RunResult, error) {
+	p := campaignPlan()
+	scen, ok := p.scenarios[c.useCase]
+	if !ok {
+		// Fall through to the canonical lookup for its error message.
+		var err error
+		if scen, err = exploits.ScenarioByName(c.useCase); err != nil {
+			return nil, err
+		}
+	}
+	e, err := newEnvironment(p, c.version, c.mode)
+	if err != nil {
+		return nil, err
+	}
+	env, err := e.ScenarioEnv(c.mode)
+	if err != nil {
+		return nil, err
+	}
+	outcome := scen.Run(env)
+	verdict := monitor.Assess(e.HV, e.Guests, outcome)
+	return &RunResult{Outcome: outcome, Verdict: verdict}, nil
+}
+
+// runCells executes a batch of cells and returns results in cell order.
+// wrap contextualizes a cell's error for the caller's experiment. With
+// more than one worker every cell runs to completion and the first
+// error in cell order is reported, matching the serial path's choice of
+// error deterministically.
+func (r *Runner) runCells(cells []cell, wrap func(cell, error) error) ([]*RunResult, error) {
+	results := make([]*RunResult, len(cells))
+	n := r.workers()
+	if n > len(cells) {
+		n = len(cells)
+	}
+	if n <= 1 {
+		for i, c := range cells {
+			res, err := runCell(c)
+			if err != nil {
+				return nil, wrap(c, err)
+			}
+			results[i] = res
+		}
+		return results, nil
+	}
+	errs := make([]error, len(cells))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for w := 0; w < n; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i], errs[i] = runCell(cells[i])
+			}
+		}()
+	}
+	for i := range cells {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, wrap(cells[i], err)
+		}
+	}
+	return results, nil
+}
+
+// RunFig4 executes the RQ1 experiment (every use case, exploit vs
+// injection, on the vulnerable 4.6 version) across the pool.
+func (r *Runner) RunFig4() ([]Fig4Row, error) {
+	v := hv.Version46()
+	p := campaignPlan()
+	cells := make([]cell, 0, 2*len(p.order))
+	for _, s := range p.order {
+		cells = append(cells,
+			cell{v, s.Name, ModeExploit},
+			cell{v, s.Name, ModeInjection})
+	}
+	results, err := r.runCells(cells, func(c cell, err error) error {
+		return fmt.Errorf("campaign: fig4 %s %s: %w", c.useCase, c.mode, err)
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig4Row, 0, len(p.order))
+	for i, s := range p.order {
+		ex, in := results[2*i], results[2*i+1]
+		rows = append(rows, Fig4Row{
+			UseCase:         s.Name,
+			Exploit:         ex,
+			Injection:       in,
+			StatesMatch:     ex.Verdict.ErroneousState == in.Verdict.ErroneousState,
+			ViolationsMatch: ex.Verdict.SecurityViolation == in.Verdict.SecurityViolation,
+		})
+	}
+	return rows, nil
+}
+
+// RunTable3 executes the RQ2/RQ3 injection campaign (every use case's
+// injection script against 4.8 and 4.13) across the pool.
+func (r *Runner) RunTable3() ([]Table3Row, error) {
+	p := campaignPlan()
+	versions := Table3Versions()
+	cells := make([]cell, 0, len(p.order)*len(versions))
+	for _, s := range p.order {
+		for _, v := range versions {
+			cells = append(cells, cell{v, s.Name, ModeInjection})
+		}
+	}
+	results, err := r.runCells(cells, func(c cell, err error) error {
+		return fmt.Errorf("campaign: table3 %s on %s: %w", c.useCase, c.version.Name, err)
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table3Row, 0, len(p.order))
+	for i, s := range p.order {
+		row := Table3Row{UseCase: s.Name, Cells: make(map[string]Table3Cell, len(versions))}
+		for j, v := range versions {
+			res := results[i*len(versions)+j]
+			row.Cells[v.Name] = Table3Cell{
+				ErrState: res.Verdict.ErroneousState,
+				SecViol:  res.Verdict.SecurityViolation,
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RunMatrix executes the full 3 versions x 4 use cases x 2 modes
+// campaign (24 runs, each in a fresh environment) across the pool.
+func (r *Runner) RunMatrix() ([]MatrixEntry, error) {
+	p := campaignPlan()
+	var cells []cell
+	for _, v := range hv.Versions() {
+		for _, s := range p.order {
+			for _, mode := range []Mode{ModeExploit, ModeInjection} {
+				cells = append(cells, cell{v, s.Name, mode})
+			}
+		}
+	}
+	results, err := r.runCells(cells, func(c cell, err error) error {
+		return fmt.Errorf("campaign: matrix %s/%s/%s: %w", c.version.Name, c.useCase, c.mode, err)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]MatrixEntry, len(cells))
+	for i, c := range cells {
+		out[i] = MatrixEntry{Version: c.version.Name, UseCase: c.useCase, Mode: c.mode, Result: results[i]}
+	}
+	return out, nil
+}
+
+// SecurityBenchmark runs the injection campaign (all use cases) against
+// every version across the pool and aggregates per-version scores.
+func (r *Runner) SecurityBenchmark() ([]Score, error) {
+	p := campaignPlan()
+	versions := hv.Versions()
+	cells := make([]cell, 0, len(versions)*len(p.order))
+	for _, v := range versions {
+		for _, s := range p.order {
+			cells = append(cells, cell{v, s.Name, ModeInjection})
+		}
+	}
+	results, err := r.runCells(cells, func(c cell, err error) error {
+		return fmt.Errorf("campaign: benchmark %s on %s: %w", c.useCase, c.version.Name, err)
+	})
+	if err != nil {
+		return nil, err
+	}
+	scores := make([]Score, 0, len(versions))
+	for i, v := range versions {
+		s := Score{Version: v.Name}
+		for j := range p.order {
+			verdict := results[i*len(p.order)+j].Verdict
+			if !verdict.ErroneousState {
+				s.FailedInjections++
+				continue
+			}
+			s.StatesInjected++
+			if verdict.SecurityViolation {
+				s.Violations++
+			} else {
+				s.Handled++
+			}
+		}
+		scores = append(scores, s)
+	}
+	return scores, nil
+}

@@ -1,0 +1,139 @@
+package campaign_test
+
+// The parallel campaign engine's contract: any worker count produces
+// results identical to the serial path, because every cell runs in its
+// own fresh environment and results are reassembled in cell order. The
+// tests compare the *rendered* artifacts (report strings and the JSON
+// export), which is exactly what the paper-reproduction pipeline
+// consumes — byte equality there is the whole guarantee.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/report"
+)
+
+var workerCounts = []int{1, 4, 8}
+
+func TestRunnerMatrixDeterministicAcrossWorkerCounts(t *testing.T) {
+	entries, err := campaign.RunMatrix()
+	if err != nil {
+		t.Fatalf("serial RunMatrix: %v", err)
+	}
+	serial := report.Matrix(entries)
+	for _, w := range workerCounts {
+		r := &campaign.Runner{Workers: w}
+		entries, err := r.RunMatrix()
+		if err != nil {
+			t.Fatalf("Workers=%d RunMatrix: %v", w, err)
+		}
+		if got := report.Matrix(entries); got != serial {
+			t.Errorf("Workers=%d matrix differs from serial:\n--- serial ---\n%s\n--- workers=%d ---\n%s",
+				w, serial, w, got)
+		}
+	}
+}
+
+func TestRunnerTable3DeterministicAcrossWorkerCounts(t *testing.T) {
+	versions := []string{"4.8", "4.13"}
+	rows, err := campaign.RunTable3()
+	if err != nil {
+		t.Fatalf("serial RunTable3: %v", err)
+	}
+	serial := report.TableIII(rows, versions)
+	for _, w := range workerCounts {
+		r := &campaign.Runner{Workers: w}
+		rows, err := r.RunTable3()
+		if err != nil {
+			t.Fatalf("Workers=%d RunTable3: %v", w, err)
+		}
+		if got := report.TableIII(rows, versions); got != serial {
+			t.Errorf("Workers=%d Table III differs from serial:\n--- serial ---\n%s\n--- workers=%d ---\n%s",
+				w, serial, w, got)
+		}
+	}
+}
+
+func TestRunnerFig4DeterministicAcrossWorkerCounts(t *testing.T) {
+	rows, err := campaign.RunFig4()
+	if err != nil {
+		t.Fatalf("serial RunFig4: %v", err)
+	}
+	serial := report.Fig4(rows)
+	for _, w := range workerCounts {
+		r := &campaign.Runner{Workers: w}
+		rows, err := r.RunFig4()
+		if err != nil {
+			t.Fatalf("Workers=%d RunFig4: %v", w, err)
+		}
+		if got := report.Fig4(rows); got != serial {
+			t.Errorf("Workers=%d Fig. 4 differs from serial:\n--- serial ---\n%s\n--- workers=%d ---\n%s",
+				w, serial, w, got)
+		}
+	}
+}
+
+func TestRunnerExportMatrixDeterministic(t *testing.T) {
+	var serial bytes.Buffer
+	if err := campaign.ExportMatrix(&serial); err != nil {
+		t.Fatalf("serial ExportMatrix: %v", err)
+	}
+	var parallel bytes.Buffer
+	r := &campaign.Runner{Workers: 6}
+	if err := r.ExportMatrix(&parallel); err != nil {
+		t.Fatalf("parallel ExportMatrix: %v", err)
+	}
+	if serial.String() != parallel.String() {
+		t.Error("parallel JSON export differs from serial")
+	}
+}
+
+func TestRunnerSecurityBenchmarkDeterministic(t *testing.T) {
+	serial, err := campaign.SecurityBenchmark()
+	if err != nil {
+		t.Fatalf("serial SecurityBenchmark: %v", err)
+	}
+	r := &campaign.Runner{Workers: 4}
+	parallel, err := r.SecurityBenchmark()
+	if err != nil {
+		t.Fatalf("parallel SecurityBenchmark: %v", err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("score count: serial %d, parallel %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Errorf("score %d: serial %v, parallel %v", i, serial[i], parallel[i])
+		}
+	}
+}
+
+// The engine must surface a cell's failure with the same error text the
+// serial loops used, picking the first failing cell in cell order no
+// matter which worker hit it.
+func TestRunnerUnknownUseCaseError(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		_, err := campaign.Run(campaign.Table3Versions()[0], "XSA-0-bogus", campaign.ModeInjection)
+		if err == nil {
+			t.Fatalf("Workers=%d: run of unknown use case succeeded", w)
+		}
+		if !strings.Contains(err.Error(), `unknown use case "XSA-0-bogus"`) {
+			t.Errorf("Workers=%d: error = %v, want unknown-use-case text", w, err)
+		}
+	}
+}
+
+// A zero-value Runner must resolve to a positive pool size.
+func TestRunnerDefaultWorkers(t *testing.T) {
+	r := &campaign.Runner{}
+	rows, err := r.RunFig4()
+	if err != nil {
+		t.Fatalf("zero-value Runner RunFig4: %v", err)
+	}
+	if len(rows) != 4 {
+		t.Errorf("got %d Fig. 4 rows, want 4", len(rows))
+	}
+}

@@ -1,11 +1,6 @@
 package campaign
 
-import (
-	"fmt"
-
-	"repro/internal/exploits"
-	"repro/internal/hv"
-)
+import "fmt"
 
 // Score aggregates one version's behaviour under the injection campaign
 // into benchmark-style numbers — the "security benchmark for virtualized
@@ -44,28 +39,7 @@ func (s Score) String() string {
 // SecurityBenchmark runs the injection campaign (all use cases) against
 // every version and aggregates the per-version scores. On the paper's
 // data the expected ranking is 4.13 (0.50) > 4.8 (0.00) = 4.6 (0.00).
+// Cells run serially; use a Runner to spread them over a worker pool.
 func SecurityBenchmark() ([]Score, error) {
-	scores := make([]Score, 0, len(hv.Versions()))
-	for _, v := range hv.Versions() {
-		s := Score{Version: v.Name}
-		for _, scen := range exploits.Scenarios() {
-			res, err := Run(v, scen.Name, ModeInjection)
-			if err != nil {
-				return nil, fmt.Errorf("campaign: benchmark %s on %s: %w", scen.Name, v.Name, err)
-			}
-			verdict := res.Verdict
-			if !verdict.ErroneousState {
-				s.FailedInjections++
-				continue
-			}
-			s.StatesInjected++
-			if verdict.SecurityViolation {
-				s.Violations++
-			} else {
-				s.Handled++
-			}
-		}
-		scores = append(scores, s)
-	}
-	return scores, nil
+	return (&Runner{Workers: 1}).SecurityBenchmark()
 }

@@ -139,7 +139,10 @@ func titleFor(f inject.AbusiveFunctionality, i int) string {
 }
 
 // Dataset returns the 100 classified advisories. Construction is
-// deterministic, so counts and IDs are stable across runs.
+// deterministic, so counts and IDs are stable across runs. The slice,
+// every Advisory, and each Advisory's Functionalities slice are freshly
+// allocated per call — callers (including concurrent campaign workers)
+// may mutate the result without affecting other callers.
 func Dataset() []Advisory {
 	out := make([]Advisory, 0, 100)
 	for _, d := range duals {

@@ -99,7 +99,10 @@ func Version413() Version {
 	}
 }
 
-// Versions returns the three evaluated profiles in release order.
+// Versions returns the three evaluated profiles in release order. The
+// returned slice and its Version values are freshly allocated on every
+// call — callers (including concurrent campaign workers) may mutate
+// them without affecting other callers.
 func Versions() []Version {
 	return []Version{Version46(), Version48(), Version413()}
 }

@@ -1,17 +1,58 @@
 package mm
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
+
+// setFree marks a frame free in the indexed free-set.
+func (m *Memory) setFree(mfn MFN) {
+	w, b := int(mfn)>>6, uint(mfn)&63
+	m.freeWords[w] |= 1 << b
+	m.freeSummary[w>>6] |= 1 << (uint(w) & 63)
+	m.freeCount++
+}
+
+// clearFree removes a frame from the free-set. The caller must know the
+// frame is currently free.
+func (m *Memory) clearFree(mfn MFN) {
+	w, b := int(mfn)>>6, uint(mfn)&63
+	m.freeWords[w] &^= 1 << b
+	if m.freeWords[w] == 0 {
+		m.freeSummary[w>>6] &^= 1 << (uint(w) & 63)
+	}
+	m.freeCount--
+}
+
+// isFree reports whether a valid frame is in the free-set.
+func (m *Memory) isFree(mfn MFN) bool {
+	return m.freeWords[int(mfn)>>6]>>(uint(mfn)&63)&1 == 1
+}
+
+// lowestFree returns the lowest-numbered free frame. The summary level
+// narrows the search to one word per 4096 frames, then two trailing-zero
+// counts finish the job.
+func (m *Memory) lowestFree() (MFN, bool) {
+	for s, sum := range m.freeSummary {
+		if sum == 0 {
+			continue
+		}
+		w := s<<6 + bits.TrailingZeros64(sum)
+		return MFN(w<<6 + bits.TrailingZeros64(m.freeWords[w])), true
+	}
+	return 0, false
+}
 
 // Alloc takes the lowest-numbered free frame, assigns it to the owner and
 // zeroes its contents. Deterministic lowest-first allocation keeps
 // experiment runs reproducible and lets exploits perform the allocator
 // grooming that real attacks rely on.
 func (m *Memory) Alloc(owner DomID) (MFN, error) {
-	if len(m.freeList) == 0 {
+	mfn, ok := m.lowestFree()
+	if !ok {
 		return 0, ErrOutOfMemory
 	}
-	mfn := m.freeList[len(m.freeList)-1]
-	m.freeList = m.freeList[:len(m.freeList)-1]
+	m.clearFree(mfn)
 	m.claim(mfn, owner)
 	return mfn, nil
 }
@@ -22,48 +63,61 @@ func (m *Memory) AllocAt(mfn MFN, owner DomID) error {
 	if !m.ValidMFN(mfn) {
 		return fmt.Errorf("%w: mfn %#x", ErrBadMFN, uint64(mfn))
 	}
-	for i := len(m.freeList) - 1; i >= 0; i-- {
-		if m.freeList[i] != mfn {
-			continue
-		}
-		m.freeList = append(m.freeList[:i], m.freeList[i+1:]...)
-		m.claim(mfn, owner)
-		return nil
+	if !m.isFree(mfn) {
+		return fmt.Errorf("mm: frame %#x is not free", uint64(mfn))
 	}
-	return fmt.Errorf("mm: frame %#x is not free", uint64(mfn))
+	m.clearFree(mfn)
+	m.claim(mfn, owner)
+	return nil
 }
 
 // AllocRange allocates n consecutive free frames and returns the first.
 // Used by the domain builder to give each domain a contiguous machine
 // region, which keeps the physical-memory scans of the XSA-148 exploit
-// realistic.
+// realistic. The search walks the free-set word by word, skipping fully
+// allocated 64-frame blocks, and claims the lowest run found.
 func (m *Memory) AllocRange(n int, owner DomID) (MFN, error) {
 	if n <= 0 {
 		return 0, fmt.Errorf("mm: AllocRange needs a positive count, got %d", n)
 	}
-	free := make(map[MFN]bool, len(m.freeList))
-	for _, f := range m.freeList {
-		free[f] = true
-	}
-	for start := 0; start+n <= len(m.frames); start++ {
-		ok := true
-		for i := 0; i < n; i++ {
-			if !free[MFN(start+i)] {
-				ok = false
-				break
+	run := 0
+	for f := 0; f < len(m.frames); f++ {
+		w, b := f>>6, uint(f)&63
+		if b == 0 {
+			// Word-granular fast paths: skip empty words, swallow
+			// fully free ones.
+			if word := m.freeWords[w]; word == 0 {
+				run = 0
+				f += 63
+				continue
+			} else if word == ^uint64(0) && f+64 <= len(m.frames) {
+				run += 64
+				f += 63
+				if run >= n {
+					return m.claimRange(MFN(f+1-run), n, owner)
+				}
+				continue
 			}
 		}
-		if !ok {
-			continue
-		}
-		for i := 0; i < n; i++ {
-			if err := m.AllocAt(MFN(start+i), owner); err != nil {
-				return 0, err
+		if m.freeWords[w]>>b&1 == 1 {
+			run++
+			if run == n {
+				return m.claimRange(MFN(f+1-n), n, owner)
 			}
+		} else {
+			run = 0
 		}
-		return MFN(start), nil
 	}
 	return 0, fmt.Errorf("%w: no run of %d consecutive free frames", ErrOutOfMemory, n)
+}
+
+// claimRange allocates the already-verified free frames [start, start+n).
+func (m *Memory) claimRange(start MFN, n int, owner DomID) (MFN, error) {
+	for i := 0; i < n; i++ {
+		m.clearFree(start + MFN(i))
+		m.claim(start+MFN(i), owner)
+	}
+	return start, nil
 }
 
 func (m *Memory) claim(mfn MFN, owner DomID) {
@@ -94,7 +148,7 @@ func (m *Memory) Free(mfn MFN) error {
 	}
 	*pi = PageInfo{Owner: DomInvalid, Type: TypeNone}
 	m.m2p[mfn] = m2pEntry{}
-	m.freeList = append(m.freeList, mfn)
+	m.setFree(mfn)
 	m.allocated--
 	return nil
 }

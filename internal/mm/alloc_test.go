@@ -1,0 +1,245 @@
+package mm
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// The indexed free-set must give strict lowest-first ordering even after
+// out-of-order frees: freeing 3 then 5 and allocating twice yields 3
+// then 5, regardless of free order.
+func TestAllocLowestFirstAfterOutOfOrderFrees(t *testing.T) {
+	m := newTestMemory(t, 16)
+	for i := 0; i < 8; i++ {
+		if _, err := m.Alloc(Dom0); err != nil {
+			t.Fatalf("Alloc %d: %v", i, err)
+		}
+	}
+	for _, seq := range [][]MFN{{3, 5}, {5, 3}} {
+		for _, f := range seq {
+			if err := m.Free(f); err != nil {
+				t.Fatalf("Free(%d): %v", f, err)
+			}
+		}
+		for _, want := range []MFN{3, 5} {
+			got, err := m.Alloc(Dom0)
+			if err != nil {
+				t.Fatalf("Alloc: %v", err)
+			}
+			if got != want {
+				t.Errorf("free order %v: Alloc = %d, want %d (lowest free)", seq, got, want)
+			}
+		}
+	}
+}
+
+// Free-set bookkeeping must stay consistent across word and summary
+// boundaries (64 and 4096 frames).
+func TestFreeSetWordBoundaries(t *testing.T) {
+	const frames = 64*64 + 130 // crosses a summary word plus a partial tail word
+	m, err := NewMemory(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.FreeFrames() != frames {
+		t.Fatalf("FreeFrames = %d, want %d", m.FreeFrames(), frames)
+	}
+	for _, mfn := range []MFN{63, 64, 4095, 4096, frames - 1} {
+		if err := m.AllocAt(mfn, Dom0); err != nil {
+			t.Fatalf("AllocAt(%d): %v", mfn, err)
+		}
+		if m.isFree(mfn) {
+			t.Errorf("frame %d still marked free after AllocAt", mfn)
+		}
+	}
+	if m.FreeFrames() != frames-5 {
+		t.Errorf("FreeFrames = %d, want %d", m.FreeFrames(), frames-5)
+	}
+	// Lowest-first allocation must skip the holes we punched.
+	for want := MFN(0); want < 63; want++ {
+		got, err := m.Alloc(Dom0)
+		if err != nil {
+			t.Fatalf("Alloc: %v", err)
+		}
+		if got != want {
+			t.Fatalf("Alloc = %d, want %d", got, want)
+		}
+	}
+	got, err := m.Alloc(Dom0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 65 {
+		t.Errorf("Alloc across punched word boundary = %d, want 65", got)
+	}
+}
+
+// AllocRange must find the lowest run even when it spans fully free
+// words, and must skip fully allocated words without missing runs that
+// straddle them.
+func TestAllocRangeAcrossWords(t *testing.T) {
+	m := newTestMemory(t, 256)
+	// Allocate frames 0..99, free back 60..79: a 20-frame hole that
+	// straddles the 63/64 word boundary.
+	if _, err := m.AllocRange(100, Dom0); err != nil {
+		t.Fatal(err)
+	}
+	for f := MFN(60); f < 80; f++ {
+		if err := m.Free(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start, err := m.AllocRange(20, DomFirstGuest)
+	if err != nil {
+		t.Fatalf("AllocRange(20): %v", err)
+	}
+	if start != 60 {
+		t.Errorf("AllocRange start = %d, want 60 (the straddling hole)", start)
+	}
+	// A larger request must land after the allocated prefix.
+	start, err = m.AllocRange(30, DomFirstGuest)
+	if err != nil {
+		t.Fatalf("AllocRange(30): %v", err)
+	}
+	if start != 100 {
+		t.Errorf("AllocRange start = %d, want 100", start)
+	}
+}
+
+// Property: the free-set behaves exactly like a naive reference model
+// (a boolean-per-frame scan) over arbitrary interleavings of Alloc,
+// AllocAt, AllocRange and Free.
+func TestQuickFreeSetMatchesReferenceModel(t *testing.T) {
+	const frames = 300 // several words plus a partial tail
+	f := func(script []uint16, seed int64) bool {
+		m, err := NewMemory(frames)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		ref := make([]bool, frames) // true = free
+		for i := range ref {
+			ref[i] = true
+		}
+		refLowest := func() (MFN, bool) {
+			for i, free := range ref {
+				if free {
+					return MFN(i), true
+				}
+			}
+			return 0, false
+		}
+		refRun := func(n int) (MFN, bool) {
+			run := 0
+			for i := 0; i < frames; i++ {
+				if ref[i] {
+					run++
+					if run == n {
+						return MFN(i + 1 - n), true
+					}
+				} else {
+					run = 0
+				}
+			}
+			return 0, false
+		}
+		for _, op := range script {
+			switch op % 4 {
+			case 0: // Alloc
+				want, wantOK := refLowest()
+				got, err := m.Alloc(Dom0)
+				if wantOK != (err == nil) {
+					return false
+				}
+				if err == nil {
+					if got != want {
+						return false
+					}
+					ref[got] = false
+				}
+			case 1: // AllocAt
+				target := MFN(rng.Intn(frames))
+				err := m.AllocAt(target, Dom0)
+				if ref[target] != (err == nil) {
+					return false
+				}
+				if err == nil {
+					ref[target] = false
+				}
+			case 2: // AllocRange
+				n := rng.Intn(70) + 1
+				want, wantOK := refRun(n)
+				got, err := m.AllocRange(n, Dom0)
+				if wantOK != (err == nil) {
+					return false
+				}
+				if err == nil {
+					if got != want {
+						return false
+					}
+					for i := 0; i < n; i++ {
+						ref[int(got)+i] = false
+					}
+				}
+			case 3: // Free a random allocated frame
+				target := rng.Intn(frames)
+				if ref[target] {
+					continue
+				}
+				if err := m.Free(MFN(target)); err != nil {
+					return false
+				}
+				ref[target] = true
+			}
+		}
+		// Final bookkeeping check.
+		freeCount := 0
+		for i, free := range ref {
+			if free != m.isFree(MFN(i)) {
+				return false
+			}
+			if free {
+				freeCount++
+			}
+		}
+		return m.FreeFrames() == freeCount &&
+			m.AllocatedFrames() == frames-freeCount
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Exhausting the machine and refilling it must restore a full free-set.
+func TestFreeSetExhaustAndRefill(t *testing.T) {
+	const frames = 130
+	m, err := NewMemory(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < frames; i++ {
+		if _, err := m.Alloc(Dom0); err != nil {
+			t.Fatalf("Alloc %d: %v", i, err)
+		}
+	}
+	if _, err := m.Alloc(Dom0); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("Alloc on full machine: err = %v, want ErrOutOfMemory", err)
+	}
+	if m.FreeFrames() != 0 {
+		t.Errorf("FreeFrames = %d, want 0", m.FreeFrames())
+	}
+	for i := frames - 1; i >= 0; i-- {
+		if err := m.Free(MFN(i)); err != nil {
+			t.Fatalf("Free(%d): %v", i, err)
+		}
+	}
+	if m.FreeFrames() != frames || m.AllocatedFrames() != 0 {
+		t.Errorf("after refill: free=%d allocated=%d, want %d/0",
+			m.FreeFrames(), m.AllocatedFrames(), frames)
+	}
+	if mfn, err := m.Alloc(Dom0); err != nil || mfn != 0 {
+		t.Errorf("Alloc after refill = %d, %v; want 0, nil", mfn, err)
+	}
+}

@@ -193,13 +193,23 @@ var (
 // simulated machine costs memory proportional only to the frames touched.
 //
 // Memory is not safe for concurrent use; the simulator is deterministic
-// and single-threaded by design (see DESIGN.md).
+// and single-threaded by design (see DESIGN.md). The campaign engine
+// runs environments concurrently by giving each its own Memory.
+//
+// Free frames are tracked in a two-level bitmap (the indexed free-set):
+// bit b of freeWords[w] is set iff frame w*64+b is free, and bit i of
+// freeSummary[s] is set iff freeWords[s*64+i] has any free frame. The
+// summary makes lowest-free lookup a couple of trailing-zero counts, so
+// Alloc, AllocAt and Free are O(1) and AllocRange is O(range) plus a
+// word-granular skip over allocated regions.
 type Memory struct {
-	frames    [][]byte
-	pageInfo  []PageInfo
-	m2p       []m2pEntry
-	freeList  []MFN // stack of free frames, highest first (pop = lowest)
-	allocated int
+	frames      [][]byte
+	pageInfo    []PageInfo
+	m2p         []m2pEntry
+	freeWords   []uint64
+	freeSummary []uint64
+	freeCount   int
+	allocated   int
 }
 
 type m2pEntry struct {
@@ -215,18 +225,17 @@ func NewMemory(frames int) (*Memory, error) {
 		return nil, fmt.Errorf("mm: machine must have at least one frame, got %d", frames)
 	}
 	m := &Memory{
-		frames:   make([][]byte, frames),
-		pageInfo: make([]PageInfo, frames),
-		m2p:      make([]m2pEntry, frames),
-		freeList: make([]MFN, 0, frames),
+		frames:      make([][]byte, frames),
+		pageInfo:    make([]PageInfo, frames),
+		m2p:         make([]m2pEntry, frames),
+		freeWords:   make([]uint64, (frames+63)/64),
+		freeSummary: make([]uint64, ((frames+63)/64+63)/64),
 	}
 	for i := range m.pageInfo {
 		m.pageInfo[i] = PageInfo{Owner: DomInvalid, Type: TypeNone}
 	}
-	// Push descending so that popping from the tail yields the lowest
-	// free MFN first: deterministic layout for tests and exploits.
-	for i := frames - 1; i >= 0; i-- {
-		m.freeList = append(m.freeList, MFN(i))
+	for i := 0; i < frames; i++ {
+		m.setFree(MFN(i))
 	}
 	return m, nil
 }
@@ -239,6 +248,9 @@ func (m *Memory) Bytes() uint64 { return uint64(len(m.frames)) * PageSize }
 
 // AllocatedFrames returns how many frames are currently allocated.
 func (m *Memory) AllocatedFrames() int { return m.allocated }
+
+// FreeFrames returns how many frames the allocator has available.
+func (m *Memory) FreeFrames() int { return m.freeCount }
 
 // ValidMFN reports whether the frame number addresses machine memory.
 func (m *Memory) ValidMFN(mfn MFN) bool { return uint64(mfn) < uint64(len(m.frames)) }
