@@ -3,11 +3,15 @@
 # `race` is mandatory in CI now that the campaign engine runs cells on
 # a goroutine worker pool. `bench` tracks the campaign-matrix perf
 # trajectory across PRs by emitting BENCH_matrix.json (test2json
-# stream of `go test -bench Matrix -benchmem`).
+# stream of `go test -bench Matrix -benchmem`); the Matrix pattern
+# also matches BenchmarkMatrixTelemetry, so the artifact carries the
+# telemetry-overhead numbers (trace off vs on) alongside the pool
+# sizes. `trace-demo` generates a one-cell JSONL trace and asserts it
+# is non-empty, parseable and carries the expected event families.
 
 GO ?= go
 
-.PHONY: all build test race vet bench check clean
+.PHONY: all build test race vet bench check trace-demo clean
 
 all: check
 
@@ -28,8 +32,12 @@ bench:
 	@grep -o '"Output":"[^"]*ns/op[^"]*' BENCH_matrix.json | sed 's/"Output":"//;s/\\t/  /g;s/\\n//'
 	@echo "wrote BENCH_matrix.json"
 
+trace-demo:
+	$(GO) run ./cmd/repro -cell 4.6/XSA-148-priv/injection -trace trace-demo.jsonl > /dev/null
+	$(GO) run ./cmd/tracecheck trace-demo.jsonl
+
 check: build vet test race
 
 clean:
-	rm -f BENCH_matrix.json
+	rm -f BENCH_matrix.json trace-demo.jsonl
 	$(GO) clean ./...

@@ -18,6 +18,7 @@ import (
 	"repro/internal/mm"
 	"repro/internal/pagetable"
 	"repro/internal/report"
+	"repro/internal/telemetry"
 	"repro/internal/txstore"
 	"repro/internal/workload"
 )
@@ -123,6 +124,27 @@ func BenchmarkMatrixParallel(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkMatrixTelemetry runs the 24-run campaign with telemetry off
+// (nil registry: every instrumented path takes the predicted-not-taken
+// nil branch) and on (per-cell recorder, ring events, counter merges
+// into the shared registry). The "off" sub-benchmark is the guard for
+// the disabled-sink contract: it must stay within noise of
+// BenchmarkMatrixParallel's pre-telemetry numbers.
+func BenchmarkMatrixTelemetry(b *testing.B) {
+	run := func(b *testing.B, reg *telemetry.Registry) {
+		r := &campaign.Runner{Workers: 4, Telemetry: reg}
+		for i := 0; i < b.N; i++ {
+			entries, err := r.RunMatrix()
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = report.Matrix(entries)
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("on", func(b *testing.B) { run(b, telemetry.NewRegistry()) })
 }
 
 // --- Substrate microbenchmarks ---

@@ -12,7 +12,7 @@ import (
 func buildCLIs(t *testing.T) string {
 	t.Helper()
 	dir := t.TempDir()
-	for _, tool := range []string{"repro", "xsalab", "iinject"} {
+	for _, tool := range []string{"repro", "xsalab", "iinject", "tracecheck"} {
 		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool)
 		cmd.Env = os.Environ()
 		out, err := cmd.CombinedOutput()
@@ -58,4 +58,27 @@ func TestCLISmoke(t *testing.T) {
 			}
 		})
 	}
+
+	// The observability pipeline end to end: one profiled cell, a JSONL
+	// trace on disk, the metrics summary, and tracecheck's validation.
+	t.Run("trace-and-metrics", func(t *testing.T) {
+		trace := filepath.Join(t.TempDir(), "cell.jsonl")
+		out, err := exec.Command(filepath.Join(dir, "repro"),
+			"-cell", "4.6/XSA-148-priv/injection", "-trace", trace, "-metrics").CombinedOutput()
+		if err != nil {
+			t.Fatalf("repro -cell -trace -metrics: %v\n%s", err, out)
+		}
+		for _, want := range []string{"CAMPAIGN TELEMETRY SUMMARY", "hypercall.arbitrary_access", "cell.wall_ns"} {
+			if !strings.Contains(string(out), want) {
+				t.Errorf("metrics output missing %q:\n%s", want, out)
+			}
+		}
+		out, err = exec.Command(filepath.Join(dir, "tracecheck"), trace).CombinedOutput()
+		if err != nil {
+			t.Fatalf("tracecheck: %v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "ok:") {
+			t.Errorf("tracecheck output missing ok: %s", out)
+		}
+	})
 }

@@ -13,6 +13,13 @@
 // are spread over a worker pool (one worker per CPU by default;
 // -workers overrides, and -workers 1 forces the serial debug path).
 // The rendered output is byte-identical at any worker count.
+//
+// Observability:
+//
+//	repro -matrix -trace trace.jsonl   # per-cell event trace (JSONL)
+//	repro -matrix -metrics             # aggregated counters/histograms
+//	repro -cell 4.6/XSA-148-priv/injection -trace cell.jsonl
+//	repro -matrix -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -20,14 +27,35 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
 
 	"repro/internal/campaign"
 	"repro/internal/fieldstudy"
 	"repro/internal/hv"
 	"repro/internal/inject"
 	"repro/internal/report"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
+
+// parseCell splits a "version/use-case/mode" cell coordinate.
+func parseCell(s string) (hv.Version, string, campaign.Mode, error) {
+	parts := strings.Split(s, "/")
+	if len(parts) != 3 {
+		return hv.Version{}, "", "", fmt.Errorf("cell %q: want version/use-case/mode", s)
+	}
+	v, err := hv.VersionByName(parts[0])
+	if err != nil {
+		return hv.Version{}, "", "", err
+	}
+	mode := campaign.Mode(parts[2])
+	if mode != campaign.ModeExploit && mode != campaign.ModeInjection {
+		return hv.Version{}, "", "", fmt.Errorf("cell %q: mode must be %q or %q", s, campaign.ModeExploit, campaign.ModeInjection)
+	}
+	return v, parts[1], mode, nil
+}
 
 func main() {
 	log.SetFlags(0)
@@ -40,12 +68,54 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the full campaign as a JSON artifact")
 	avail := flag.Bool("availability", false, "run the availability-under-injection experiment")
 	workers := flag.Int("workers", 0, "campaign worker-pool size (0 = one per CPU, 1 = serial)")
+	cellSpec := flag.String("cell", "", "run a single cell, \"version/use-case/mode\" (e.g. 4.6/XSA-148-priv/injection)")
+	traceOut := flag.String("trace", "", "write a per-cell JSONL event trace to this file")
+	metrics := flag.Bool("metrics", false, "print the aggregated telemetry summary after the campaign")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
 
-	all := *table == 0 && *figure == 0 && !*matrix && *fuzz == 0 && !*score && !*jsonOut && !*avail
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	all := *table == 0 && *figure == 0 && !*matrix && *fuzz == 0 && !*score && !*jsonOut && !*avail && *cellSpec == ""
 	out := os.Stdout
 	runner := &campaign.Runner{Workers: *workers}
+	if *traceOut != "" || *metrics {
+		runner.Telemetry = telemetry.NewRegistry()
+	}
+	// profiles accumulates every profiled cell in run order for -trace.
+	var profiles []*telemetry.CellProfile
+	collect := func(res *campaign.RunResult) {
+		if res != nil && res.Profile != nil {
+			profiles = append(profiles, res.Profile)
+		}
+	}
 
+	if *cellSpec != "" {
+		v, useCase, mode, err := parseCell(*cellSpec)
+		if err != nil {
+			log.Fatalf("-cell: %v", err)
+		}
+		res, err := runner.Run(v, useCase, mode)
+		if err != nil {
+			log.Fatalf("cell %s: %v", *cellSpec, err)
+		}
+		collect(res)
+		fmt.Fprintln(out, res.Verdict)
+		for _, line := range res.Verdict.Evidence {
+			fmt.Fprintf(out, "  %s\n", line)
+		}
+	}
 	if all || *table == 1 {
 		t := fieldstudy.Classify(fieldstudy.Dataset())
 		if err := t.Verify(); err != nil {
@@ -83,12 +153,19 @@ func main() {
 		if err != nil {
 			log.Fatalf("figure 4 campaign: %v", err)
 		}
+		for _, row := range rows {
+			collect(row.Exploit)
+			collect(row.Injection)
+		}
 		fmt.Fprintln(out, report.Fig4(rows))
 	}
 	if all || *matrix {
 		entries, err := runner.RunMatrix()
 		if err != nil {
 			log.Fatalf("full matrix: %v", err)
+		}
+		for _, e := range entries {
+			collect(e.Result)
 		}
 		fmt.Fprintln(out, report.Matrix(entries))
 	}
@@ -120,6 +197,41 @@ func main() {
 				log.Fatalf("availability on %s: %v", v.Name, err)
 			}
 			fmt.Fprintln(out, report.Availability(rows))
+		}
+	}
+
+	if *traceOut != "" {
+		if len(profiles) == 0 {
+			log.Fatalf("-trace: no profiled cells ran (combine -trace with -matrix, -figure 4, or -cell)")
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		if err := telemetry.WriteTrace(f, profiles); err != nil {
+			f.Close()
+			log.Fatalf("trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		log.Printf("wrote %d-cell trace to %s", len(profiles), *traceOut)
+	}
+	if *metrics {
+		fmt.Fprintln(out, report.MetricsSummary(runner.Telemetry))
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			log.Fatalf("memprofile: %v", err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			log.Fatalf("memprofile: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("memprofile: %v", err)
 		}
 	}
 }

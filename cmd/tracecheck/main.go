@@ -1,0 +1,84 @@
+// Command tracecheck validates a JSONL telemetry trace produced by
+// `repro -trace`: it must be non-empty, parse line by line, and carry
+// the event families a campaign-cell diagnosis relies on. CI's
+// trace-demo target runs it against a freshly generated one-cell trace,
+// so a regression that silences a whole event family fails the build
+// rather than surfacing during an investigation.
+//
+// Usage:
+//
+//	tracecheck <trace.jsonl>
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/telemetry"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracecheck: ")
+	if len(os.Args) != 2 {
+		log.Fatalf("usage: tracecheck <trace.jsonl>")
+	}
+	f, err := os.Open(os.Args[1])
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	records, err := telemetry.ReadTrace(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(records) == 0 {
+		log.Fatalf("%s: trace is empty", os.Args[1])
+	}
+
+	// Per-cell bookkeeping: which event kinds each cell produced, and
+	// whether its cell_end summary arrived.
+	kinds := map[string]map[string]int{}
+	ended := map[string]bool{}
+	for i, rec := range records {
+		if rec.Cell == "" || rec.Kind == "" {
+			log.Fatalf("record %d: missing cell or kind: %+v", i+1, rec)
+		}
+		if rec.Kind == telemetry.CellEndKind {
+			ended[rec.Cell] = true
+			continue
+		}
+		if kinds[rec.Cell] == nil {
+			kinds[rec.Cell] = map[string]int{}
+		}
+		kinds[rec.Cell][rec.Kind]++
+	}
+	if len(kinds) == 0 {
+		log.Fatalf("%s: no event records, only summaries", os.Args[1])
+	}
+
+	fail := false
+	for cell, k := range kinds {
+		if !ended[cell] {
+			fmt.Printf("FAIL %s: no cell_end summary\n", cell)
+			fail = true
+		}
+		required := []string{"hypercall_enter", "hypercall_exit", "page_type_get"}
+		// Injection-mode cells must additionally show injector activity.
+		if strings.HasSuffix(cell, "/injection") {
+			required = append(required, "injector_op")
+		}
+		for _, want := range required {
+			if k[want] == 0 {
+				fmt.Printf("FAIL %s: no %s events\n", cell, want)
+				fail = true
+			}
+		}
+	}
+	if fail {
+		os.Exit(1)
+	}
+	fmt.Printf("ok: %d records across %d cells\n", len(records), len(kinds))
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/inject"
 	"repro/internal/mm"
 	"repro/internal/monitor"
+	"repro/internal/telemetry"
 	"repro/internal/vnet"
 )
 
@@ -54,28 +55,37 @@ type Environment struct {
 	Guests   []*guest.Kernel // dom0 first, then guest01..guest03
 	Listener *vnet.Listener
 	Injector *inject.Client // nil on exploit-mode builds
+	// Tel is the environment's telemetry recorder, nil when tracing is
+	// disabled. The same recorder is installed on the hypervisor build,
+	// so everything the environment does lands in one trace.
+	Tel *telemetry.Recorder
 }
 
 // NewEnvironment boots the standard experimental environment. Injection
 // mode compiles the injector hypercall into the build, as the prototype
 // does per version.
 func NewEnvironment(v hv.Version, mode Mode) (*Environment, error) {
-	return newEnvironment(campaignPlan(), v, mode)
+	return newEnvironment(campaignPlan(), v, mode, nil)
 }
 
 // newEnvironment boots an environment from the precomputed campaign
 // plan, so the version-independent pieces (IP plan, domain names) are
-// laid out once per process instead of once per run.
-func newEnvironment(p *plan, v hv.Version, mode Mode) (*Environment, error) {
+// laid out once per process instead of once per run. tel, when non-nil,
+// is installed as the build's telemetry sink before boot.
+func newEnvironment(p *plan, v hv.Version, mode Mode, tel *telemetry.Recorder) (*Environment, error) {
 	mem, err := mm.NewMemory(MachineFrames)
 	if err != nil {
 		return nil, err
 	}
-	h, err := hv.New(mem, v)
+	var opts []hv.Option
+	if tel != nil {
+		opts = append(opts, hv.WithTelemetry(tel))
+	}
+	h, err := hv.New(mem, v, opts...)
 	if err != nil {
 		return nil, err
 	}
-	e := &Environment{HV: h, Net: vnet.New()}
+	e := &Environment{HV: h, Net: vnet.New(), Tel: tel}
 	if mode == ModeInjection {
 		if err := inject.Enable(h); err != nil {
 			return nil, err
@@ -135,14 +145,19 @@ func (e *Environment) ScenarioEnv(mode Mode) (*exploits.Env, error) {
 	return env, nil
 }
 
-// RunResult bundles a scenario transcript with the monitor's assessment.
+// RunResult bundles a scenario transcript with the monitor's assessment
+// and, when the runner profiles cells, the telemetry snapshot.
 type RunResult struct {
 	Outcome *exploits.Outcome
 	Verdict *monitor.Verdict
+	// Profile is the cell's telemetry snapshot, nil unless the cell ran
+	// under a profiling Runner.
+	Profile *telemetry.CellProfile
 }
 
 // Run executes one (version, use case, mode) cell in a fresh
-// environment.
+// environment, without telemetry. Use a Runner with a Telemetry
+// registry to profile cells.
 func Run(v hv.Version, useCase string, mode Mode) (*RunResult, error) {
-	return runCell(cell{version: v, useCase: useCase, mode: mode})
+	return runCell(cell{version: v, useCase: useCase, mode: mode}, nil)
 }

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"repro/internal/telemetry"
 )
 
 // The export format: a stable JSON artifact a paper-reproduction package
@@ -21,6 +23,14 @@ type ExportedRun struct {
 	ScriptError       string   `json:"script_error,omitempty"`
 	Transcript        []string `json:"transcript"`
 	Evidence          []string `json:"evidence"`
+
+	// Telemetry fields, populated only when the campaign ran under a
+	// profiling Runner — omitted otherwise so artifacts produced without
+	// telemetry are byte-identical to earlier revisions. Counters are
+	// deterministic for a cell at any worker count; WallNS is not.
+	WallNS        int64                    `json:"wall_ns,omitempty"`
+	Counters      []telemetry.CounterValue `json:"counters,omitempty"`
+	DroppedEvents uint64                   `json:"dropped_events,omitempty"`
 }
 
 // ExportedCampaign is the top-level artifact.
@@ -45,6 +55,11 @@ func exportRun(version, useCase string, mode Mode, res *RunResult) ExportedRun {
 	}
 	if res.Outcome.Err != nil {
 		out.ScriptError = res.Outcome.Err.Error()
+	}
+	if p := res.Profile; p != nil {
+		out.WallNS = p.WallNS
+		out.Counters = p.Counters
+		out.DroppedEvents = p.DroppedEvents
 	}
 	return out
 }

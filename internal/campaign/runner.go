@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/exploits"
 	"repro/internal/hv"
 	"repro/internal/monitor"
+	"repro/internal/telemetry"
 )
 
 // The parallel campaign engine. Every cell of the paper's evaluation
@@ -23,10 +25,16 @@ import (
 type Runner struct {
 	// Workers is the worker-pool size. Zero (or negative) means
 	// GOMAXPROCS. Workers == 1 runs cells strictly serially in cell
-	// order — today's single-threaded behaviour, kept for debugging —
-	// and stops at the first failing cell instead of finishing the
-	// batch.
+	// order, kept for debugging. Failure semantics are identical at any
+	// pool size: every cell runs to completion and the first error in
+	// cell order is reported.
 	Workers int
+
+	// Telemetry, when set, profiles every cell: each gets a fresh
+	// per-environment Recorder, and its counters, wall time and retained
+	// events are snapshotted into RunResult.Profile and merged into the
+	// registry. Nil disables profiling at near-zero cost.
+	Telemetry *telemetry.Registry
 }
 
 // workers resolves the configured pool size.
@@ -78,10 +86,17 @@ func campaignPlan() *plan {
 	return sharedPlan
 }
 
+// String renders the cell's trace identity, "version/use-case/mode".
+func (c cell) String() string {
+	return c.version.Name + "/" + c.useCase + "/" + string(c.mode)
+}
+
 // runCell executes one cell in its own fresh environment. It is the
 // unit of work a pool worker owns; nothing it touches outlives the call
-// or is shared with another cell.
-func runCell(c cell) (*RunResult, error) {
+// or is shared with another cell. A non-nil registry gives the cell its
+// own Recorder and merges the resulting profile; the recorder is
+// single-goroutine by design, matching one-cell-one-worker ownership.
+func runCell(c cell, reg *telemetry.Registry) (*RunResult, error) {
 	p := campaignPlan()
 	scen, ok := p.scenarios[c.useCase]
 	if !ok {
@@ -91,7 +106,13 @@ func runCell(c cell) (*RunResult, error) {
 			return nil, err
 		}
 	}
-	e, err := newEnvironment(p, c.version, c.mode)
+	var rec *telemetry.Recorder
+	var start time.Time
+	if reg != nil {
+		rec = telemetry.NewRecorder(0)
+		start = time.Now()
+	}
+	e, err := newEnvironment(p, c.version, c.mode, rec)
 	if err != nil {
 		return nil, err
 	}
@@ -101,53 +122,60 @@ func runCell(c cell) (*RunResult, error) {
 	}
 	outcome := scen.Run(env)
 	verdict := monitor.Assess(e.HV, e.Guests, outcome)
-	return &RunResult{Outcome: outcome, Verdict: verdict}, nil
+	res := &RunResult{Outcome: outcome, Verdict: verdict}
+	if reg != nil {
+		res.Profile = rec.Profile(c.String(), time.Since(start).Nanoseconds())
+		reg.Record(res.Profile)
+	}
+	return res, nil
 }
 
 // runCells executes a batch of cells and returns results in cell order.
-// wrap contextualizes a cell's error for the caller's experiment. With
-// more than one worker every cell runs to completion and the first
-// error in cell order is reported, matching the serial path's choice of
-// error deterministically.
+// wrap contextualizes a cell's error for the caller's experiment.
+// Failure semantics are uniform across pool sizes: every cell runs to
+// completion and the first error in cell order is reported, so serial
+// and parallel runs of a partially failing batch agree on the error.
 func (r *Runner) runCells(cells []cell, wrap func(cell, error) error) ([]*RunResult, error) {
 	results := make([]*RunResult, len(cells))
+	errs := make([]error, len(cells))
 	n := r.workers()
 	if n > len(cells) {
 		n = len(cells)
 	}
 	if n <= 1 {
 		for i, c := range cells {
-			res, err := runCell(c)
-			if err != nil {
-				return nil, wrap(c, err)
-			}
-			results[i] = res
+			results[i], errs[i] = runCell(c, r.Telemetry)
 		}
-		return results, nil
+	} else {
+		next := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(n)
+		for w := 0; w < n; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					results[i], errs[i] = runCell(cells[i], r.Telemetry)
+				}
+			}()
+		}
+		for i := range cells {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
 	}
-	errs := make([]error, len(cells))
-	next := make(chan int)
-	var wg sync.WaitGroup
-	wg.Add(n)
-	for w := 0; w < n; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				results[i], errs[i] = runCell(cells[i])
-			}
-		}()
-	}
-	for i := range cells {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
 			return nil, wrap(cells[i], err)
 		}
 	}
 	return results, nil
+}
+
+// Run executes one cell under the runner's telemetry configuration: the
+// single-cell entry point behind the CLI's -cell flag.
+func (r *Runner) Run(v hv.Version, useCase string, mode Mode) (*RunResult, error) {
+	return runCell(cell{version: v, useCase: useCase, mode: mode}, r.Telemetry)
 }
 
 // RunFig4 executes the RQ1 experiment (every use case, exploit vs

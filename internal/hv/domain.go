@@ -170,9 +170,11 @@ func (d *Domain) buildPageTables() error {
 	d.ptLowestPFN = cursor
 
 	// Validate the type of every page-table frame, then remove guest
-	// write access to those frames through the physmap.
-	for mfn, level := range d.ptFrames {
-		t, err := mm.TypeForLevel(level)
+	// write access to those frames through the physmap. Iterate in MFN
+	// order: ptFrames is a map, and the accounting operations commute,
+	// but the telemetry event stream should not depend on map order.
+	for _, mfn := range d.ptFramesInOrder() {
+		t, err := mm.TypeForLevel(d.ptFrames[mfn])
 		if err != nil {
 			return err
 		}
@@ -180,7 +182,7 @@ func (d *Domain) buildPageTables() error {
 			return err
 		}
 	}
-	for mfn := range d.ptFrames {
+	for _, mfn := range d.ptFramesInOrder() {
 		_, pfn, err := d.hv.mem.M2P(mfn)
 		if err != nil {
 			return err
@@ -203,6 +205,17 @@ func (d *Domain) buildPageTables() error {
 		}
 	}
 	return d.accountBootMappings()
+}
+
+// ptFramesInOrder returns the domain's page-table frames in ascending
+// MFN order for reproducible boot-time accounting.
+func (d *Domain) ptFramesInOrder() []mm.MFN {
+	mfns := make([]mm.MFN, 0, len(d.ptFrames))
+	for mfn := range d.ptFrames {
+		mfns = append(mfns, mfn)
+	}
+	sort.Slice(mfns, func(i, j int) bool { return mfns[i] < mfns[j] })
+	return mfns
 }
 
 // installXenSlots writes the canonical hypervisor entries into an L4's
@@ -236,7 +249,8 @@ func (h *Hypervisor) installXenSlots(l4 mm.MFN) error {
 // read-only, so page-table frames never acquire a writable type.
 func (d *Domain) accountBootMappings() error {
 	mem := d.hv.mem
-	for mfn, level := range d.ptFrames {
+	for _, mfn := range d.ptFramesInOrder() {
+		level := d.ptFrames[mfn]
 		for idx := 0; idx < pagetable.EntriesPerTable; idx++ {
 			if level == 4 && idx == XenL4Slot {
 				continue // hypervisor-owned shared L3, not guest-accounted

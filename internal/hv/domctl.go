@@ -86,6 +86,7 @@ func (h *Hypervisor) domctl(caller *Domain, args *DomctlArgs) error {
 	if err != nil {
 		return err
 	}
+	h.cfg.tel.DomctlOp(uint16(caller.id), args.Op.String(), uint16(args.Target))
 	switch args.Op {
 	case DomctlPause:
 		target.paused = true

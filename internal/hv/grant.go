@@ -87,12 +87,16 @@ func (d *Domain) GrantStatusFrames() []mm.MFN {
 func (h *Hypervisor) grantTableOp(d *Domain, arg any) error {
 	switch a := arg.(type) {
 	case *GrantSetVersionArgs:
+		h.cfg.tel.GrantOp(uint16(d.id), "set_version", a.Version)
 		return h.grantSetVersion(d, a)
 	case *GrantAccessArgs:
+		h.cfg.tel.GrantOp(uint16(d.id), "access", a.Ref)
 		return h.grantAccess(d, a)
 	case *GrantMapArgs:
+		h.cfg.tel.GrantOp(uint16(d.id), "map", a.Ref)
 		return h.grantMap(d, a)
 	case *GrantUnmapArgs:
+		h.cfg.tel.GrantOp(uint16(d.id), "unmap", a.Ref)
 		return h.grantUnmap(d, a)
 	default:
 		return fmt.Errorf("%w: grant_table_op got %T", ErrInval, arg)

@@ -8,6 +8,7 @@ import (
 	"repro/internal/layout"
 	"repro/internal/mm"
 	"repro/internal/pagetable"
+	"repro/internal/telemetry"
 )
 
 // Boot-time machine layout constants. The hypervisor reserves its own
@@ -70,6 +71,7 @@ type Option func(*config)
 type config struct {
 	trace       bool
 	tlbCapacity int
+	tel         *telemetry.Recorder
 }
 
 // defaultTLBCapacity is the per-vCPU translation-cache size.
@@ -82,6 +84,13 @@ func WithTrace() Option { return func(c *config) { c.trace = true } }
 // WithTLBCapacity sets the per-vCPU TLB size; zero disables translation
 // caching (used by the TLB ablation benchmark).
 func WithTLBCapacity(n int) Option { return func(c *config) { c.tlbCapacity = n } }
+
+// WithTelemetry installs the environment's telemetry recorder on the
+// build: hypercall dispatch, page-type transitions, validation rejects
+// and grant/domctl activity are traced into it, and the machine and
+// page walker are wired to the same sink. A nil recorder (the default)
+// keeps telemetry disabled at near-zero cost.
+func WithTelemetry(r *telemetry.Recorder) Option { return func(c *config) { c.tel = r } }
 
 // Hypervisor is one booted instance of the simulated PV hypervisor.
 type Hypervisor struct {
@@ -139,6 +148,11 @@ func New(mem *mm.Memory, version Version, opts ...Option) (*Hypervisor, error) {
 }
 
 func (h *Hypervisor) boot() error {
+	// Wire the telemetry sink before the first reservation so boot-time
+	// allocator and frame-type activity is part of the trace.
+	if h.cfg.tel != nil {
+		h.mem.AttachTelemetry(h.cfg.tel)
+	}
 	// Reserve hypervisor text/data and heap at deterministic addresses.
 	var err error
 	if h.hvTextBase, err = h.mem.AllocRange(hvTextFrames, mm.DomXen); err != nil {
@@ -191,6 +205,9 @@ func (h *Hypervisor) boot() error {
 		h.policy = pagetable.PermissivePolicy{}
 	}
 	h.walker = pagetable.NewWalker(h.mem, h.policy)
+	if h.cfg.tel != nil {
+		h.walker.AttachTelemetry(h.cfg.tel)
+	}
 	h.builder = pagetable.NewBuilder(h.mem, func() (mm.MFN, error) { return h.mem.Alloc(mm.DomXen) })
 
 	if err := h.buildSharedTables(); err != nil {
@@ -353,6 +370,11 @@ func (h *Hypervisor) HeapFrames() int { return xenHeapFrames }
 
 // PageFaults returns how many faults the native #PF handler absorbed.
 func (h *Hypervisor) PageFaults() int { return h.pfCount }
+
+// Telemetry returns the build's telemetry recorder (nil when tracing
+// is disabled). Packages holding the hypervisor — the injector, the
+// scenarios, the monitor — reach the environment's sink through this.
+func (h *Hypervisor) Telemetry() *telemetry.Recorder { return h.cfg.tel }
 
 // ClockTicks returns how many benign vDSO clock reads have executed.
 func (h *Hypervisor) ClockTicks() int { return h.clockTicks }

@@ -19,7 +19,38 @@ const (
 	// HypercallArbitraryAccess is the injector's hypercall (Section V-B
 	// of the paper). It is absent unless an injector build registers it.
 	HypercallArbitraryAccess = 41
+	// HypercallStateInject is the injector's direct state-mutation
+	// hypercall; like arbitrary_access it exists only in injector builds.
+	HypercallStateInject = 42
 )
+
+// hypercallName maps a hypercall number to its ABI name, used to key
+// per-hypercall telemetry counters. Unknown numbers fall back to the
+// decimal form so experimental registrations still show up in metrics.
+func hypercallName(nr int) string {
+	switch nr {
+	case HypercallMMUUpdate:
+		return "mmu_update"
+	case HypercallMemoryOp:
+		return "memory_op"
+	case HypercallConsoleIO:
+		return "console_io"
+	case HypercallGrantTableOp:
+		return "grant_table_op"
+	case HypercallMMUExtOp:
+		return "mmuext_op"
+	case HypercallEventChannelOp:
+		return "event_channel_op"
+	case HypercallDomctl:
+		return "domctl"
+	case HypercallArbitraryAccess:
+		return "arbitrary_access"
+	case HypercallStateInject:
+		return "state_inject"
+	default:
+		return fmt.Sprintf("nr_%d", nr)
+	}
+}
 
 // Hypercall is one dispatch-table entry. arg carries the per-call
 // argument struct; handlers type-assert it.
@@ -102,6 +133,13 @@ func (d *Domain) Hypercall(nr int, arg any) error {
 	}
 	if h.cfg.trace {
 		h.Logf("hypercall %d from dom%d (%T)", nr, d.id, arg)
+	}
+	if tel := h.cfg.tel; tel != nil {
+		name := hypercallName(nr)
+		tel.HypercallEnter(uint16(d.id), int32(nr), name)
+		err := fn(d, arg)
+		tel.HypercallExit(uint16(d.id), int32(nr), name, err)
+		return err
 	}
 	return fn(d, arg)
 }

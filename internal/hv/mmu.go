@@ -108,6 +108,7 @@ func (h *Hypervisor) applyMMUUpdate(d *Domain, ptr mm.PhysAddr, val pagetable.En
 	if val.Present() {
 		v := &validation{h: h, d: d}
 		if err := v.getPageFromEntry(val, level); err != nil {
+			h.cfg.tel.ValidationReject(uint16(d.id), level, err.Error())
 			return fmt.Errorf("%w: L%d entry %s rejected: %v", ErrInval, level, val, err)
 		}
 	}
@@ -353,6 +354,7 @@ func (h *Hypervisor) mmuExtOp(d *Domain, args *MMUExtArgs) error {
 		level := int(args.Op-MMUExtPinL1Table) + 1
 		v := &validation{h: h, d: d}
 		if err := v.getTable(args.MFN, level); err != nil {
+			h.cfg.tel.ValidationReject(uint16(d.id), level, err.Error())
 			return fmt.Errorf("%w: pin L%d of %#x: %v", ErrInval, level, uint64(args.MFN), err)
 		}
 		pi, err := h.mem.Info(args.MFN)
@@ -391,6 +393,7 @@ func (h *Hypervisor) mmuExtOp(d *Domain, args *MMUExtArgs) error {
 	case MMUExtNewBaseptr:
 		v := &validation{h: h, d: d}
 		if err := v.getTable(args.MFN, 4); err != nil {
+			h.cfg.tel.ValidationReject(uint16(d.id), 4, err.Error())
 			return fmt.Errorf("%w: new baseptr %#x: %v", ErrInval, uint64(args.MFN), err)
 		}
 		old := d.cr3

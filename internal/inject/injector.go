@@ -80,6 +80,7 @@ func Enable(h *hv.Hypervisor) error {
 		if !ok {
 			return fmt.Errorf("%w: arbitrary_access wants *AccessArgs, got %T", hv.ErrInval, arg)
 		}
+		h.Telemetry().InjectorOp(uint16(d.ID()), a.Action.String(), a.Addr, len(a.Buf))
 		return arbitraryAccess(h, a)
 	}
 	if err := h.RegisterHypercall(hv.HypercallArbitraryAccess, handler); err != nil {

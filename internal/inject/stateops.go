@@ -73,7 +73,14 @@ func EnableStateOps(h *hv.Hypervisor) error {
 		if !ok {
 			return fmt.Errorf("%w: state_inject wants *StateArgs, got %T", hv.ErrInval, arg)
 		}
-		return stateInject(h, d, a)
+		h.Telemetry().InjectorOp(uint16(d.ID()), a.Op.String(), 0, a.Count)
+		err := stateInject(h, d, a)
+		if err == nil {
+			// A successful state injection is the abstract machine's one
+			// abusive-functionality edge, taken operationally.
+			h.Telemetry().InjectorTransition(uint16(d.ID()), "initial", "erroneous", a.Op.String())
+		}
+		return err
 	}
 	if err := h.RegisterHypercall(HypercallStateInject, handler); err != nil {
 		return fmt.Errorf("inject: enabling state injector: %w", err)

@@ -128,6 +128,7 @@ func (m *Memory) claim(mfn MFN, owner DomID) {
 	}
 	m.m2p[mfn] = m2pEntry{}
 	m.allocated++
+	m.tel.Inc("frames.alloc")
 }
 
 // Free returns a frame to the allocator. The frame must have no
@@ -150,6 +151,7 @@ func (m *Memory) Free(mfn MFN) error {
 	m.m2p[mfn] = m2pEntry{}
 	m.setFree(mfn)
 	m.allocated--
+	m.tel.Inc("frames.free")
 	return nil
 }
 
@@ -198,6 +200,7 @@ func (m *Memory) GetType(mfn MFN, t FrameType) error {
 	if pi.TypeCount == 0 {
 		pi.Type = t
 		pi.TypeCount = 1
+		m.tel.PageTypeGet(uint64(mfn), t.String())
 		return nil
 	}
 	if pi.Type != t {
@@ -205,6 +208,7 @@ func (m *Memory) GetType(mfn MFN, t FrameType) error {
 			ErrTypeConflict, uint64(mfn), pi.Type, pi.TypeCount, t)
 	}
 	pi.TypeCount++
+	m.tel.PageTypeGet(uint64(mfn), t.String())
 	return nil
 }
 
@@ -219,6 +223,7 @@ func (m *Memory) PutType(mfn MFN) error {
 		return fmt.Errorf("mm: type-reference underflow on frame %#x", uint64(mfn))
 	}
 	pi.TypeCount--
+	m.tel.PageTypePut(uint64(mfn), pi.Type.String())
 	if pi.TypeCount == 0 && !pi.Pinned {
 		pi.Type = TypeNone
 	}

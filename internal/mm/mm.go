@@ -13,6 +13,8 @@ package mm
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/telemetry"
 )
 
 // Page geometry for the simulated x86-64 machine. Frames are 4 KiB,
@@ -210,7 +212,15 @@ type Memory struct {
 	freeSummary []uint64
 	freeCount   int
 	allocated   int
+
+	// tel observes allocator and frame-type activity; nil (the
+	// default) disables telemetry at near-zero cost.
+	tel *telemetry.Recorder
 }
+
+// AttachTelemetry installs the machine's telemetry sink. A nil recorder
+// (or never calling this) leaves telemetry disabled.
+func (m *Memory) AttachTelemetry(r *telemetry.Recorder) { m.tel = r }
 
 type m2pEntry struct {
 	dom   DomID

@@ -15,6 +15,7 @@ import (
 	"repro/internal/guest"
 	"repro/internal/hv"
 	"repro/internal/pagetable"
+	"repro/internal/telemetry"
 )
 
 // Verdict is the assessed result of one run: the two columns of
@@ -31,10 +32,16 @@ type Verdict struct {
 	Handled bool
 	// Evidence records what the audit saw.
 	Evidence []string
+
+	// tel mirrors evidence lines into the environment's trace (nil when
+	// telemetry is disabled).
+	tel *telemetry.Recorder
 }
 
 func (v *Verdict) addf(format string, args ...any) {
-	v.Evidence = append(v.Evidence, fmt.Sprintf(format, args...))
+	line := fmt.Sprintf(format, args...)
+	v.Evidence = append(v.Evidence, line)
+	v.tel.Evidence(v.UseCase, line)
 }
 
 // String renders the verdict as a Table III row fragment.
@@ -55,7 +62,7 @@ func (v *Verdict) String() string {
 
 // Assess audits a scenario outcome against the live system state.
 func Assess(h *hv.Hypervisor, guests []*guest.Kernel, o *exploits.Outcome) *Verdict {
-	v := &Verdict{UseCase: o.UseCase, Mode: o.Mode, Version: o.Version}
+	v := &Verdict{UseCase: o.UseCase, Mode: o.Mode, Version: o.Version, tel: h.Telemetry()}
 	switch o.UseCase {
 	case "XSA-212-crash":
 		assess212Crash(h, o, v)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/mm"
+	"repro/internal/telemetry"
 )
 
 // Access is the kind of memory access a walk authorizes.
@@ -110,6 +111,7 @@ type Walk struct {
 type Walker struct {
 	mem    *mm.Memory
 	policy Policy
+	tel    *telemetry.Recorder
 }
 
 // NewWalker creates a walker over the machine. A nil policy means
@@ -121,6 +123,11 @@ func NewWalker(mem *mm.Memory, policy Policy) *Walker {
 	return &Walker{mem: mem, policy: policy}
 }
 
+// AttachTelemetry installs the walker's telemetry sink; nil disables.
+// Faults are counted; policy vetoes additionally emit a walk_denied
+// event, since those are the hardening decisions an assessment audits.
+func (w *Walker) AttachTelemetry(r *telemetry.Recorder) { w.tel = r }
+
 // Translate walks the tree rooted at root for va. guestInitiated marks
 // accesses performed on behalf of guest code (subject to the U/S bit and
 // the policy) as opposed to hypervisor-internal accesses. A/D bits are
@@ -128,6 +135,14 @@ func NewWalker(mem *mm.Memory, policy Policy) *Walker {
 // updates are precisely the "safe" changes the XSA-182 fast path was
 // meant to allow.
 func (w *Walker) Translate(root mm.MFN, va uint64, acc Access, guestInitiated bool) (*Walk, error) {
+	walk, err := w.translate(root, va, acc, guestInitiated)
+	if err != nil {
+		w.tel.WalkFault()
+	}
+	return walk, err
+}
+
+func (w *Walker) translate(root mm.MFN, va uint64, acc Access, guestInitiated bool) (*Walk, error) {
 	if !Canonical(va) {
 		return nil, &Fault{VA: va, Access: acc, Reason: "non-canonical address"}
 	}
@@ -208,6 +223,7 @@ func (w *Walker) check(walk *Walk, acc Access, guestInitiated bool) error {
 		return fmt.Errorf("pagetable: unknown access kind %d", acc)
 	}
 	if err := w.policy.CheckLeaf(w.mem, walk.MFN, acc, guestInitiated); err != nil {
+		w.tel.WalkDenied(walk.VA, err.Error())
 		return &Fault{VA: walk.VA, Access: acc, Reason: err.Error()}
 	}
 	return nil

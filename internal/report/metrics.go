@@ -1,0 +1,43 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/telemetry"
+)
+
+// MetricsSummary renders the campaign-wide telemetry registry: every
+// aggregated counter, then every histogram with count/min/mean/max and
+// its nonempty power-of-two buckets. Counter aggregates are
+// order-independent sums, so the counter section is deterministic at
+// any worker count; the wall-time histogram is not and says so.
+func MetricsSummary(reg *telemetry.Registry) string {
+	var b strings.Builder
+	b.WriteString("CAMPAIGN TELEMETRY SUMMARY\n")
+	b.WriteString(rule(64) + "\n")
+	counters := reg.Snapshot()
+	if len(counters) == 0 {
+		b.WriteString("no telemetry recorded (was the campaign run with -metrics or -trace?)\n")
+		return b.String()
+	}
+	b.WriteString(fmt.Sprintf("%-40s %s\n", "Counter", "Value"))
+	b.WriteString(rule(64) + "\n")
+	for _, cv := range counters {
+		b.WriteString(fmt.Sprintf("%-40s %d\n", cv.Name, cv.Value))
+	}
+	for _, h := range reg.Histograms() {
+		b.WriteString(rule(64) + "\n")
+		b.WriteString(fmt.Sprintf("%s: count=%d min=%d mean=%d max=%d",
+			h.Name, h.Count, h.Min, h.Mean(), h.Max))
+		if h.Name == telemetry.CellWallHistogram {
+			b.WriteString(" (wall times; not deterministic)")
+		}
+		b.WriteString("\n")
+		for _, bk := range h.Buckets {
+			b.WriteString(fmt.Sprintf("  le %-14d %d\n", bk.UpperBound, bk.Count))
+		}
+	}
+	b.WriteString(rule(64) + "\n")
+	return b.String()
+}
