@@ -8,10 +8,14 @@
 # telemetry-overhead numbers (trace off vs on) alongside the pool
 # sizes. `trace-demo` generates a one-cell JSONL trace and asserts it
 # is non-empty, parseable and carries the expected event families.
+# `chaos` runs the fault-injection suite under the race detector (the
+# chaos tests exercise panic recovery, watchdog abandonment and
+# cancellation across worker pools — exactly where races would hide)
+# and then drives a seeded full-matrix chaos run through the CLI.
 
 GO ?= go
 
-.PHONY: all build test race vet bench check trace-demo clean
+.PHONY: all build test race vet bench check trace-demo chaos clean
 
 all: check
 
@@ -36,7 +40,12 @@ trace-demo:
 	$(GO) run ./cmd/repro -cell 4.6/XSA-148-priv/injection -trace trace-demo.jsonl > /dev/null
 	$(GO) run ./cmd/tracecheck trace-demo.jsonl
 
-check: build vet test race
+chaos:
+	$(GO) test -race ./internal/faults/
+	$(GO) test -race -run 'Chaos|Panic|Watchdog|Cancel' ./internal/campaign/
+	$(GO) run ./cmd/repro -matrix -chaos 7 -continue-on-error -workers 4 > /dev/null
+
+check: build vet test race chaos
 
 clean:
 	rm -f BENCH_matrix.json trace-demo.jsonl

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // buildCLIs compiles the three command-line tools once per test binary.
@@ -58,6 +59,104 @@ func TestCLISmoke(t *testing.T) {
 			}
 		})
 	}
+
+	// Out-of-range flag values die with a one-line usage error before
+	// any experiment (or profile file) is started.
+	t.Run("usage-errors", func(t *testing.T) {
+		usage := []struct {
+			args []string
+			want string
+		}{
+			{[]string{"-table", "5"}, "-table: want 1..3"},
+			{[]string{"-figure", "9"}, "-figure: want 1..4"},
+			{[]string{"-fuzz", "-1"}, "-fuzz: want a positive trial count"},
+			{[]string{"-workers", "-2", "-matrix"}, "-workers: want 0 (one per CPU) or a positive pool size"},
+		}
+		for _, u := range usage {
+			out, err := exec.Command(filepath.Join(dir, "repro"), u.args...).CombinedOutput()
+			if err == nil {
+				t.Errorf("repro %v exited 0, want a usage error", u.args)
+			}
+			if !strings.Contains(string(out), u.want) {
+				t.Errorf("repro %v output missing %q:\n%s", u.args, u.want, out)
+			}
+		}
+	})
+
+	// A seeded chaos campaign: the process survives injected substrate
+	// faults, and -continue-on-error renders their classifications.
+	t.Run("chaos", func(t *testing.T) {
+		out, err := exec.Command(filepath.Join(dir, "repro"),
+			"-matrix", "-chaos", "7", "-continue-on-error", "-workers", "4").CombinedOutput()
+		if err != nil {
+			t.Fatalf("chaos matrix died: %v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "cell failed (") {
+			t.Errorf("chaos matrix shows no failed-cell classification:\n%s", out)
+		}
+		// Default mode surfaces the first injected fault as an error exit.
+		out, err = exec.Command(filepath.Join(dir, "repro"), "-matrix", "-chaos", "7").CombinedOutput()
+		if err == nil {
+			t.Error("chaos matrix without -continue-on-error exited 0")
+		}
+		if !strings.Contains(string(out), "injected") {
+			t.Errorf("default-mode chaos error does not name the injected fault:\n%s", out)
+		}
+		out, err = exec.Command(filepath.Join(dir, "repro"),
+			"-json", "-chaos", "7", "-continue-on-error").CombinedOutput()
+		if err != nil {
+			t.Fatalf("chaos json export died: %v\n%s", err, out)
+		}
+		for _, want := range []string{`"fault_plan_seed": 7`, `"continue_on_error": true`, `"error"`} {
+			if !strings.Contains(string(out), want) {
+				t.Errorf("chaos artifact missing %q", want)
+			}
+		}
+	})
+
+	// Profiles flush on error exits: the old code path log.Fatal'd past
+	// the deferred pprof stop, leaving empty or missing profile files.
+	t.Run("flush-on-error", func(t *testing.T) {
+		tmp := t.TempDir()
+		cpu := filepath.Join(tmp, "cpu.pprof")
+		mem := filepath.Join(tmp, "mem.pprof")
+		out, err := exec.Command(filepath.Join(dir, "repro"),
+			"-cell", "4.6/no-such-case/injection", "-cpuprofile", cpu, "-memprofile", mem).CombinedOutput()
+		if err == nil {
+			t.Fatalf("bogus cell exited 0:\n%s", out)
+		}
+		for _, p := range []string{cpu, mem} {
+			st, err := os.Stat(p)
+			if err != nil {
+				t.Errorf("profile %s not written on error exit: %v", p, err)
+				continue
+			}
+			if st.Size() == 0 {
+				t.Errorf("profile %s is empty on error exit", p)
+			}
+		}
+	})
+
+	// SIGINT terminates a campaign promptly instead of wedging it.
+	t.Run("interrupt", func(t *testing.T) {
+		trace := filepath.Join(t.TempDir(), "trace.jsonl")
+		cmd := exec.Command(filepath.Join(dir, "repro"), "-matrix", "-workers", "1", "-trace", trace)
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(10 * time.Millisecond)
+		_ = cmd.Process.Signal(os.Interrupt)
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+		select {
+		case <-done:
+			// Either outcome is fine — completed before the signal, or
+			// interrupted and flushed — as long as it terminated.
+		case <-time.After(30 * time.Second):
+			_ = cmd.Process.Kill()
+			t.Fatal("repro did not terminate after SIGINT")
+		}
+	})
 
 	// The observability pipeline end to end: one profiled cell, a JSONL
 	// trace on disk, the metrics summary, and tracecheck's validation.

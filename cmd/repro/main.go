@@ -20,18 +20,38 @@
 //	repro -matrix -metrics             # aggregated counters/histograms
 //	repro -cell 4.6/XSA-148-priv/injection -trace cell.jsonl
 //	repro -matrix -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// Robustness:
+//
+//	repro -matrix -chaos 7 -continue-on-error   # seeded substrate faults
+//
+// -chaos arms a deterministic fault plan against the simulator
+// substrate (forced allocation failures, hypercall-handler panics,
+// forced hangs, telemetry-sink errors), keyed only by the seed and the
+// cell coordinate, so the same seed reproduces the same faults at any
+// worker count. -continue-on-error records per-cell failure
+// classifications (error/panic/hang/canceled) in the matrix and JSON
+// artifact instead of stopping at the first failing cell. Ctrl-C
+// cancels the campaign cleanly: -trace, -metrics and both profiles are
+// still flushed with whatever cells completed.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
 	"repro/internal/campaign"
+	"repro/internal/faults"
 	"repro/internal/fieldstudy"
 	"repro/internal/hv"
 	"repro/internal/inject"
@@ -60,6 +80,18 @@ func parseCell(s string) (hv.Version, string, campaign.Mode, error) {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("repro: ")
+	if err := run(os.Stdout); err != nil {
+		log.Print(err)
+		os.Exit(1)
+	}
+}
+
+// run is the single exit path of the command: every failure returns
+// through it, so the deferred CPU-profile stop and the artifact flushes
+// below always execute. The previous revision called log.Fatalf at each
+// failure site, which skipped the deferred pprof.StopCPUProfile and
+// never reached -memprofile, -trace or -metrics on error.
+func run(out io.Writer) (err error) {
 	table := flag.Int("table", 0, "render only this table (1..3)")
 	figure := flag.Int("figure", 0, "render only this figure (1..4)")
 	matrix := flag.Bool("matrix", false, "render only the full campaign matrix")
@@ -73,26 +105,60 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print the aggregated telemetry summary after the campaign")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
+	chaos := flag.Int64("chaos", 0, "arm a seeded substrate fault plan with this seed (0 = off)")
+	contOnErr := flag.Bool("continue-on-error", false, "record per-cell failure classifications instead of stopping at the first failing cell")
 	flag.Parse()
 
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
-		if err != nil {
-			log.Fatalf("cpuprofile: %v", err)
-		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			log.Fatalf("cpuprofile: %v", err)
-		}
-		defer pprof.StopCPUProfile()
+	// Reject out-of-range selections before any work or profile file is
+	// created. 0 means "not selected" for the numeric flags.
+	if *table < 0 || *table > 3 {
+		return fmt.Errorf("-table: want 1..3, got %d", *table)
+	}
+	if *figure < 0 || *figure > 4 {
+		return fmt.Errorf("-figure: want 1..4, got %d", *figure)
+	}
+	if *fuzz < 0 {
+		return fmt.Errorf("-fuzz: want a positive trial count, got %d", *fuzz)
+	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers: want 0 (one per CPU) or a positive pool size, got %d", *workers)
 	}
 
-	all := *table == 0 && *figure == 0 && !*matrix && *fuzz == 0 && !*score && !*jsonOut && !*avail && *cellSpec == ""
-	out := os.Stdout
-	runner := &campaign.Runner{Workers: *workers}
+	if *cpuProfile != "" {
+		f, cerr := os.Create(*cpuProfile)
+		if cerr != nil {
+			return fmt.Errorf("cpuprofile: %w", cerr)
+		}
+		if cerr := pprof.StartCPUProfile(f); cerr != nil {
+			f.Close()
+			return fmt.Errorf("cpuprofile: %w", cerr)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("cpuprofile: %w", cerr)
+			}
+		}()
+	}
+
+	// Ctrl-C / SIGTERM cancels the campaign context: in-flight cells are
+	// classified as canceled, undispatched cells never start, and the
+	// flush section below still runs.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	runner := &campaign.Runner{Workers: *workers, ContinueOnError: *contOnErr}
 	if *traceOut != "" || *metrics {
 		runner.Telemetry = telemetry.NewRegistry()
 	}
+	if *chaos != 0 {
+		plan := faults.NewPlan(*chaos, faults.DefaultDensity)
+		runner.Faults = plan
+		// Unblock any wedged cells the watchdog abandoned so their
+		// goroutines exit before the process does.
+		defer plan.ReleaseAll()
+	}
+
 	// profiles accumulates every profiled cell in run order for -trace.
 	var profiles []*telemetry.CellProfile
 	collect := func(res *campaign.RunResult) {
@@ -101,137 +167,177 @@ func main() {
 		}
 	}
 
-	if *cellSpec != "" {
-		v, useCase, mode, err := parseCell(*cellSpec)
-		if err != nil {
-			log.Fatalf("-cell: %v", err)
-		}
-		res, err := runner.Run(v, useCase, mode)
-		if err != nil {
-			log.Fatalf("cell %s: %v", *cellSpec, err)
-		}
-		collect(res)
-		fmt.Fprintln(out, res.Verdict)
-		for _, line := range res.Verdict.Evidence {
-			fmt.Fprintf(out, "  %s\n", line)
-		}
-	}
-	if all || *table == 1 {
-		t := fieldstudy.Classify(fieldstudy.Dataset())
-		if err := t.Verify(); err != nil {
-			log.Fatalf("table I verification: %v", err)
-		}
-		fmt.Fprintln(out, report.TableI(t))
-	}
-	if all || *table == 2 {
-		fmt.Fprintln(out, report.TableII(inject.UseCaseModels()))
-	}
-	if all || *table == 3 {
-		rows, err := runner.RunTable3()
-		if err != nil {
-			log.Fatalf("table III campaign: %v", err)
-		}
-		versions := make([]string, 0, 2)
-		for _, v := range campaign.Table3Versions() {
-			versions = append(versions, v.Name)
-		}
-		fmt.Fprintln(out, report.TableIII(rows, versions))
-	}
-	if all || *figure == 1 {
-		fmt.Fprintln(out, report.Fig1())
-		fmt.Fprintln(out)
-	}
-	if all || *figure == 2 {
-		fmt.Fprintln(out, report.Fig2())
-		fmt.Fprintln(out)
-	}
-	if all || *figure == 3 {
-		fmt.Fprintln(out, report.Fig3(inject.GuestWritablePageTableEntry))
-	}
-	if all || *figure == 4 {
-		rows, err := runner.RunFig4()
-		if err != nil {
-			log.Fatalf("figure 4 campaign: %v", err)
-		}
-		for _, row := range rows {
-			collect(row.Exploit)
-			collect(row.Injection)
-		}
-		fmt.Fprintln(out, report.Fig4(rows))
-	}
-	if all || *matrix {
-		entries, err := runner.RunMatrix()
-		if err != nil {
-			log.Fatalf("full matrix: %v", err)
-		}
-		for _, e := range entries {
-			collect(e.Result)
-		}
-		fmt.Fprintln(out, report.Matrix(entries))
-	}
-	if *fuzz > 0 {
-		for _, v := range hv.Versions() {
-			cmp, err := campaign.CompareWithBaseline(v, *fuzz, 2023)
+	all := *table == 0 && *figure == 0 && !*matrix && *fuzz == 0 && !*score && !*jsonOut && !*avail && *cellSpec == ""
+	body := func() error {
+		if *cellSpec != "" {
+			v, useCase, mode, err := parseCell(*cellSpec)
 			if err != nil {
-				log.Fatalf("fuzz comparison on %s: %v", v.Name, err)
+				return fmt.Errorf("-cell: %w", err)
 			}
-			fmt.Fprintln(out, report.BaselineComparison(cmp))
-		}
-	}
-	if *score {
-		scores, err := runner.SecurityBenchmark()
-		if err != nil {
-			log.Fatalf("security benchmark: %v", err)
-		}
-		fmt.Fprintln(out, report.Scoreboard(scores))
-	}
-	if *jsonOut {
-		if err := runner.ExportMatrix(out); err != nil {
-			log.Fatalf("json export: %v", err)
-		}
-	}
-	if *avail {
-		for _, v := range hv.Versions() {
-			rows, err := campaign.AvailabilityUnderInjection(v, workload.DefaultConfig())
+			res, err := runner.RunContext(ctx, v, useCase, mode)
 			if err != nil {
-				log.Fatalf("availability on %s: %v", v.Name, err)
+				return fmt.Errorf("cell %s: %w", *cellSpec, err)
 			}
-			fmt.Fprintln(out, report.Availability(rows))
+			collect(res)
+			fmt.Fprintln(out, res.Verdict)
+			for _, line := range res.Verdict.Evidence {
+				fmt.Fprintf(out, "  %s\n", line)
+			}
 		}
+		if all || *table == 1 {
+			t := fieldstudy.Classify(fieldstudy.Dataset())
+			if err := t.Verify(); err != nil {
+				return fmt.Errorf("table I verification: %w", err)
+			}
+			fmt.Fprintln(out, report.TableI(t))
+		}
+		if all || *table == 2 {
+			fmt.Fprintln(out, report.TableII(inject.UseCaseModels()))
+		}
+		if all || *table == 3 {
+			rows, err := runner.RunTable3Context(ctx)
+			if err != nil {
+				return fmt.Errorf("table III campaign: %w", err)
+			}
+			versions := make([]string, 0, 2)
+			for _, v := range campaign.Table3Versions() {
+				versions = append(versions, v.Name)
+			}
+			fmt.Fprintln(out, report.TableIII(rows, versions))
+		}
+		if all || *figure == 1 {
+			fmt.Fprintln(out, report.Fig1())
+			fmt.Fprintln(out)
+		}
+		if all || *figure == 2 {
+			fmt.Fprintln(out, report.Fig2())
+			fmt.Fprintln(out)
+		}
+		if all || *figure == 3 {
+			fmt.Fprintln(out, report.Fig3(inject.GuestWritablePageTableEntry))
+		}
+		if all || *figure == 4 {
+			rows, err := runner.RunFig4Context(ctx)
+			if err != nil {
+				return fmt.Errorf("figure 4 campaign: %w", err)
+			}
+			for _, row := range rows {
+				collect(row.Exploit)
+				collect(row.Injection)
+			}
+			fmt.Fprintln(out, report.Fig4(rows))
+		}
+		if all || *matrix {
+			entries, err := runner.RunMatrixContext(ctx)
+			if err != nil {
+				return fmt.Errorf("full matrix: %w", err)
+			}
+			for _, e := range entries {
+				collect(e.Result)
+			}
+			fmt.Fprintln(out, report.Matrix(entries))
+		}
+		if *fuzz > 0 {
+			for _, v := range hv.Versions() {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				cmp, err := campaign.CompareWithBaseline(v, *fuzz, 2023)
+				if err != nil {
+					return fmt.Errorf("fuzz comparison on %s: %w", v.Name, err)
+				}
+				fmt.Fprintln(out, report.BaselineComparison(cmp))
+			}
+		}
+		if *score {
+			scores, err := runner.SecurityBenchmarkContext(ctx)
+			if err != nil {
+				return fmt.Errorf("security benchmark: %w", err)
+			}
+			fmt.Fprintln(out, report.Scoreboard(scores))
+		}
+		if *jsonOut {
+			if err := runner.ExportMatrixContext(ctx, out); err != nil {
+				return fmt.Errorf("json export: %w", err)
+			}
+		}
+		if *avail {
+			for _, v := range hv.Versions() {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				rows, err := campaign.AvailabilityUnderInjection(v, workload.DefaultConfig())
+				if err != nil {
+					return fmt.Errorf("availability on %s: %w", v.Name, err)
+				}
+				fmt.Fprintln(out, report.Availability(rows))
+			}
+		}
+		return nil
+	}
+	bodyErr := body()
+	if bodyErr != nil && ctx.Err() != nil {
+		log.Print("interrupted; flushing partial artifacts")
 	}
 
+	// Flush section: runs whether or not the body failed, so an
+	// interrupted or faulted campaign still leaves usable artifacts.
+	var flushErrs []error
 	if *traceOut != "" {
-		if len(profiles) == 0 {
-			log.Fatalf("-trace: no profiled cells ran (combine -trace with -matrix, -figure 4, or -cell)")
+		if len(profiles) == 0 && bodyErr != nil && runner.Telemetry != nil {
+			// The run failed before cell-ordered results materialized;
+			// salvage the cells that completed, in completion order.
+			profiles = runner.Telemetry.CellProfiles()
 		}
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			log.Fatalf("trace: %v", err)
+		switch {
+		case len(profiles) > 0:
+			if err := writeTrace(*traceOut, profiles); err != nil {
+				flushErrs = append(flushErrs, err)
+			} else {
+				log.Printf("wrote %d-cell trace to %s", len(profiles), *traceOut)
+			}
+		case bodyErr == nil:
+			flushErrs = append(flushErrs, errors.New("-trace: no profiled cells ran (combine -trace with -matrix, -figure 4, or -cell)"))
 		}
-		if err := telemetry.WriteTrace(f, profiles); err != nil {
-			f.Close()
-			log.Fatalf("trace: %v", err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatalf("trace: %v", err)
-		}
-		log.Printf("wrote %d-cell trace to %s", len(profiles), *traceOut)
 	}
 	if *metrics {
 		fmt.Fprintln(out, report.MetricsSummary(runner.Telemetry))
 	}
 	if *memProfile != "" {
-		f, err := os.Create(*memProfile)
-		if err != nil {
-			log.Fatalf("memprofile: %v", err)
-		}
-		runtime.GC()
-		if err := pprof.WriteHeapProfile(f); err != nil {
-			f.Close()
-			log.Fatalf("memprofile: %v", err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatalf("memprofile: %v", err)
+		if err := writeHeapProfile(*memProfile); err != nil {
+			flushErrs = append(flushErrs, err)
 		}
 	}
+	return errors.Join(append([]error{bodyErr}, flushErrs...)...)
+}
+
+func writeTrace(path string, profiles []*telemetry.CellProfile) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err := telemetry.WriteTrace(f, profiles); err != nil {
+		f.Close()
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	return nil
+}
+
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	return nil
 }

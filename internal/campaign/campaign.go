@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"repro/internal/exploits"
+	"repro/internal/faults"
 	"repro/internal/guest"
 	"repro/internal/hv"
 	"repro/internal/inject"
@@ -65,14 +66,16 @@ type Environment struct {
 // mode compiles the injector hypercall into the build, as the prototype
 // does per version.
 func NewEnvironment(v hv.Version, mode Mode) (*Environment, error) {
-	return newEnvironment(campaignPlan(), v, mode, nil)
+	return newEnvironment(campaignPlan(), v, mode, nil, nil)
 }
 
 // newEnvironment boots an environment from the precomputed campaign
 // plan, so the version-independent pieces (IP plan, domain names) are
 // laid out once per process instead of once per run. tel, when non-nil,
-// is installed as the build's telemetry sink before boot.
-func newEnvironment(p *plan, v hv.Version, mode Mode, tel *telemetry.Recorder) (*Environment, error) {
+// is installed as the build's telemetry sink before boot; flt, when
+// non-nil, arms the build's substrate fault-injection plane the same
+// way.
+func newEnvironment(p *plan, v hv.Version, mode Mode, tel *telemetry.Recorder, flt *faults.Injector) (*Environment, error) {
 	mem, err := mm.NewMemory(MachineFrames)
 	if err != nil {
 		return nil, err
@@ -80,6 +83,9 @@ func newEnvironment(p *plan, v hv.Version, mode Mode, tel *telemetry.Recorder) (
 	var opts []hv.Option
 	if tel != nil {
 		opts = append(opts, hv.WithTelemetry(tel))
+	}
+	if flt != nil {
+		opts = append(opts, hv.WithFaults(flt))
 	}
 	h, err := hv.New(mem, v, opts...)
 	if err != nil {
@@ -156,8 +162,8 @@ type RunResult struct {
 }
 
 // Run executes one (version, use case, mode) cell in a fresh
-// environment, without telemetry. Use a Runner with a Telemetry
-// registry to profile cells.
+// environment, without telemetry or fault injection. Use a Runner with
+// a Telemetry registry to profile cells.
 func Run(v hv.Version, useCase string, mode Mode) (*RunResult, error) {
-	return runCell(cell{version: v, useCase: useCase, mode: mode}, nil)
+	return runCell(cell{version: v, useCase: useCase, mode: mode}, nil, nil)
 }

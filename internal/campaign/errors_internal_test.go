@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -33,7 +34,7 @@ func runBatch(t *testing.T, workers int) (string, uint64) {
 	t.Helper()
 	reg := telemetry.NewRegistry()
 	r := &Runner{Workers: workers, Telemetry: reg}
-	_, err := r.runCells(batchWithFailures(), func(c cell, err error) error {
+	_, _, err := r.runCells(context.Background(), batchWithFailures(), func(c cell, err error) error {
 		return err
 	})
 	if err == nil {

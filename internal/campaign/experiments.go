@@ -54,7 +54,13 @@ type MatrixEntry struct {
 	Version string
 	UseCase string
 	Mode    Mode
-	Result  *RunResult
+	// Result is the cell's outcome, nil when the cell failed under a
+	// ContinueOnError campaign.
+	Result *RunResult
+	// Err is the cell's failure record, nil when the cell succeeded.
+	// Populated only by ContinueOnError campaigns; the default mode
+	// reports the first failure as the campaign error instead.
+	Err *CellError
 }
 
 // RunMatrix executes the full 3 versions x 4 use cases x 2 modes

@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -31,6 +32,12 @@ type ExportedRun struct {
 	WallNS        int64                    `json:"wall_ns,omitempty"`
 	Counters      []telemetry.CounterValue `json:"counters,omitempty"`
 	DroppedEvents uint64                   `json:"dropped_events,omitempty"`
+
+	// Error is the cell's failure record, present only for cells that
+	// failed under a ContinueOnError campaign — default campaigns never
+	// emit it, keeping their artifacts byte-identical to earlier
+	// revisions.
+	Error *CellError `json:"error,omitempty"`
 }
 
 // ExportedCampaign is the top-level artifact.
@@ -39,20 +46,30 @@ type ExportedCampaign struct {
 	Machine string        `json:"machine"`
 	Runs    []ExportedRun `json:"runs"`
 	Scores  []Score       `json:"scores,omitempty"`
+
+	// Chaos metadata, present only when the campaign ran under a fault
+	// plan and/or ContinueOnError — omitted otherwise so default
+	// artifacts are byte-identical to earlier revisions.
+	FaultPlanSeed   int64 `json:"fault_plan_seed,omitempty"`
+	ContinueOnError bool  `json:"continue_on_error,omitempty"`
 }
 
-// exportRun converts one result.
-func exportRun(version, useCase string, mode Mode, res *RunResult) ExportedRun {
+// exportRun converts one result; exactly one of res and cerr is set.
+func exportRun(version, useCase string, mode Mode, res *RunResult, cerr *CellError) ExportedRun {
 	out := ExportedRun{
-		Version:           version,
-		UseCase:           useCase,
-		Mode:              string(mode),
-		ErroneousState:    res.Verdict.ErroneousState,
-		SecurityViolation: res.Verdict.SecurityViolation,
-		Handled:           res.Verdict.Handled,
-		Transcript:        res.Outcome.Log,
-		Evidence:          res.Verdict.Evidence,
+		Version: version,
+		UseCase: useCase,
+		Mode:    string(mode),
 	}
+	if cerr != nil {
+		out.Error = cerr
+		return out
+	}
+	out.ErroneousState = res.Verdict.ErroneousState
+	out.SecurityViolation = res.Verdict.SecurityViolation
+	out.Handled = res.Verdict.Handled
+	out.Transcript = res.Outcome.Log
+	out.Evidence = res.Verdict.Evidence
 	if res.Outcome.Err != nil {
 		out.ScriptError = res.Outcome.Err.Error()
 	}
@@ -74,22 +91,36 @@ func ExportMatrix(w io.Writer) error {
 // ExportMatrix runs the full campaign across the pool and writes the
 // JSON artifact, including the per-version security-benchmark scores.
 func (r *Runner) ExportMatrix(w io.Writer) error {
-	entries, err := r.RunMatrix()
+	return r.ExportMatrixContext(context.Background(), w)
+}
+
+// ExportMatrixContext is ExportMatrix under a context. Under
+// ContinueOnError the artifact always materializes: failed cells carry
+// their per-cell error records, and the benchmark scores are omitted
+// when the benchmark's own cells fail (the per-cell records already
+// describe the failures).
+func (r *Runner) ExportMatrixContext(ctx context.Context, w io.Writer) error {
+	entries, err := r.RunMatrixContext(ctx)
 	if err != nil {
 		return err
 	}
-	scores, err := r.SecurityBenchmark()
+	scores, err := r.SecurityBenchmarkContext(ctx)
 	if err != nil {
-		return err
+		if !r.ContinueOnError {
+			return err
+		}
+		scores = nil
 	}
 	artifact := ExportedCampaign{
-		Paper:   "Intrusion Injection for Virtualized Systems: Concepts and Approach (DSN 2023)",
-		Machine: fmt.Sprintf("simulated PV hypervisor, %d frames, %d-frame domains", MachineFrames, DomainFrames),
-		Runs:    make([]ExportedRun, 0, len(entries)),
-		Scores:  scores,
+		Paper:           "Intrusion Injection for Virtualized Systems: Concepts and Approach (DSN 2023)",
+		Machine:         fmt.Sprintf("simulated PV hypervisor, %d frames, %d-frame domains", MachineFrames, DomainFrames),
+		Runs:            make([]ExportedRun, 0, len(entries)),
+		Scores:          scores,
+		FaultPlanSeed:   r.Faults.Seed(),
+		ContinueOnError: r.ContinueOnError,
 	}
 	for _, e := range entries {
-		artifact.Runs = append(artifact.Runs, exportRun(e.Version, e.UseCase, e.Mode, e.Result))
+		artifact.Runs = append(artifact.Runs, exportRun(e.Version, e.UseCase, e.Mode, e.Result, e.Err))
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

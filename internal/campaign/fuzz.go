@@ -65,10 +65,15 @@ func (d Distribution) Total() int {
 	return n
 }
 
-// ErroneousStates returns how many trials left an audited erroneous
-// state in the system (including those that then crashed or oopsed).
+// ErroneousStates returns how many trials induced an erroneous state,
+// including those whose state then surfaced as a crash, a hang or a
+// handled guest oops. A handled oops still presupposes an induced
+// state — the system *coped* with it, which is exactly the distinction
+// the paper's Table III draws between erroneous state and security
+// violation — so ClassHandledOops counts here. Only ClassRejected and
+// ClassAccepted (no security-relevant perturbation) are excluded.
 func (d Distribution) ErroneousStates() int {
-	return d[ClassStateInduced] + d[ClassCrash] + d[ClassHang]
+	return d[ClassStateInduced] + d[ClassHandledOops] + d[ClassCrash] + d[ClassHang]
 }
 
 // RandomInjectionCampaign implements the randomized-input injection idea

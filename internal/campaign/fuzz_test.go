@@ -83,6 +83,28 @@ func TestCompareWithBaselineQuantifiesTheGap(t *testing.T) {
 	}
 }
 
+// TestErroneousStatesCountsHandledOopses pins the Table III semantics
+// of the accounting: a handled oops presupposes an induced erroneous
+// state, so it counts toward ErroneousStates alongside state-induced,
+// crash and hang trials — and nothing else does. The sum used to omit
+// ClassHandledOops, undercounting induced states on versions that cope.
+func TestErroneousStatesCountsHandledOopses(t *testing.T) {
+	d := Distribution{
+		ClassRejected:     100,
+		ClassAccepted:     10,
+		ClassStateInduced: 7,
+		ClassHandledOops:  5,
+		ClassCrash:        3,
+		ClassHang:         2,
+	}
+	if got, want := d.ErroneousStates(), 7+5+3+2; got != want {
+		t.Errorf("ErroneousStates() = %d, want %d (state-induced + handled-oops + crash + hang)", got, want)
+	}
+	if got, want := d.Total(), 127; got != want {
+		t.Errorf("Total() = %d, want %d", got, want)
+	}
+}
+
 func TestCampaignRejectsBadTrialCounts(t *testing.T) {
 	if _, err := RandomInjectionCampaign(hv.Version46(), 0, 1); err == nil {
 		t.Error("zero trials accepted")

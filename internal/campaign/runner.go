@@ -1,12 +1,17 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
+	"regexp"
 	"runtime"
+	"runtime/debug"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/exploits"
+	"repro/internal/faults"
 	"repro/internal/hv"
 	"repro/internal/monitor"
 	"repro/internal/telemetry"
@@ -19,15 +24,26 @@ import (
 // reassembles the results in deterministic cell order, so the rendered
 // tables are byte-identical to the serial path no matter how many
 // workers raced to produce them.
+//
+// The engine is also fault-tolerant, because a campaign that injects
+// erroneous states for a living must survive its own substrate
+// misbehaving: every cell runs under a recover() barrier (a panicking
+// cell becomes a per-cell error record with a stack, and the pool keeps
+// draining), under a watchdog deadline (a runaway cell is classified as
+// a hang instead of wedging the run), and under a context (cancellation
+// classifies unfinished cells instead of abandoning the batch).
 
 // Runner executes campaign cells on a configurable worker pool.
 // The zero value uses one worker per available CPU.
 type Runner struct {
-	// Workers is the worker-pool size. Zero (or negative) means
-	// GOMAXPROCS. Workers == 1 runs cells strictly serially in cell
-	// order, kept for debugging. Failure semantics are identical at any
-	// pool size: every cell runs to completion and the first error in
-	// cell order is reported.
+	// Workers is the worker-pool size. Zero means GOMAXPROCS; negative
+	// values are clamped to 1 (the CLI rejects them before they get
+	// here, and a library caller passing a negative by accident gets
+	// the strictly serial debug path rather than a surprise fan-out).
+	// Workers == 1 runs cells strictly serially in cell order, kept for
+	// debugging. Failure semantics are identical at any pool size:
+	// every cell runs to completion and the first error in cell order
+	// is reported.
 	Workers int
 
 	// Telemetry, when set, profiles every cell: each gets a fresh
@@ -35,14 +51,119 @@ type Runner struct {
 	// events are snapshotted into RunResult.Profile and merged into the
 	// registry. Nil disables profiling at near-zero cost.
 	Telemetry *telemetry.Registry
+
+	// Faults, when set, arms the substrate fault-injection plane for
+	// every cell: each gets the injector the plan derives for its cell
+	// identity, wired through the hypervisor build into the machine
+	// allocator, the hypercall dispatcher and the telemetry sink. Nil
+	// disables fault injection.
+	Faults *faults.Plan
+
+	// ContinueOnError keeps the campaign going past failing cells:
+	// instead of reporting the first error in cell order, RunMatrix and
+	// ExportMatrix carry a per-cell *CellError record for every failed
+	// cell alongside the successful results. Experiments whose row
+	// shapes need every cell (RunFig4, RunTable3, SecurityBenchmark)
+	// still run all cells but return the first failure. The default
+	// (false) preserves first-error-in-cell-order semantics exactly.
+	ContinueOnError bool
+
+	// CellTimeout is the per-cell watchdog deadline. A cell that blows
+	// it is abandoned and classified as a hang-class failure rather
+	// than wedging the whole run. Zero means DefaultCellTimeout;
+	// negative disables the watchdog.
+	CellTimeout time.Duration
 }
+
+// DefaultCellTimeout is the watchdog deadline applied when
+// Runner.CellTimeout is zero. A healthy cell completes in well under a
+// millisecond; five orders of magnitude of headroom keeps the watchdog
+// out of every legitimate run while still unwedging a stuck matrix in
+// human time.
+const DefaultCellTimeout = 30 * time.Second
 
 // workers resolves the configured pool size.
 func (r *Runner) workers() int {
 	if r.Workers > 0 {
 		return r.Workers
 	}
+	if r.Workers < 0 {
+		return 1
+	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// cellTimeout resolves the watchdog deadline (0 = disabled).
+func (r *Runner) cellTimeout() time.Duration {
+	switch {
+	case r.CellTimeout < 0:
+		return 0
+	case r.CellTimeout == 0:
+		return DefaultCellTimeout
+	}
+	return r.CellTimeout
+}
+
+// FailureClass buckets how a campaign cell failed.
+type FailureClass string
+
+// Failure classes.
+const (
+	// FailError is an ordinary error return from the cell.
+	FailError FailureClass = "error"
+	// FailPanic is a recovered panic in the cell's worker.
+	FailPanic FailureClass = "panic"
+	// FailHang is a cell that exceeded the watchdog deadline.
+	FailHang FailureClass = "hang"
+	// FailCanceled is a cell cut short by context cancellation.
+	FailCanceled FailureClass = "canceled"
+)
+
+// CellError is the per-cell failure record a fault-tolerant campaign
+// carries instead of dying: which cell, how it failed, and — for panics
+// — the sanitized stack of the worker goroutine.
+type CellError struct {
+	// Cell is the failing cell's "version/use-case/mode" identity.
+	Cell string `json:"cell"`
+	// Class buckets the failure.
+	Class FailureClass `json:"class"`
+	// Message is the error or panic text.
+	Message string `json:"message"`
+	// Stack is the panicking goroutine's stack, with goroutine header
+	// and hex addresses normalized so identical faults produce
+	// identical records at any worker count. Empty unless Class is
+	// FailPanic.
+	Stack string `json:"stack,omitempty"`
+
+	cause error
+}
+
+// Error renders the record as "class: message".
+func (e *CellError) Error() string { return string(e.Class) + ": " + e.Message }
+
+// Unwrap exposes the underlying error (nil for panics and hangs).
+func (e *CellError) Unwrap() error { return e.cause }
+
+// hexLiteral and goroutineID match the parts of a panic stack that vary
+// run to run (argument values, frame pointers, scheduler-assigned
+// goroutine numbers in "created by ... in goroutine N" lines) —
+// everything else in the stack is a property of the binary, so
+// normalizing these makes the record deterministic at any worker count.
+var (
+	hexLiteral  = regexp.MustCompile(`0x[0-9a-fA-F]+`)
+	goroutineID = regexp.MustCompile(`goroutine \d+`)
+)
+
+// sanitizeStack strips the "goroutine N [running]:" header and
+// normalizes hex literals and goroutine numbers, keeping the function
+// names and file:line frames a diagnosis needs.
+func sanitizeStack(stack []byte) string {
+	lines := strings.Split(strings.TrimRight(string(stack), "\n"), "\n")
+	if len(lines) > 0 && strings.HasPrefix(lines[0], "goroutine ") {
+		lines = lines[1:]
+	}
+	s := hexLiteral.ReplaceAllString(strings.Join(lines, "\n"), "0x?")
+	return goroutineID.ReplaceAllString(s, "goroutine ?")
 }
 
 // cell is one (version, use case, mode) coordinate of a campaign.
@@ -96,7 +217,9 @@ func (c cell) String() string {
 // or is shared with another cell. A non-nil registry gives the cell its
 // own Recorder and merges the resulting profile; the recorder is
 // single-goroutine by design, matching one-cell-one-worker ownership.
-func runCell(c cell, reg *telemetry.Registry) (*RunResult, error) {
+// A non-nil injector arms the cell's substrate fault plane the same
+// way: one cell, one injector.
+func runCell(c cell, reg *telemetry.Registry, inj *faults.Injector) (*RunResult, error) {
 	p := campaignPlan()
 	scen, ok := p.scenarios[c.useCase]
 	if !ok {
@@ -110,9 +233,10 @@ func runCell(c cell, reg *telemetry.Registry) (*RunResult, error) {
 	var start time.Time
 	if reg != nil {
 		rec = telemetry.NewRecorder(0)
+		rec.AttachFaults(inj)
 		start = time.Now()
 	}
-	e, err := newEnvironment(p, c.version, c.mode, rec)
+	e, err := newEnvironment(p, c.version, c.mode, rec, inj)
 	if err != nil {
 		return nil, err
 	}
@@ -130,57 +254,196 @@ func runCell(c cell, reg *telemetry.Registry) (*RunResult, error) {
 	return res, nil
 }
 
-// runCells executes a batch of cells and returns results in cell order.
-// wrap contextualizes a cell's error for the caller's experiment.
-// Failure semantics are uniform across pool sizes: every cell runs to
-// completion and the first error in cell order is reported, so serial
-// and parallel runs of a partially failing batch agree on the error.
-func (r *Runner) runCells(cells []cell, wrap func(cell, error) error) ([]*RunResult, error) {
-	results := make([]*RunResult, len(cells))
-	errs := make([]error, len(cells))
+// cellOutcome pairs one cell's result with its failure record; exactly
+// one of the two fields is set.
+type cellOutcome struct {
+	res *RunResult
+	err *CellError
+}
+
+// runGuarded executes one cell behind the engine's fault barriers: a
+// recover() that converts a worker panic into a FailPanic record (with
+// sanitized stack), a watchdog that classifies a runaway cell as
+// FailHang, and the context, which classifies a cancelled cell as
+// FailCanceled. The cell body runs on its own goroutine so the worker
+// can abandon it; an abandoned body parks on a buffered channel and
+// exits when it eventually finishes (or is released from a wedge), so
+// nothing leaks once the campaign's injectors are released.
+func (r *Runner) runGuarded(ctx context.Context, c cell) cellOutcome {
+	id := c.String()
+	if err := ctx.Err(); err != nil {
+		return cellOutcome{err: &CellError{Cell: id, Class: FailCanceled, Message: err.Error(), cause: err}}
+	}
+	var inj *faults.Injector
+	if r.Faults != nil {
+		inj = r.Faults.ForCell(id)
+	}
+	done := make(chan cellOutcome, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				done <- cellOutcome{err: &CellError{
+					Cell:    id,
+					Class:   FailPanic,
+					Message: fmt.Sprint(p),
+					Stack:   sanitizeStack(debug.Stack()),
+				}}
+			}
+		}()
+		res, err := runCell(c, r.Telemetry, inj)
+		if err != nil {
+			done <- cellOutcome{err: &CellError{Cell: id, Class: FailError, Message: err.Error(), cause: err}}
+			return
+		}
+		done <- cellOutcome{res: res}
+	}()
+
+	var watchdog <-chan time.Time
+	if d := r.cellTimeout(); d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		watchdog = t.C
+	}
+	select {
+	case out := <-done:
+		return out
+	case <-watchdog:
+		return cellOutcome{err: &CellError{
+			Cell:    id,
+			Class:   FailHang,
+			Message: fmt.Sprintf("cell exceeded the %s watchdog deadline", r.cellTimeout()),
+		}}
+	case <-ctx.Done():
+		return cellOutcome{err: &CellError{Cell: id, Class: FailCanceled, Message: ctx.Err().Error(), cause: ctx.Err()}}
+	}
+}
+
+// runCellsDetailed executes a batch of cells and returns one outcome
+// per cell, in cell order, never failing as a whole: panics, hangs and
+// cancellation all land as per-cell records. On cancellation, cells
+// never dispatched are marked FailCanceled without running.
+func (r *Runner) runCellsDetailed(ctx context.Context, cells []cell) []cellOutcome {
+	outs := make([]cellOutcome, len(cells))
 	n := r.workers()
 	if n > len(cells) {
 		n = len(cells)
 	}
 	if n <= 1 {
 		for i, c := range cells {
-			results[i], errs[i] = runCell(c, r.Telemetry)
+			outs[i] = r.runGuarded(ctx, c)
 		}
-	} else {
-		next := make(chan int)
-		var wg sync.WaitGroup
-		wg.Add(n)
-		for w := 0; w < n; w++ {
-			go func() {
-				defer wg.Done()
-				for i := range next {
-					results[i], errs[i] = runCell(cells[i], r.Telemetry)
-				}
-			}()
-		}
-		for i := range cells {
-			next <- i
-		}
-		close(next)
-		wg.Wait()
+		return outs
 	}
-	for i, err := range errs {
-		if err != nil {
-			return nil, wrap(cells[i], err)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for w := 0; w < n; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				outs[i] = r.runGuarded(ctx, cells[i])
+			}
+		}()
+	}
+	for i := range cells {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			err := ctx.Err()
+			for j := i; j < len(cells); j++ {
+				outs[j] = cellOutcome{err: &CellError{
+					Cell: cells[j].String(), Class: FailCanceled, Message: err.Error(), cause: err,
+				}}
+			}
+			close(next)
+			wg.Wait()
+			return outs
 		}
 	}
-	return results, nil
+	close(next)
+	wg.Wait()
+	return outs
 }
 
-// Run executes one cell under the runner's telemetry configuration: the
-// single-cell entry point behind the CLI's -cell flag.
+// runCells executes a batch of cells and returns results in cell order.
+// wrap contextualizes a cell's error for the caller's experiment.
+// Failure semantics are uniform across pool sizes: every cell runs to
+// completion and the first error in cell order is reported, so serial
+// and parallel runs of a partially failing batch agree on the error.
+// With ContinueOnError no error is reported; the caller reads the
+// per-cell records instead.
+func (r *Runner) runCells(ctx context.Context, cells []cell, wrap func(cell, error) error) ([]*RunResult, []*CellError, error) {
+	outs := r.runCellsDetailed(ctx, cells)
+	results := make([]*RunResult, len(cells))
+	cerrs := make([]*CellError, len(cells))
+	for i, o := range outs {
+		results[i], cerrs[i] = o.res, o.err
+	}
+	if !r.ContinueOnError {
+		for i, ce := range cerrs {
+			if ce == nil {
+				continue
+			}
+			// Plain errors surface exactly as they always have (the
+			// cause, not the record), preserving the engine's
+			// first-error-in-cell-order messages byte for byte; the
+			// classes that used to kill or wedge the process surface
+			// as their records.
+			err := error(ce)
+			if ce.Class == FailError {
+				err = ce.cause
+			}
+			return nil, nil, wrap(cells[i], err)
+		}
+	}
+	return results, cerrs, nil
+}
+
+// firstFailure returns the first per-cell failure in cell order, nil if
+// every cell succeeded. Experiments whose row shapes need every cell
+// use it to fail even under ContinueOnError.
+func firstFailure(cells []cell, cerrs []*CellError, wrap func(cell, error) error) error {
+	for i, ce := range cerrs {
+		if ce != nil {
+			return wrap(cells[i], ce)
+		}
+	}
+	return nil
+}
+
+// Run executes one cell under the runner's telemetry and fault
+// configuration: the single-cell entry point behind the CLI's -cell
+// flag. It runs behind the same barriers as a campaign cell, so a
+// panicking or wedged cell reports a classified error instead of
+// killing the caller.
 func (r *Runner) Run(v hv.Version, useCase string, mode Mode) (*RunResult, error) {
-	return runCell(cell{version: v, useCase: useCase, mode: mode}, r.Telemetry)
+	return r.RunContext(context.Background(), v, useCase, mode)
+}
+
+// RunContext is Run under a context: cancellation classifies the cell
+// as canceled instead of letting it run to completion.
+func (r *Runner) RunContext(ctx context.Context, v hv.Version, useCase string, mode Mode) (*RunResult, error) {
+	out := r.runGuarded(ctx, cell{version: v, useCase: useCase, mode: mode})
+	if out.err != nil {
+		if out.err.Class == FailError {
+			return nil, out.err.cause
+		}
+		return nil, out.err
+	}
+	return out.res, nil
 }
 
 // RunFig4 executes the RQ1 experiment (every use case, exploit vs
 // injection, on the vulnerable 4.6 version) across the pool.
 func (r *Runner) RunFig4() ([]Fig4Row, error) {
+	return r.RunFig4Context(context.Background())
+}
+
+// RunFig4Context is RunFig4 under a context: cancellation stops
+// dispatching cells and reports the first unfinished cell. The figure's
+// rows need every cell, so a failed cell is an error even under
+// ContinueOnError.
+func (r *Runner) RunFig4Context(ctx context.Context) ([]Fig4Row, error) {
 	v := hv.Version46()
 	p := campaignPlan()
 	cells := make([]cell, 0, 2*len(p.order))
@@ -189,10 +452,14 @@ func (r *Runner) RunFig4() ([]Fig4Row, error) {
 			cell{v, s.Name, ModeExploit},
 			cell{v, s.Name, ModeInjection})
 	}
-	results, err := r.runCells(cells, func(c cell, err error) error {
+	wrap := func(c cell, err error) error {
 		return fmt.Errorf("campaign: fig4 %s %s: %w", c.useCase, c.mode, err)
-	})
+	}
+	results, cerrs, err := r.runCells(ctx, cells, wrap)
 	if err != nil {
+		return nil, err
+	}
+	if err := firstFailure(cells, cerrs, wrap); err != nil {
 		return nil, err
 	}
 	rows := make([]Fig4Row, 0, len(p.order))
@@ -212,6 +479,12 @@ func (r *Runner) RunFig4() ([]Fig4Row, error) {
 // RunTable3 executes the RQ2/RQ3 injection campaign (every use case's
 // injection script against 4.8 and 4.13) across the pool.
 func (r *Runner) RunTable3() ([]Table3Row, error) {
+	return r.RunTable3Context(context.Background())
+}
+
+// RunTable3Context is RunTable3 under a context. The table's rows need
+// every cell, so a failed cell is an error even under ContinueOnError.
+func (r *Runner) RunTable3Context(ctx context.Context) ([]Table3Row, error) {
 	p := campaignPlan()
 	versions := Table3Versions()
 	cells := make([]cell, 0, len(p.order)*len(versions))
@@ -220,10 +493,14 @@ func (r *Runner) RunTable3() ([]Table3Row, error) {
 			cells = append(cells, cell{v, s.Name, ModeInjection})
 		}
 	}
-	results, err := r.runCells(cells, func(c cell, err error) error {
+	wrap := func(c cell, err error) error {
 		return fmt.Errorf("campaign: table3 %s on %s: %w", c.useCase, c.version.Name, err)
-	})
+	}
+	results, cerrs, err := r.runCells(ctx, cells, wrap)
 	if err != nil {
+		return nil, err
+	}
+	if err := firstFailure(cells, cerrs, wrap); err != nil {
 		return nil, err
 	}
 	rows := make([]Table3Row, 0, len(p.order))
@@ -244,6 +521,13 @@ func (r *Runner) RunTable3() ([]Table3Row, error) {
 // RunMatrix executes the full 3 versions x 4 use cases x 2 modes
 // campaign (24 runs, each in a fresh environment) across the pool.
 func (r *Runner) RunMatrix() ([]MatrixEntry, error) {
+	return r.RunMatrixContext(context.Background())
+}
+
+// RunMatrixContext is RunMatrix under a context. Under ContinueOnError
+// it never fails: every cell appears in the returned entries, failed
+// ones carrying their *CellError in Err with a nil Result.
+func (r *Runner) RunMatrixContext(ctx context.Context) ([]MatrixEntry, error) {
 	p := campaignPlan()
 	var cells []cell
 	for _, v := range hv.Versions() {
@@ -253,7 +537,7 @@ func (r *Runner) RunMatrix() ([]MatrixEntry, error) {
 			}
 		}
 	}
-	results, err := r.runCells(cells, func(c cell, err error) error {
+	results, cerrs, err := r.runCells(ctx, cells, func(c cell, err error) error {
 		return fmt.Errorf("campaign: matrix %s/%s/%s: %w", c.version.Name, c.useCase, c.mode, err)
 	})
 	if err != nil {
@@ -261,7 +545,7 @@ func (r *Runner) RunMatrix() ([]MatrixEntry, error) {
 	}
 	out := make([]MatrixEntry, len(cells))
 	for i, c := range cells {
-		out[i] = MatrixEntry{Version: c.version.Name, UseCase: c.useCase, Mode: c.mode, Result: results[i]}
+		out[i] = MatrixEntry{Version: c.version.Name, UseCase: c.useCase, Mode: c.mode, Result: results[i], Err: cerrs[i]}
 	}
 	return out, nil
 }
@@ -269,6 +553,13 @@ func (r *Runner) RunMatrix() ([]MatrixEntry, error) {
 // SecurityBenchmark runs the injection campaign (all use cases) against
 // every version across the pool and aggregates per-version scores.
 func (r *Runner) SecurityBenchmark() ([]Score, error) {
+	return r.SecurityBenchmarkContext(context.Background())
+}
+
+// SecurityBenchmarkContext is SecurityBenchmark under a context. The
+// aggregate scores need every cell, so a failed cell is an error even
+// under ContinueOnError.
+func (r *Runner) SecurityBenchmarkContext(ctx context.Context) ([]Score, error) {
 	p := campaignPlan()
 	versions := hv.Versions()
 	cells := make([]cell, 0, len(versions)*len(p.order))
@@ -277,10 +568,14 @@ func (r *Runner) SecurityBenchmark() ([]Score, error) {
 			cells = append(cells, cell{v, s.Name, ModeInjection})
 		}
 	}
-	results, err := r.runCells(cells, func(c cell, err error) error {
+	wrap := func(c cell, err error) error {
 		return fmt.Errorf("campaign: benchmark %s on %s: %w", c.useCase, c.version.Name, err)
-	})
+	}
+	results, cerrs, err := r.runCells(ctx, cells, wrap)
 	if err != nil {
+		return nil, err
+	}
+	if err := firstFailure(cells, cerrs, wrap); err != nil {
 		return nil, err
 	}
 	scores := make([]Score, 0, len(versions))

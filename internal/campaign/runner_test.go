@@ -137,3 +137,20 @@ func TestRunnerDefaultWorkers(t *testing.T) {
 		t.Errorf("got %d Fig. 4 rows, want 4", len(rows))
 	}
 }
+
+// A negative Workers value clamps to the serial path instead of
+// surprising a library caller with a fan-out (the CLI rejects negatives
+// before they get here). The output must match the serial run exactly.
+func TestRunnerNegativeWorkersClampToSerial(t *testing.T) {
+	serial, err := (&campaign.Runner{Workers: 1}).RunFig4()
+	if err != nil {
+		t.Fatalf("serial RunFig4: %v", err)
+	}
+	neg, err := (&campaign.Runner{Workers: -3}).RunFig4()
+	if err != nil {
+		t.Fatalf("Workers=-3 RunFig4: %v", err)
+	}
+	if got, want := report.Fig4(neg), report.Fig4(serial); got != want {
+		t.Errorf("Workers=-3 output differs from serial:\n%s\nvs\n%s", got, want)
+	}
+}

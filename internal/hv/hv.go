@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/cpu"
+	"repro/internal/faults"
 	"repro/internal/layout"
 	"repro/internal/mm"
 	"repro/internal/pagetable"
@@ -72,6 +73,7 @@ type config struct {
 	trace       bool
 	tlbCapacity int
 	tel         *telemetry.Recorder
+	flt         *faults.Injector
 }
 
 // defaultTLBCapacity is the per-vCPU translation-cache size.
@@ -91,6 +93,13 @@ func WithTLBCapacity(n int) Option { return func(c *config) { c.tlbCapacity = n 
 // page walker are wired to the same sink. A nil recorder (the default)
 // keeps telemetry disabled at near-zero cost.
 func WithTelemetry(r *telemetry.Recorder) Option { return func(c *config) { c.tel = r } }
+
+// WithFaults arms the substrate fault-injection plane on the build: the
+// hypercall dispatcher consults it for injected handler panics, forced
+// hang states and wedges, and the machine consults it for forced
+// allocation failures. A nil injector (the default) keeps the plane
+// disabled at the cost of one predicted branch per instrumented site.
+func WithFaults(f *faults.Injector) Option { return func(c *config) { c.flt = f } }
 
 // Hypervisor is one booted instance of the simulated PV hypervisor.
 type Hypervisor struct {
@@ -152,6 +161,11 @@ func (h *Hypervisor) boot() error {
 	// allocator and frame-type activity is part of the trace.
 	if h.cfg.tel != nil {
 		h.mem.AttachTelemetry(h.cfg.tel)
+	}
+	// Wire the fault plane equally early: forced allocation failures
+	// during boot model a machine that was sick before the first domain.
+	if h.cfg.flt != nil {
+		h.mem.AttachFaults(h.cfg.flt)
 	}
 	// Reserve hypervisor text/data and heap at deterministic addresses.
 	var err error

@@ -1,6 +1,10 @@
 package hv
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/faults"
+)
 
 // Hypercall numbers, following the real PV ABI where one exists.
 const (
@@ -130,6 +134,24 @@ func (d *Domain) Hypercall(nr int, arg any) error {
 	fn, ok := h.hypercalls[nr]
 	if !ok {
 		return fmt.Errorf("%w: hypercall %d", ErrNoSys, nr)
+	}
+	// The substrate fault plane fires at dispatch, before the handler:
+	// an injected handler panic models a hypercall-handler bug taking
+	// the campaign worker down (the Milenkoski-style untrusted-handler
+	// threat turned against our own engine), a forced hang leaves the
+	// build in the wedged state the monitor classifies, and a wedge
+	// parks the goroutine until the injector is released.
+	if flt := h.cfg.flt; flt != nil {
+		if flt.Hit(faults.SiteHypercallPanic) {
+			panic(fmt.Sprintf("faults: injected panic in hypercall %s handler (dom%d)", hypercallName(nr), d.id))
+		}
+		if flt.Hit(faults.SiteHang) && !h.hung {
+			h.hung = true
+			h.Logf("faults: injected hang state at hypercall %s dispatch", hypercallName(nr))
+		}
+		if flt.Hit(faults.SiteWedge) {
+			flt.Block()
+		}
 	}
 	if h.cfg.trace {
 		h.Logf("hypercall %d from dom%d (%T)", nr, d.id, arg)

@@ -3,7 +3,20 @@ package mm
 import (
 	"fmt"
 	"math/bits"
+
+	"repro/internal/faults"
 )
+
+// allocFault consults the fault plane before an allocation. When the
+// armed SiteAlloc rule fires, the allocator reports ErrOutOfMemory as
+// if the machine were exhausted, wrapped in faults.ErrInjected so
+// callers can tell a forced failure from a real one.
+func (m *Memory) allocFault() error {
+	if m.flt.Hit(faults.SiteAlloc) {
+		return fmt.Errorf("%w: %w (forced allocation failure)", ErrOutOfMemory, faults.ErrInjected)
+	}
+	return nil
+}
 
 // setFree marks a frame free in the indexed free-set.
 func (m *Memory) setFree(mfn MFN) {
@@ -48,6 +61,9 @@ func (m *Memory) lowestFree() (MFN, bool) {
 // experiment runs reproducible and lets exploits perform the allocator
 // grooming that real attacks rely on.
 func (m *Memory) Alloc(owner DomID) (MFN, error) {
+	if err := m.allocFault(); err != nil {
+		return 0, err
+	}
 	mfn, ok := m.lowestFree()
 	if !ok {
 		return 0, ErrOutOfMemory
@@ -79,6 +95,9 @@ func (m *Memory) AllocAt(mfn MFN, owner DomID) error {
 func (m *Memory) AllocRange(n int, owner DomID) (MFN, error) {
 	if n <= 0 {
 		return 0, fmt.Errorf("mm: AllocRange needs a positive count, got %d", n)
+	}
+	if err := m.allocFault(); err != nil {
+		return 0, err
 	}
 	run := 0
 	for f := 0; f < len(m.frames); f++ {

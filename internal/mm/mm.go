@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/faults"
 	"repro/internal/telemetry"
 )
 
@@ -216,11 +217,19 @@ type Memory struct {
 	// tel observes allocator and frame-type activity; nil (the
 	// default) disables telemetry at near-zero cost.
 	tel *telemetry.Recorder
+
+	// flt is the machine's fault-injection plane; nil (the default)
+	// disables it at the cost of one predicted branch per allocation.
+	flt *faults.Injector
 }
 
 // AttachTelemetry installs the machine's telemetry sink. A nil recorder
 // (or never calling this) leaves telemetry disabled.
 func (m *Memory) AttachTelemetry(r *telemetry.Recorder) { m.tel = r }
+
+// AttachFaults installs the machine's fault-injection plane. A nil
+// injector (or never calling this) leaves fault injection disabled.
+func (m *Memory) AttachFaults(f *faults.Injector) { m.flt = f }
 
 type m2pEntry struct {
 	dom   DomID

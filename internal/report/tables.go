@@ -111,6 +111,18 @@ func Matrix(entries []campaign.MatrixEntry) string {
 		"Version", "Use Case", "Mode", "Err.State", "Sec.Viol.", "Note"))
 	b.WriteString(rule(78) + "\n")
 	for _, e := range entries {
+		// Cells that failed under a ContinueOnError campaign carry an
+		// error record instead of a result; render the classification
+		// in place of the verdict marks.
+		if e.Result == nil {
+			note := "cell failed"
+			if e.Err != nil {
+				note = fmt.Sprintf("cell failed (%s): %s", e.Err.Class, firstLine(e.Err.Message))
+			}
+			b.WriteString(fmt.Sprintf("%-8s %-16s %-10s %-10s %-10s %s\n",
+				e.Version, e.UseCase, e.Mode, "-", "-", note))
+			continue
+		}
 		v := e.Result.Verdict
 		note := ""
 		if v.Handled {

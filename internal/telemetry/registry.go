@@ -13,6 +13,13 @@ import (
 type Registry struct {
 	counters   sync.Map // string -> *Counter
 	histograms sync.Map // string -> *Histogram
+
+	// profiles retains every recorded cell profile in completion order,
+	// so a campaign that dies or is cancelled mid-run can still flush a
+	// trace of the cells that finished. Completion order is not cell
+	// order; readers that need determinism must sort.
+	profMu   sync.Mutex
+	profiles []*CellProfile
 }
 
 // NewRegistry creates an empty registry.
@@ -123,6 +130,24 @@ func (g *Registry) Record(p *CellProfile) {
 		g.Counter(cv.Name).Add(cv.Value)
 	}
 	g.Histogram(CellWallHistogram).Observe(uint64(p.WallNS))
+	g.profMu.Lock()
+	g.profiles = append(g.profiles, p)
+	g.profMu.Unlock()
+}
+
+// CellProfiles returns the recorded profiles in completion order. It is
+// the salvage path for interrupted campaigns: the runner's cell-ordered
+// result set never materialized, but every completed cell's profile is
+// still here.
+func (g *Registry) CellProfiles() []*CellProfile {
+	if g == nil {
+		return nil
+	}
+	g.profMu.Lock()
+	defer g.profMu.Unlock()
+	out := make([]*CellProfile, len(g.profiles))
+	copy(out, g.profiles)
+	return out
 }
 
 // Snapshot returns all counter readings sorted by name. Aggregated

@@ -21,6 +21,8 @@ package telemetry
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/faults"
 )
 
 // Kind is the type tag of a trace event.
@@ -138,6 +140,20 @@ type Recorder struct {
 	ring     []Event
 	emitted  uint64
 	counters map[string]uint64
+
+	// flt, when armed with SiteSinkWrite, fails event writes into the
+	// ring: the event is dropped and telemetry.sink_errors counts it.
+	flt         *faults.Injector
+	sinkDropped uint64
+}
+
+// AttachFaults installs the recorder's fault-injection plane. A nil
+// injector (or never calling this) leaves sink faults disabled.
+func (r *Recorder) AttachFaults(f *faults.Injector) {
+	if r == nil {
+		return
+	}
+	r.flt = f
 }
 
 // NewRecorder creates an enabled recorder with the given ring capacity
@@ -153,7 +169,14 @@ func NewRecorder(n int) *Recorder {
 }
 
 // emit appends an event, overwriting the oldest once the ring is full.
+// An injected sink-write fault drops the event before it is sequenced,
+// so Seq stays gapless across the events that do land.
 func (r *Recorder) emit(e Event) {
+	if r.flt.Hit(faults.SiteSinkWrite) {
+		r.sinkDropped++
+		r.counters["telemetry.sink_errors"]++
+		return
+	}
 	e.Seq = r.emitted
 	if len(r.ring) < cap(r.ring) {
 		r.ring = append(r.ring, e)
@@ -309,15 +332,16 @@ func (r *Recorder) Emitted() uint64 {
 	return r.emitted
 }
 
-// Dropped returns how many events were overwritten by ring wraparound.
+// Dropped returns how many events were lost: overwritten by ring
+// wraparound or dropped by an injected sink-write fault.
 func (r *Recorder) Dropped() uint64 {
 	if r == nil {
 		return 0
 	}
 	if n := uint64(cap(r.ring)); r.emitted > n {
-		return r.emitted - n
+		return r.emitted - n + r.sinkDropped
 	}
-	return 0
+	return r.sinkDropped
 }
 
 // Events returns the retained events, oldest first.
