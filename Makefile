@@ -12,10 +12,15 @@
 # chaos tests exercise panic recovery, watchdog abandonment and
 # cancellation across worker pools — exactly where races would hide)
 # and then drives a seeded full-matrix chaos run through the CLI.
+# `equivalence` runs the RQ2 trace-equivalence engine over the full
+# matrix; any cell whose injection trace diverges from its
+# exploit-induced basis fails the build. `bench` additionally emits
+# BENCH_obs.json (the MatrixTelemetry off/on/server sub-benchmarks) so
+# the -listen overhead is tracked alongside the telemetry overhead.
 
 GO ?= go
 
-.PHONY: all build test race vet bench check trace-demo chaos clean
+.PHONY: all build test race vet bench check trace-demo chaos equivalence clean
 
 all: check
 
@@ -35,6 +40,8 @@ bench:
 	$(GO) test -run '^$$' -bench Matrix -benchmem -json . > BENCH_matrix.json
 	@grep -o '"Output":"[^"]*ns/op[^"]*' BENCH_matrix.json | sed 's/"Output":"//;s/\\t/  /g;s/\\n//'
 	@echo "wrote BENCH_matrix.json"
+	$(GO) test -run '^$$' -bench MatrixTelemetry -benchmem -json . > BENCH_obs.json
+	@echo "wrote BENCH_obs.json"
 
 trace-demo:
 	$(GO) run ./cmd/repro -cell 4.6/XSA-148-priv/injection -trace trace-demo.jsonl > /dev/null
@@ -45,8 +52,11 @@ chaos:
 	$(GO) test -race -run 'Chaos|Panic|Watchdog|Cancel' ./internal/campaign/
 	$(GO) run ./cmd/repro -matrix -chaos 7 -continue-on-error -workers 4 > /dev/null
 
-check: build vet test race chaos
+equivalence:
+	$(GO) run ./cmd/repro -equivalence -workers 4
+
+check: build vet test race chaos equivalence
 
 clean:
-	rm -f BENCH_matrix.json trace-demo.jsonl
+	rm -f BENCH_matrix.json BENCH_obs.json trace-demo.jsonl flight-*.jsonl
 	$(GO) clean ./...

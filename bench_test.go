@@ -5,6 +5,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -16,6 +17,7 @@ import (
 	"repro/internal/hv"
 	"repro/internal/inject"
 	"repro/internal/mm"
+	"repro/internal/obs"
 	"repro/internal/pagetable"
 	"repro/internal/report"
 	"repro/internal/telemetry"
@@ -128,13 +130,17 @@ func BenchmarkMatrixParallel(b *testing.B) {
 
 // BenchmarkMatrixTelemetry runs the 24-run campaign with telemetry off
 // (nil registry: every instrumented path takes the predicted-not-taken
-// nil branch) and on (per-cell recorder, ring events, counter merges
-// into the shared registry). The "off" sub-benchmark is the guard for
-// the disabled-sink contract: it must stay within noise of
-// BenchmarkMatrixParallel's pre-telemetry numbers.
+// nil branch), on (per-cell recorder, ring events, counter merges
+// into the shared registry), and on with the live observability server
+// installed as the progress hook and listening (per-cell state updates
+// under the server mutex, plus a goroutine accepting scrapes). The
+// "off" sub-benchmark is the guard for the disabled-sink contract: it
+// must stay within noise of BenchmarkMatrixParallel's pre-telemetry
+// numbers; "server" tracks the -listen overhead recorded in
+// BENCH_obs.json.
 func BenchmarkMatrixTelemetry(b *testing.B) {
-	run := func(b *testing.B, reg *telemetry.Registry) {
-		r := &campaign.Runner{Workers: 4, Telemetry: reg}
+	run := func(b *testing.B, reg *telemetry.Registry, progress campaign.Progress) {
+		r := &campaign.Runner{Workers: 4, Telemetry: reg, Progress: progress}
 		for i := 0; i < b.N; i++ {
 			entries, err := r.RunMatrix()
 			if err != nil {
@@ -143,8 +149,18 @@ func BenchmarkMatrixTelemetry(b *testing.B) {
 			_ = report.Matrix(entries)
 		}
 	}
-	b.Run("off", func(b *testing.B) { run(b, nil) })
-	b.Run("on", func(b *testing.B) { run(b, telemetry.NewRegistry()) })
+	b.Run("off", func(b *testing.B) { run(b, nil, nil) })
+	b.Run("on", func(b *testing.B) { run(b, telemetry.NewRegistry(), nil) })
+	b.Run("server", func(b *testing.B) {
+		reg := telemetry.NewRegistry()
+		srv := obs.NewServer(reg)
+		if _, err := srv.Listen("127.0.0.1:0"); err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Shutdown(context.Background())
+		b.ResetTimer()
+		run(b, reg, srv)
+	})
 }
 
 // --- Substrate microbenchmarks ---

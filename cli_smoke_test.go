@@ -86,24 +86,48 @@ func TestCLISmoke(t *testing.T) {
 	// A seeded chaos campaign: the process survives injected substrate
 	// faults, and -continue-on-error renders their classifications.
 	t.Run("chaos", func(t *testing.T) {
-		out, err := exec.Command(filepath.Join(dir, "repro"),
-			"-matrix", "-chaos", "7", "-continue-on-error", "-workers", "4").CombinedOutput()
+		// Chaos runs dump flight-<cell>.jsonl into the working directory;
+		// run them in a scratch dir so the dumps land there, then check
+		// the dumps themselves.
+		scratch := t.TempDir()
+		chaosCmd := func(args ...string) *exec.Cmd {
+			cmd := exec.Command(filepath.Join(dir, "repro"), args...)
+			cmd.Dir = scratch
+			return cmd
+		}
+		out, err := chaosCmd("-matrix", "-chaos", "7", "-continue-on-error", "-workers", "4").CombinedOutput()
 		if err != nil {
 			t.Fatalf("chaos matrix died: %v\n%s", err, out)
 		}
 		if !strings.Contains(string(out), "cell failed (") {
 			t.Errorf("chaos matrix shows no failed-cell classification:\n%s", out)
 		}
+		// The flight recorder left each failed cell's event ring behind.
+		if !strings.Contains(string(out), "flight recorder: dumped flight-") {
+			t.Errorf("chaos matrix reports no flight dumps:\n%s", out)
+		}
+		dumps, err := filepath.Glob(filepath.Join(scratch, "flight-*.jsonl"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dumps) == 0 {
+			t.Error("chaos matrix wrote no flight-*.jsonl dumps")
+		}
+		for _, dump := range dumps {
+			out, err := exec.Command(filepath.Join(dir, "tracecheck"), "diff", dump, dump).CombinedOutput()
+			if err != nil {
+				t.Errorf("flight dump %s does not parse as a trace: %v\n%s", dump, err, out)
+			}
+		}
 		// Default mode surfaces the first injected fault as an error exit.
-		out, err = exec.Command(filepath.Join(dir, "repro"), "-matrix", "-chaos", "7").CombinedOutput()
+		out, err = chaosCmd("-matrix", "-chaos", "7").CombinedOutput()
 		if err == nil {
 			t.Error("chaos matrix without -continue-on-error exited 0")
 		}
 		if !strings.Contains(string(out), "injected") {
 			t.Errorf("default-mode chaos error does not name the injected fault:\n%s", out)
 		}
-		out, err = exec.Command(filepath.Join(dir, "repro"),
-			"-json", "-chaos", "7", "-continue-on-error").CombinedOutput()
+		out, err = chaosCmd("-json", "-chaos", "7", "-continue-on-error").CombinedOutput()
 		if err != nil {
 			t.Fatalf("chaos json export died: %v\n%s", err, out)
 		}
@@ -155,6 +179,108 @@ func TestCLISmoke(t *testing.T) {
 		case <-time.After(30 * time.Second):
 			_ = cmd.Process.Kill()
 			t.Fatal("repro did not terminate after SIGINT")
+		}
+	})
+
+	// Trace diffing end to end: a trace is identical to itself, and a
+	// duplicated effect event is flagged divergent with line evidence
+	// and a non-zero exit.
+	t.Run("tracecheck-diff", func(t *testing.T) {
+		tmp := t.TempDir()
+		a := filepath.Join(tmp, "a.jsonl")
+		out, err := exec.Command(filepath.Join(dir, "repro"),
+			"-cell", "4.6/XSA-182-test/exploit", "-trace", a).CombinedOutput()
+		if err != nil {
+			t.Fatalf("generating trace: %v\n%s", err, out)
+		}
+		raw, err := os.ReadFile(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := filepath.Join(tmp, "b.jsonl")
+		if err := os.WriteFile(b, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		out, err = exec.Command(filepath.Join(dir, "tracecheck"), "diff", a, b).CombinedOutput()
+		if err != nil {
+			t.Fatalf("identical traces graded non-zero: %v\n%s", err, out)
+		}
+		for _, want := range []string{"identical", "ok: 1 cells compared"} {
+			if !strings.Contains(string(out), want) {
+				t.Errorf("diff output missing %q:\n%s", want, out)
+			}
+		}
+
+		// Duplicate one scenario_step (an effect event) at the end of b:
+		// the injected extra effect must diverge the cell.
+		var step string
+		for _, line := range strings.Split(string(raw), "\n") {
+			if strings.Contains(line, `"kind":"scenario_step"`) {
+				step = line
+				break
+			}
+		}
+		if step == "" {
+			t.Fatal("trace has no scenario_step event")
+		}
+		if err := os.WriteFile(b, append(raw, []byte(step+"\n")...), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		out, err = exec.Command(filepath.Join(dir, "tracecheck"), "diff", a, b).CombinedOutput()
+		if err == nil {
+			t.Fatalf("perturbed trace graded equivalent:\n%s", out)
+		}
+		for _, want := range []string{"DIVERGENT", "first divergence at effect index"} {
+			if !strings.Contains(string(out), want) {
+				t.Errorf("divergent diff output missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	// A malformed JSONL line fails validation non-zero and names the
+	// offending line.
+	t.Run("tracecheck-malformed", func(t *testing.T) {
+		bad := filepath.Join(t.TempDir(), "bad.jsonl")
+		content := `{"cell":"4.6/x/exploit","kind":"scenario_step"}` + "\n{not json\n"
+		if err := os.WriteFile(bad, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		out, err := exec.Command(filepath.Join(dir, "tracecheck"), bad).CombinedOutput()
+		if err == nil {
+			t.Fatalf("malformed trace validated clean:\n%s", out)
+		}
+		if !strings.Contains(string(out), "line 2") {
+			t.Errorf("error does not name line 2:\n%s", out)
+		}
+	})
+
+	// The RQ2 equivalence engine over the live matrix: every cell must
+	// grade trace-equivalent.
+	t.Run("equivalence", func(t *testing.T) {
+		out, err := exec.Command(filepath.Join(dir, "repro"),
+			"-equivalence", "-workers", "4").CombinedOutput()
+		if err != nil {
+			t.Fatalf("repro -equivalence: %v\n%s", err, out)
+		}
+		for _, want := range []string{"TRACE EQUIVALENCE (RQ2)", "12/12 cells trace-equivalent", "state-audit"} {
+			if !strings.Contains(string(out), want) {
+				t.Errorf("equivalence output missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	// -listen wires the observability server into a campaign run and
+	// logs the bound address.
+	t.Run("listen", func(t *testing.T) {
+		out, err := exec.Command(filepath.Join(dir, "repro"),
+			"-matrix", "-listen", "127.0.0.1:0", "-workers", "4").CombinedOutput()
+		if err != nil {
+			t.Fatalf("repro -matrix -listen: %v\n%s", err, out)
+		}
+		for _, want := range []string{"observability server on http://127.0.0.1:", "FULL CAMPAIGN MATRIX"} {
+			if !strings.Contains(string(out), want) {
+				t.Errorf("listen output missing %q:\n%s", want, out)
+			}
 		}
 	})
 

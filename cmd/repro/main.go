@@ -21,9 +21,30 @@
 //	repro -cell 4.6/XSA-148-priv/injection -trace cell.jsonl
 //	repro -matrix -cpuprofile cpu.pprof -memprofile mem.pprof
 //
+// Trace equivalence (RQ2):
+//
+//	repro -equivalence             # run both modes, diff traces per cell
+//	repro -equivalence -workers 8  # same, on an 8-worker pool
+//
+// -equivalence runs the full matrix with telemetry and structurally
+// compares each scenario's exploit trace against its injection trace
+// per version (canonicalized: addresses folded to layout roles, version
+// and mode banners masked), reporting identical /
+// equivalent-modulo-noise / divergent per cell and exiting non-zero on
+// any divergence.
+//
+// Live observability:
+//
+//	repro -matrix -listen :8080    # /metrics /healthz /cells while running
+//
 // Robustness:
 //
 //	repro -matrix -chaos 7 -continue-on-error   # seeded substrate faults
+//
+// Under -continue-on-error or -chaos the flight recorder is armed: a
+// cell that settles as a failure has its final event ring dumped as
+// flight-<cell>.jsonl in the current directory immediately, even if
+// the process never reaches its normal trace flush.
 //
 // -chaos arms a deterministic fault plan against the simulator
 // substrate (forced allocation failures, hypercall-handler panics,
@@ -49,14 +70,17 @@ import (
 	"runtime/pprof"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/faults"
 	"repro/internal/fieldstudy"
 	"repro/internal/hv"
 	"repro/internal/inject"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/telemetry"
+	"repro/internal/tracediff"
 	"repro/internal/workload"
 )
 
@@ -107,6 +131,8 @@ func run(out io.Writer) (err error) {
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	chaos := flag.Int64("chaos", 0, "arm a seeded substrate fault plan with this seed (0 = off)")
 	contOnErr := flag.Bool("continue-on-error", false, "record per-cell failure classifications instead of stopping at the first failing cell")
+	equivalence := flag.Bool("equivalence", false, "run the full matrix in both modes and report per-cell trace equivalence (RQ2); exits non-zero on any divergent cell")
+	listenAddr := flag.String("listen", "", "serve live observability on this address (/metrics, /healthz, /cells) for the duration of the run")
 	flag.Parse()
 
 	// Reject out-of-range selections before any work or profile file is
@@ -148,7 +174,9 @@ func run(out io.Writer) (err error) {
 	defer stop()
 
 	runner := &campaign.Runner{Workers: *workers, ContinueOnError: *contOnErr}
-	if *traceOut != "" || *metrics {
+	if *traceOut != "" || *metrics || *equivalence || *listenAddr != "" {
+		// -equivalence needs every cell's event trace; -listen needs the
+		// registry behind /metrics.
 		runner.Telemetry = telemetry.NewRegistry()
 	}
 	if *chaos != 0 {
@@ -159,6 +187,41 @@ func run(out io.Writer) (err error) {
 		defer plan.ReleaseAll()
 	}
 
+	// Live observers: the HTTP server (-listen) and the flight recorder
+	// (armed whenever the campaign is allowed to outlive failing cells,
+	// so their last events land on disk the moment the engine settles
+	// the failure).
+	var observers obs.Multi
+	var flight *obs.FlightRecorder
+	if *listenAddr != "" {
+		server := obs.NewServer(runner.Telemetry)
+		addr, lerr := server.Listen(*listenAddr)
+		if lerr != nil {
+			return lerr
+		}
+		log.Printf("observability server on http://%s (/metrics /healthz /cells)", addr)
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if serr := server.Shutdown(sctx); serr != nil && err == nil {
+				err = fmt.Errorf("observability server shutdown: %w", serr)
+			}
+		}()
+		observers = append(observers, server)
+	}
+	if *contOnErr || *chaos != 0 {
+		flight = &obs.FlightRecorder{}
+		runner.SalvageProfiles = true
+		observers = append(observers, flight)
+	}
+	switch len(observers) {
+	case 0:
+	case 1:
+		runner.Progress = observers[0]
+	default:
+		runner.Progress = observers
+	}
+
 	// profiles accumulates every profiled cell in run order for -trace.
 	var profiles []*telemetry.CellProfile
 	collect := func(res *campaign.RunResult) {
@@ -167,7 +230,7 @@ func run(out io.Writer) (err error) {
 		}
 	}
 
-	all := *table == 0 && *figure == 0 && !*matrix && *fuzz == 0 && !*score && !*jsonOut && !*avail && *cellSpec == ""
+	all := *table == 0 && *figure == 0 && !*matrix && *fuzz == 0 && !*score && !*jsonOut && !*avail && *cellSpec == "" && !*equivalence
 	body := func() error {
 		if *cellSpec != "" {
 			v, useCase, mode, err := parseCell(*cellSpec)
@@ -237,6 +300,29 @@ func run(out io.Writer) (err error) {
 			}
 			fmt.Fprintln(out, report.Matrix(entries))
 		}
+		if *equivalence {
+			entries, err := runner.RunMatrixContext(ctx)
+			if err != nil {
+				return fmt.Errorf("equivalence matrix: %w", err)
+			}
+			for _, e := range entries {
+				collect(e.Result)
+			}
+			verdicts, err := tracediff.MatrixEquivalence(entries)
+			if err != nil {
+				return fmt.Errorf("equivalence: %w", err)
+			}
+			fmt.Fprintln(out, report.TraceEquivalence(verdicts))
+			divergent := 0
+			for _, cv := range verdicts {
+				if !cv.Equivalent() {
+					divergent++
+				}
+			}
+			if divergent > 0 {
+				return fmt.Errorf("equivalence: %d of %d cells divergent", divergent, len(verdicts))
+			}
+		}
 		if *fuzz > 0 {
 			for _, v := range hv.Versions() {
 				if err := ctx.Err(); err != nil {
@@ -278,6 +364,14 @@ func run(out io.Writer) (err error) {
 	bodyErr := body()
 	if bodyErr != nil && ctx.Err() != nil {
 		log.Print("interrupted; flushing partial artifacts")
+	}
+	if flight != nil {
+		for _, p := range flight.Dumps() {
+			log.Printf("flight recorder: dumped %s", p)
+		}
+		for _, ferr := range flight.Errors() {
+			log.Printf("warning: %v", ferr)
+		}
 	}
 
 	// Flush section: runs whether or not the body failed, so an

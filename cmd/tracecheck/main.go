@@ -1,13 +1,25 @@
-// Command tracecheck validates a JSONL telemetry trace produced by
-// `repro -trace`: it must be non-empty, parse line by line, and carry
-// the event families a campaign-cell diagnosis relies on. CI's
-// trace-demo target runs it against a freshly generated one-cell trace,
-// so a regression that silences a whole event family fails the build
-// rather than surfacing during an investigation.
+// Command tracecheck works with JSONL telemetry traces produced by
+// `repro -trace`.
+//
+// Validate mode checks a trace: it must be non-empty, parse line by
+// line, and carry the event families a campaign-cell diagnosis relies
+// on. CI's trace-demo target runs it against a freshly generated
+// one-cell trace, so a regression that silences a whole event family
+// fails the build rather than surfacing during an investigation. A
+// malformed or incomplete record fails with its 1-based line number.
+//
+// Diff mode structurally compares two traces cell by cell (matched by
+// exact "version/use-case/mode" id) after canonicalization — wall
+// times stripped, addresses folded to layout roles, version and mode
+// banners masked — and reports identical / equivalent-modulo-noise /
+// divergent per cell, with the first diverging event pair and its
+// source lines as evidence. Any divergent or one-sided cell exits
+// non-zero.
 //
 // Usage:
 //
 //	tracecheck <trace.jsonl>
+//	tracecheck diff <a.jsonl> <b.jsonl>
 package main
 
 import (
@@ -17,34 +29,54 @@ import (
 	"strings"
 
 	"repro/internal/telemetry"
+	"repro/internal/tracediff"
 )
+
+func usage() {
+	log.Fatalf("usage: tracecheck <trace.jsonl> | tracecheck diff <a.jsonl> <b.jsonl>")
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tracecheck: ")
-	if len(os.Args) != 2 {
-		log.Fatalf("usage: tracecheck <trace.jsonl>")
+	switch {
+	case len(os.Args) == 2 && os.Args[1] != "diff":
+		validate(os.Args[1])
+	case len(os.Args) == 4 && os.Args[1] == "diff":
+		diff(os.Args[2], os.Args[3])
+	default:
+		usage()
 	}
-	f, err := os.Open(os.Args[1])
+}
+
+// readTrace loads a trace file, exiting non-zero (with the offending
+// line number, which ReadTrace includes) on any parse failure.
+func readTrace(path string) []telemetry.TraceRecord {
+	f, err := os.Open(path)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer f.Close()
 	records, err := telemetry.ReadTrace(f)
 	if err != nil {
-		log.Fatal(err)
+		log.Fatalf("%s: %v", path, err)
 	}
+	return records
+}
+
+func validate(path string) {
+	records := readTrace(path)
 	if len(records) == 0 {
-		log.Fatalf("%s: trace is empty", os.Args[1])
+		log.Fatalf("%s: trace is empty", path)
 	}
 
 	// Per-cell bookkeeping: which event kinds each cell produced, and
 	// whether its cell_end summary arrived.
 	kinds := map[string]map[string]int{}
 	ended := map[string]bool{}
-	for i, rec := range records {
+	for _, rec := range records {
 		if rec.Cell == "" || rec.Kind == "" {
-			log.Fatalf("record %d: missing cell or kind: %+v", i+1, rec)
+			log.Fatalf("%s: line %d: missing cell or kind: %+v", path, rec.Line, rec)
 		}
 		if rec.Kind == telemetry.CellEndKind {
 			ended[rec.Cell] = true
@@ -56,7 +88,7 @@ func main() {
 		kinds[rec.Cell][rec.Kind]++
 	}
 	if len(kinds) == 0 {
-		log.Fatalf("%s: no event records, only summaries", os.Args[1])
+		log.Fatalf("%s: no event records, only summaries", path)
 	}
 
 	fail := false
@@ -81,4 +113,36 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("ok: %d records across %d cells\n", len(records), len(kinds))
+}
+
+func diff(pathA, pathB string) {
+	diffs := tracediff.DiffTraces(readTrace(pathA), readTrace(pathB))
+	if len(diffs) == 0 {
+		log.Fatalf("no cells found in either trace")
+	}
+	fail := false
+	for _, d := range diffs {
+		switch {
+		case !d.InA:
+			fmt.Printf("DIVERGENT %s: only in %s\n", d.Cell, pathB)
+			fail = true
+		case !d.InB:
+			fmt.Printf("DIVERGENT %s: only in %s\n", d.Cell, pathA)
+			fail = true
+		case d.Tier == tracediff.TierDivergent:
+			fmt.Printf("DIVERGENT %s (%d vs %d events)\n", d.Cell, d.AEvents, d.BEvents)
+			if dv := d.Divergence; dv != nil {
+				fmt.Printf("  first divergence at effect index %d (a line %d, b line %d):\n",
+					dv.Index, dv.ALine, dv.BLine)
+				fmt.Printf("    a: %s\n    b: %s\n", dv.A, dv.B)
+			}
+			fail = true
+		default:
+			fmt.Printf("%s %s (%d events)\n", d.Tier, d.Cell, d.AEvents)
+		}
+	}
+	if fail {
+		os.Exit(1)
+	}
+	fmt.Printf("ok: %d cells compared\n", len(diffs))
 }

@@ -73,6 +73,39 @@ type Runner struct {
 	// than wedging the whole run. Zero means DefaultCellTimeout;
 	// negative disables the watchdog.
 	CellTimeout time.Duration
+
+	// Progress, when set, observes the campaign live: batch dispatch
+	// and per-cell start/finish, including each failed cell's telemetry
+	// profile where one could be salvaged. Implementations must be safe
+	// for concurrent use — workers notify in parallel. Nil disables
+	// observation at no cost.
+	Progress Progress
+
+	// SalvageProfiles gives every cell a telemetry recorder even
+	// without a Telemetry registry, solely so a failing cell's event
+	// ring reaches the Progress observer (the flight recorder).
+	// Successful cells are unaffected — no Profile is attached to their
+	// results and nothing is merged anywhere — so rendered tables and
+	// JSON exports stay byte-identical to an unprofiled run.
+	SalvageProfiles bool
+}
+
+// Progress observes a running campaign. The hooks fire on the worker
+// goroutines driving the cells, so implementations must synchronize
+// internally and return quickly.
+type Progress interface {
+	// BatchStarted announces the cells about to be dispatched, in cell
+	// order, before any of them runs.
+	BatchStarted(cells []string)
+	// CellStarted fires when a cell is picked up by a worker.
+	CellStarted(cell string)
+	// CellFinished fires when the engine settles the cell's outcome:
+	// cerr is nil on success; profile is the cell's telemetry snapshot
+	// when the runner profiles cells and the cell's goroutine could be
+	// snapshotted (success, error and panic outcomes — hung and
+	// canceled cells are abandoned with their recorder, so their
+	// profile is nil).
+	CellFinished(cell string, wall time.Duration, profile *telemetry.CellProfile, cerr *CellError)
 }
 
 // DefaultCellTimeout is the watchdog deadline applied when
@@ -220,6 +253,21 @@ func (c cell) String() string {
 // A non-nil injector arms the cell's substrate fault plane the same
 // way: one cell, one injector.
 func runCell(c cell, reg *telemetry.Registry, inj *faults.Injector) (*RunResult, error) {
+	var rec *telemetry.Recorder
+	var start time.Time
+	if reg != nil {
+		rec = telemetry.NewRecorder(0)
+		rec.AttachFaults(inj)
+		start = time.Now()
+	}
+	return runCellWith(c, reg, rec, inj, start)
+}
+
+// runCellWith is runCell with the recorder owned by the caller, so the
+// guarded path can snapshot a salvage profile from a cell that errors
+// or panics mid-run. The recorder (and start, its creation time) must
+// come from the same goroutine that calls this.
+func runCellWith(c cell, reg *telemetry.Registry, rec *telemetry.Recorder, inj *faults.Injector, start time.Time) (*RunResult, error) {
 	p := campaignPlan()
 	scen, ok := p.scenarios[c.useCase]
 	if !ok {
@@ -228,13 +276,6 @@ func runCell(c cell, reg *telemetry.Registry, inj *faults.Injector) (*RunResult,
 		if scen, err = exploits.ScenarioByName(c.useCase); err != nil {
 			return nil, err
 		}
-	}
-	var rec *telemetry.Recorder
-	var start time.Time
-	if reg != nil {
-		rec = telemetry.NewRecorder(0)
-		rec.AttachFaults(inj)
-		start = time.Now()
 	}
 	e, err := newEnvironment(p, c.version, c.mode, rec, inj)
 	if err != nil {
@@ -255,10 +296,13 @@ func runCell(c cell, reg *telemetry.Registry, inj *faults.Injector) (*RunResult,
 }
 
 // cellOutcome pairs one cell's result with its failure record; exactly
-// one of the two fields is set.
+// one of res/err is set. profile carries the cell's telemetry snapshot
+// when one exists — on failure it is the salvage profile the flight
+// recorder dumps.
 type cellOutcome struct {
-	res *RunResult
-	err *CellError
+	res     *RunResult
+	err     *CellError
+	profile *telemetry.CellProfile
 }
 
 // runGuarded executes one cell behind the engine's fault barriers: a
@@ -272,14 +316,35 @@ type cellOutcome struct {
 func (r *Runner) runGuarded(ctx context.Context, c cell) cellOutcome {
 	id := c.String()
 	if err := ctx.Err(); err != nil {
-		return cellOutcome{err: &CellError{Cell: id, Class: FailCanceled, Message: err.Error(), cause: err}}
+		return r.settle(id, 0, cellOutcome{err: &CellError{Cell: id, Class: FailCanceled, Message: err.Error(), cause: err}})
 	}
 	var inj *faults.Injector
 	if r.Faults != nil {
 		inj = r.Faults.ForCell(id)
 	}
+	if r.Progress != nil {
+		r.Progress.CellStarted(id)
+	}
+	began := time.Now()
 	done := make(chan cellOutcome, 1)
 	go func() {
+		// The cell's recorder lives on this goroutine so a panicking or
+		// erroring cell can still be snapshotted for the flight
+		// recorder. The watchdog/cancel paths abandon the goroutine and
+		// the recorder with it — they must never touch it.
+		var rec *telemetry.Recorder
+		var start time.Time
+		if r.Telemetry != nil || r.SalvageProfiles {
+			rec = telemetry.NewRecorder(0)
+			rec.AttachFaults(inj)
+			start = time.Now()
+		}
+		salvage := func() *telemetry.CellProfile {
+			if rec == nil {
+				return nil
+			}
+			return rec.Profile(id, time.Since(start).Nanoseconds())
+		}
 		defer func() {
 			if p := recover(); p != nil {
 				done <- cellOutcome{err: &CellError{
@@ -287,15 +352,15 @@ func (r *Runner) runGuarded(ctx context.Context, c cell) cellOutcome {
 					Class:   FailPanic,
 					Message: fmt.Sprint(p),
 					Stack:   sanitizeStack(debug.Stack()),
-				}}
+				}, profile: salvage()}
 			}
 		}()
-		res, err := runCell(c, r.Telemetry, inj)
+		res, err := runCellWith(c, r.Telemetry, rec, inj, start)
 		if err != nil {
-			done <- cellOutcome{err: &CellError{Cell: id, Class: FailError, Message: err.Error(), cause: err}}
+			done <- cellOutcome{err: &CellError{Cell: id, Class: FailError, Message: err.Error(), cause: err}, profile: salvage()}
 			return
 		}
-		done <- cellOutcome{res: res}
+		done <- cellOutcome{res: res, profile: res.Profile}
 	}()
 
 	var watchdog <-chan time.Time
@@ -306,16 +371,25 @@ func (r *Runner) runGuarded(ctx context.Context, c cell) cellOutcome {
 	}
 	select {
 	case out := <-done:
-		return out
+		return r.settle(id, time.Since(began), out)
 	case <-watchdog:
-		return cellOutcome{err: &CellError{
+		return r.settle(id, time.Since(began), cellOutcome{err: &CellError{
 			Cell:    id,
 			Class:   FailHang,
 			Message: fmt.Sprintf("cell exceeded the %s watchdog deadline", r.cellTimeout()),
-		}}
+		}})
 	case <-ctx.Done():
-		return cellOutcome{err: &CellError{Cell: id, Class: FailCanceled, Message: ctx.Err().Error(), cause: ctx.Err()}}
+		return r.settle(id, time.Since(began), cellOutcome{err: &CellError{Cell: id, Class: FailCanceled, Message: ctx.Err().Error(), cause: ctx.Err()}})
 	}
+}
+
+// settle notifies the progress observer of a cell's settled outcome and
+// passes it through.
+func (r *Runner) settle(id string, wall time.Duration, out cellOutcome) cellOutcome {
+	if r.Progress != nil {
+		r.Progress.CellFinished(id, wall, out.profile, out.err)
+	}
+	return out
 }
 
 // runCellsDetailed executes a batch of cells and returns one outcome
@@ -324,6 +398,13 @@ func (r *Runner) runGuarded(ctx context.Context, c cell) cellOutcome {
 // never dispatched are marked FailCanceled without running.
 func (r *Runner) runCellsDetailed(ctx context.Context, cells []cell) []cellOutcome {
 	outs := make([]cellOutcome, len(cells))
+	if r.Progress != nil {
+		ids := make([]string, len(cells))
+		for i, c := range cells {
+			ids[i] = c.String()
+		}
+		r.Progress.BatchStarted(ids)
+	}
 	n := r.workers()
 	if n > len(cells) {
 		n = len(cells)
@@ -351,9 +432,9 @@ func (r *Runner) runCellsDetailed(ctx context.Context, cells []cell) []cellOutco
 		case <-ctx.Done():
 			err := ctx.Err()
 			for j := i; j < len(cells); j++ {
-				outs[j] = cellOutcome{err: &CellError{
+				outs[j] = r.settle(cells[j].String(), 0, cellOutcome{err: &CellError{
 					Cell: cells[j].String(), Class: FailCanceled, Message: err.Error(), cause: err,
-				}}
+				}})
 			}
 			close(next)
 			wg.Wait()

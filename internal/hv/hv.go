@@ -180,34 +180,7 @@ func (h *Hypervisor) boot() error {
 	// the declared guest-visible windows. Guest-side access rights flow
 	// from real page tables built below; the map records the policy and
 	// serves hypervisor-internal (linear) translation.
-	segs := []layout.Segment{
-		{
-			Name:  "hv-text",
-			Start: layout.HypervisorVirtStart, End: layout.HypervisorVirtStart + hvTextFrames*mm.PageSize,
-			PhysBase:  h.hvTextBase.Addr(),
-			GuestPerm: layout.PermNone, HVPerm: layout.PermRWX,
-		},
-		{
-			Name:  "directmap",
-			Start: layout.DirectmapBase, End: layout.DirectmapBase + h.mem.Bytes(),
-			PhysBase:  0,
-			GuestPerm: layout.PermNone, HVPerm: layout.PermRW,
-		},
-		{
-			Name:  "guest-ro",
-			Start: layout.GuestROBase, End: layout.GuestROBase + h.mem.Bytes(),
-			PhysBase:  0,
-			GuestPerm: layout.PermR, HVPerm: layout.PermRW,
-		},
-	}
-	if h.version.LinearPTAlias {
-		segs = append(segs, layout.Segment{
-			Name:  "linear-pt-alias",
-			Start: layout.LinearPTBase, End: layout.LinearPTBase + h.mem.Bytes(),
-			PhysBase:  0,
-			GuestPerm: layout.PermRWX, HVPerm: layout.PermRWX,
-		})
-	}
+	segs := standardSegments(h.version, h.mem.Bytes(), h.hvTextBase.Addr())
 	if h.layout, err = layout.NewMap(segs...); err != nil {
 		return err
 	}
@@ -241,6 +214,53 @@ func (h *Hypervisor) boot() error {
 		h.Logf("linear page-table alias removed (XSA-213..315 follow-up hardening)")
 	}
 	return nil
+}
+
+// standardSegments is the version profile's memory map: the segment
+// names, extents and permissions every hypervisor of that profile boots
+// with, parameterized only by machine size and the text's physical
+// placement. boot and RoleLayout share it so symbolic role names resolve
+// identically in a live environment and in offline trace analysis.
+func standardSegments(v Version, machineBytes uint64, hvTextPhys mm.PhysAddr) []layout.Segment {
+	segs := []layout.Segment{
+		{
+			Name:  "hv-text",
+			Start: layout.HypervisorVirtStart, End: layout.HypervisorVirtStart + hvTextFrames*mm.PageSize,
+			PhysBase:  hvTextPhys,
+			GuestPerm: layout.PermNone, HVPerm: layout.PermRWX,
+		},
+		{
+			Name:  "directmap",
+			Start: layout.DirectmapBase, End: layout.DirectmapBase + machineBytes,
+			PhysBase:  0,
+			GuestPerm: layout.PermNone, HVPerm: layout.PermRW,
+		},
+		{
+			Name:  "guest-ro",
+			Start: layout.GuestROBase, End: layout.GuestROBase + machineBytes,
+			PhysBase:  0,
+			GuestPerm: layout.PermR, HVPerm: layout.PermRW,
+		},
+	}
+	if v.LinearPTAlias {
+		segs = append(segs, layout.Segment{
+			Name:  "linear-pt-alias",
+			Start: layout.LinearPTBase, End: layout.LinearPTBase + machineBytes,
+			PhysBase:  0,
+			GuestPerm: layout.PermRWX, HVPerm: layout.PermRWX,
+		})
+	}
+	return segs
+}
+
+// RoleLayout builds the version profile's memory map without booting a
+// hypervisor: same segment names and extents as a live environment of
+// that profile on a machine of machineBytes, with the text's physical
+// base pinned to zero (role lookups never translate). Trace
+// canonicalization uses it to map raw virtual addresses in a recorded
+// trace back to symbolic segment roles.
+func RoleLayout(v Version, machineBytes uint64) (*layout.Map, error) {
+	return layout.NewMap(standardSegments(v, machineBytes, 0)...)
 }
 
 // buildSharedTables constructs the idle L4 and the shared Xen L3 that is

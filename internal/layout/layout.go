@@ -198,6 +198,20 @@ func (m *Map) Find(va uint64) (*Segment, error) {
 	return nil, fmt.Errorf("%w: %#x", ErrNoSegment, va)
 }
 
+// Role returns the name of the smallest segment containing the virtual
+// address, and whether any segment covers it. It is the symbolic-role
+// lookup trace canonicalization uses to replace raw hypervisor virtual
+// addresses with stable names, so two runs that touch the same segment
+// at different addresses still compare equal.
+func (m *Map) Role(va uint64) (string, bool) {
+	for i := range m.segments {
+		if m.segments[i].Contains(va) {
+			return m.segments[i].Name, true
+		}
+	}
+	return "", false
+}
+
 // ByName returns the segment with the given name.
 func (m *Map) ByName(name string) (*Segment, error) {
 	for i := range m.segments {

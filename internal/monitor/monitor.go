@@ -44,6 +44,17 @@ func (v *Verdict) addf(format string, args ...any) {
 	v.tel.Evidence(v.UseCase, line)
 }
 
+// addfState records an affirmative state-audit finding: the evidence
+// line that establishes ErroneousState from live system state (descriptor
+// bytes, page-table walks). Its trace event carries the EvidenceStateVal
+// marker so the RQ2 trace-equivalence engine can compare the state audit
+// across runs whose consequence phases legitimately differ.
+func (v *Verdict) addfState(format string, args ...any) {
+	line := fmt.Sprintf(format, args...)
+	v.Evidence = append(v.Evidence, line)
+	v.tel.EvidenceState(v.UseCase, line)
+}
+
 // String renders the verdict as a Table III row fragment.
 func (v *Verdict) String() string {
 	mark := func(b bool) string {
@@ -87,7 +98,7 @@ func assess212Crash(h *hv.Hypervisor, o *exploits.Outcome, v *Verdict) {
 			gate, derr := cpu.DecodeGate(raw)
 			if derr == nil && !gate.Valid() {
 				v.ErroneousState = true
-				v.addf("IDT #PF descriptor at %#x decodes invalid (corrupted): % x",
+				v.addfState("IDT #PF descriptor at %#x decodes invalid (corrupted): % x",
 					o.Artifacts.IDTDescriptorAddr, raw[:8])
 			} else {
 				v.addf("IDT #PF descriptor still valid")
@@ -123,7 +134,7 @@ func assess212Priv(h *hv.Hypervisor, guests []*guest.Kernel, o *exploits.Outcome
 		}
 		if l1ok {
 			v.ErroneousState = true
-			v.addf("target PUD[%d] -> PMD %#x -> PT %#x -> payload frame %#x: linkage verified by walk",
+			v.addfState("target PUD[%d] -> PMD %#x -> PT %#x -> payload frame %#x: linkage verified by walk",
 				hv.MiscL3Index, uint64(o.Artifacts.ForgedL2), uint64(o.Artifacts.ForgedL1),
 				uint64(o.Artifacts.PayloadFrame))
 		} else {
@@ -160,7 +171,7 @@ func assess148Priv(h *hv.Hypervisor, guests []*guest.Kernel, o *exploits.Outcome
 			o.Artifacts.WindowPTEAddr.Frame(), int(o.Artifacts.WindowPTEAddr.Offset()/pagetable.EntrySize))
 		if err == nil && e.Present() && e.Superpage() && e.Writable() {
 			v.ErroneousState = true
-			v.addf("guest L2 holds writable PSE superpage entry: %v", e)
+			v.addfState("guest L2 holds writable PSE superpage entry: %v", e)
 		} else {
 			v.addf("no writable superpage entry in guest L2 (entry=%v err=%v)", e, err)
 		}
@@ -190,7 +201,7 @@ func assess182Test(h *hv.Hypervisor, o *exploits.Outcome, v *Verdict) {
 	e, err := pagetable.ReadEntry(h.Memory(), root, o.Artifacts.SelfMapSlot)
 	if err == nil && e.Present() && e.Writable() && e.MFN() == root {
 		v.ErroneousState = true
-		v.addf("L4[%d] is a writable self-reference: %v", o.Artifacts.SelfMapSlot, e)
+		v.addfState("L4[%d] is a writable self-reference: %v", o.Artifacts.SelfMapSlot, e)
 	} else {
 		v.addf("L4[%d] = %v: not a writable self-reference", o.Artifacts.SelfMapSlot, e)
 	}

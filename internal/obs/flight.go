@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/telemetry"
+)
+
+// FlightRecorder dumps a failing cell's salvaged telemetry — the
+// bounded event ring its goroutine held at the moment of failure — as
+// flight-<cell>.jsonl the instant the engine settles the failure, so a
+// chaos campaign's crash evidence survives even if the process never
+// reaches its normal trace flush. It implements campaign.Progress and
+// is safe for concurrent workers.
+type FlightRecorder struct {
+	// Dir is where dumps land ("." when empty).
+	Dir string
+
+	mu     sync.Mutex
+	dumps  []string
+	errors []error
+}
+
+// BatchStarted implements campaign.Progress (no-op).
+func (f *FlightRecorder) BatchStarted([]string) {}
+
+// CellStarted implements campaign.Progress (no-op).
+func (f *FlightRecorder) CellStarted(string) {}
+
+// CellFinished implements campaign.Progress: a settled failure with a
+// salvageable profile is dumped immediately. Hung and canceled cells
+// carry no profile (their goroutine was abandoned with its recorder)
+// and produce no dump.
+func (f *FlightRecorder) CellFinished(cell string, _ time.Duration, profile *telemetry.CellProfile, cerr *campaign.CellError) {
+	if cerr == nil || profile == nil {
+		return
+	}
+	dir := f.Dir
+	if dir == "" {
+		dir = "."
+	}
+	path := filepath.Join(dir, "flight-"+strings.ReplaceAll(cell, "/", "-")+".jsonl")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.dump(path, profile); err != nil {
+		f.errors = append(f.errors, fmt.Errorf("obs: flight dump for %s: %w", cell, err))
+		return
+	}
+	f.dumps = append(f.dumps, path)
+}
+
+func (f *FlightRecorder) dump(path string, profile *telemetry.CellProfile) error {
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WriteTrace(file, []*telemetry.CellProfile{profile}); err != nil {
+		file.Close()
+		return err
+	}
+	return file.Close()
+}
+
+// Dumps returns the paths written so far.
+func (f *FlightRecorder) Dumps() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.dumps...)
+}
+
+// Errors returns dump failures (a flight recorder never fails the
+// campaign; callers report these as warnings).
+func (f *FlightRecorder) Errors() []error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]error(nil), f.errors...)
+}
+
+// Multi fans campaign progress out to several observers in order.
+type Multi []campaign.Progress
+
+// BatchStarted implements campaign.Progress.
+func (m Multi) BatchStarted(cells []string) {
+	for _, p := range m {
+		p.BatchStarted(cells)
+	}
+}
+
+// CellStarted implements campaign.Progress.
+func (m Multi) CellStarted(cell string) {
+	for _, p := range m {
+		p.CellStarted(cell)
+	}
+}
+
+// CellFinished implements campaign.Progress.
+func (m Multi) CellFinished(cell string, wall time.Duration, profile *telemetry.CellProfile, cerr *campaign.CellError) {
+	for _, p := range m {
+		p.CellFinished(cell, wall, profile, cerr)
+	}
+}

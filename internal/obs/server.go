@@ -1,0 +1,220 @@
+// Package obs is the live campaign observability layer: an HTTP server
+// exposing a running campaign's metrics registry and per-cell progress
+// (Prometheus text on /metrics, JSON on /cells, liveness on /healthz),
+// plus a flight recorder that dumps a failing cell's bounded event ring
+// to disk the moment the engine settles the failure. Both plug into the
+// campaign engine through the campaign.Progress hook and cost nothing
+// when not installed.
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/telemetry"
+)
+
+// CellStatus is a cell's live lifecycle state.
+type CellStatus string
+
+// Cell lifecycle states.
+const (
+	// StatusPending means the cell is announced but not yet dispatched.
+	StatusPending CellStatus = "pending"
+	// StatusRunning means a worker owns the cell right now.
+	StatusRunning CellStatus = "running"
+	// StatusDone means the cell finished cleanly.
+	StatusDone CellStatus = "done"
+	// StatusError means the cell settled with a failure record.
+	StatusError CellStatus = "error"
+)
+
+// CellState is one cell's live status, the /cells wire format.
+type CellState struct {
+	Cell   string     `json:"cell"`
+	Status CellStatus `json:"status"`
+	// WallNS is the cell's wall time once settled.
+	WallNS int64 `json:"wall_ns,omitempty"`
+	// Class and Error describe the failure for StatusError cells.
+	Class string `json:"class,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// Server is the observability HTTP server. It implements
+// campaign.Progress; install it on the Runner and Listen before the
+// campaign starts. All methods are safe for concurrent use.
+type Server struct {
+	reg *telemetry.Registry
+
+	mu    sync.Mutex
+	cells map[string]*CellState
+	order []string
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// NewServer creates a server over the given registry (nil is allowed:
+// /metrics then exposes no series until cells carry profiles).
+func NewServer(reg *telemetry.Registry) *Server {
+	s := &Server{reg: reg, cells: make(map[string]*CellState)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/cells", s.handleCells)
+	s.srv = &http.Server{Handler: mux}
+	return s
+}
+
+// Listen binds the address and starts serving in the background,
+// returning the bound address (useful with ":0"). Call Shutdown to
+// stop.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	go func() {
+		// ErrServerClosed is the orderly-shutdown sentinel; anything
+		// else would have surfaced to clients already.
+		_ = s.srv.Serve(ln)
+	}()
+	return ln.Addr(), nil
+}
+
+// Shutdown drains in-flight requests and stops the server.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.srv.Shutdown(ctx)
+}
+
+// BatchStarted implements campaign.Progress: the announced cells seed
+// the /cells listing as pending, in cell order.
+func (s *Server) BatchStarted(cells []string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, id := range cells {
+		s.track(id)
+	}
+}
+
+// CellStarted implements campaign.Progress.
+func (s *Server) CellStarted(cell string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.track(cell).Status = StatusRunning
+}
+
+// CellFinished implements campaign.Progress.
+func (s *Server) CellFinished(cell string, wall time.Duration, _ *telemetry.CellProfile, cerr *campaign.CellError) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.track(cell)
+	st.WallNS = wall.Nanoseconds()
+	if cerr != nil {
+		st.Status = StatusError
+		st.Class = string(cerr.Class)
+		st.Error = cerr.Message
+		return
+	}
+	st.Status = StatusDone
+}
+
+// track returns the cell's state, creating it as pending on first
+// sight (single cells run via Runner.Run never see a BatchStarted).
+// Callers hold s.mu.
+func (s *Server) track(cell string) *CellState {
+	if st, ok := s.cells[cell]; ok {
+		return st
+	}
+	st := &CellState{Cell: cell, Status: StatusPending}
+	s.cells[cell] = st
+	s.order = append(s.order, cell)
+	return st
+}
+
+// snapshot copies the cell states in announcement order.
+func (s *Server) snapshot() []CellState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]CellState, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, *s.cells[id])
+	}
+	return out
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleCells(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.snapshot())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	WriteMetrics(w, s.reg)
+}
+
+// metricName folds a registry counter/histogram name into the
+// Prometheus name space: "hypercall.mmu_update" -> repro_hypercall_mmu_update.
+func metricName(name string) string {
+	var b strings.Builder
+	b.WriteString("repro_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WriteMetrics renders the registry in the Prometheus text exposition
+// format: every counter as a _total series, every histogram with
+// cumulative buckets, sum, count, and estimated p50/p99 quantile
+// gauges. Output is deterministic (series sorted by name).
+func WriteMetrics(w io.Writer, reg *telemetry.Registry) {
+	for _, cv := range reg.Snapshot() {
+		name := metricName(cv.Name)
+		fmt.Fprintf(w, "# TYPE %s_total counter\n", name)
+		fmt.Fprintf(w, "%s_total %d\n", name, cv.Value)
+	}
+	for _, h := range reg.Histograms() {
+		name := metricName(h.Name)
+		fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+		var cum uint64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			if b.UpperBound == ^uint64(0) {
+				continue // folded into +Inf below
+			}
+			fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, b.UpperBound, cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+		fmt.Fprintf(w, "%s_sum %d\n", name, h.Sum)
+		fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+		fmt.Fprintf(w, "# TYPE %s_quantile gauge\n", name)
+		for _, q := range []struct {
+			label string
+			q     float64
+		}{{"0.5", 0.5}, {"0.99", 0.99}} {
+			fmt.Fprintf(w, "%s_quantile{quantile=\"%s\"} %d\n", name, q.label, h.Quantile(q.q))
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/tracediff"
+)
+
+// TraceEquivalence renders the RQ2 trace-equivalence verdicts as a
+// table alongside Table III: one row per (scenario, version) cell,
+// showing the verdict tier, the comparison basis and the compared
+// effect-stream sizes. Divergent cells append their first-divergence
+// evidence below the row, so the table carries everything needed to
+// start an investigation.
+func TraceEquivalence(verdicts []tracediff.CellVerdict) string {
+	var b strings.Builder
+	b.WriteString("TRACE EQUIVALENCE (RQ2): exploit-induced vs injected state, event level\n")
+	b.WriteString(rule(88) + "\n")
+	b.WriteString(fmt.Sprintf("%-8s %-16s %-24s %-24s %s\n",
+		"Version", "Use Case", "Verdict", "Basis", "Events"))
+	b.WriteString(rule(88) + "\n")
+	equivalent := 0
+	for _, cv := range verdicts {
+		basis := string(cv.Basis)
+		if cv.RefVersion != "" {
+			basis += " (" + cv.RefVersion + ")"
+		}
+		b.WriteString(fmt.Sprintf("%-8s %-16s %-24s %-24s %d/%d\n",
+			cv.Version, cv.UseCase, cv.Tier, basis, cv.BaseEvents, cv.InjectionEvents))
+		if cv.Equivalent() {
+			equivalent++
+			continue
+		}
+		if d := cv.Divergence; d != nil {
+			b.WriteString(fmt.Sprintf("  first divergence at effect index %d:\n", d.Index))
+			b.WriteString("    base:      " + d.A + "\n")
+			b.WriteString("    injection: " + d.B + "\n")
+		}
+	}
+	b.WriteString(rule(88) + "\n")
+	b.WriteString(fmt.Sprintf("%d/%d cells trace-equivalent\n", equivalent, len(verdicts)))
+	return b.String()
+}

@@ -28,8 +28,8 @@ func MetricsSummary(reg *telemetry.Registry) string {
 	}
 	for _, h := range reg.Histograms() {
 		b.WriteString(rule(64) + "\n")
-		b.WriteString(fmt.Sprintf("%s: count=%d min=%d mean=%d max=%d",
-			h.Name, h.Count, h.Min, h.Mean(), h.Max))
+		b.WriteString(fmt.Sprintf("%s: count=%d min=%d mean=%d p50=%d p99=%d max=%d",
+			h.Name, h.Count, h.Min, h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.Max))
 		if h.Name == telemetry.CellWallHistogram {
 			b.WriteString(" (wall times; not deterministic)")
 		}

@@ -30,6 +30,11 @@ type TraceRecord struct {
 	WallNS        int64          `json:"wall_ns,omitempty"`
 	Counters      []CounterValue `json:"counters,omitempty"`
 	DroppedEvents uint64         `json:"dropped_events,omitempty"`
+
+	// Line is the 1-based source line the record was parsed from, set by
+	// ReadTrace so consumers can point at the offending line of a
+	// malformed or incomplete trace. Never serialized.
+	Line int `json:"-"`
 }
 
 // CellEndKind tags the per-cell summary record closing a cell's events.
@@ -93,10 +98,11 @@ func ReadTrace(r io.Reader) ([]TraceRecord, error) {
 		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
 			return nil, fmt.Errorf("telemetry: trace line %d: %w", line, err)
 		}
+		rec.Line = line
 		out = append(out, rec)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("telemetry: reading trace: %w", err)
+		return nil, fmt.Errorf("telemetry: reading trace after line %d: %w", line, err)
 	}
 	return out, nil
 }

@@ -1,0 +1,113 @@
+package telemetry
+
+import "testing"
+
+// snapshotOf builds a registry histogram from observations and returns
+// its snapshot, exercising the same path the reports read.
+func snapshotOf(t *testing.T, values ...uint64) HistogramSnapshot {
+	t.Helper()
+	reg := NewRegistry()
+	h := reg.Histogram("q")
+	for _, v := range values {
+		h.Observe(v)
+	}
+	hs := reg.Histograms()
+	if len(hs) != 1 {
+		t.Fatalf("got %d histograms, want 1", len(hs))
+	}
+	return hs[0]
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	var s HistogramSnapshot
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	s := snapshotOf(t, 10, 20, 1000)
+	if got := s.Quantile(0); got != 10 {
+		t.Errorf("Quantile(0) = %d, want Min 10", got)
+	}
+	if got := s.Quantile(-1); got != 10 {
+		t.Errorf("Quantile(-1) = %d, want Min 10", got)
+	}
+	if got := s.Quantile(1); got != 1000 {
+		t.Errorf("Quantile(1) = %d, want Max 1000", got)
+	}
+	if got := s.Quantile(2); got != 1000 {
+		t.Errorf("Quantile(2) = %d, want Max 1000", got)
+	}
+}
+
+// TestQuantileSingleValue clamps the in-bucket interpolation to the
+// observed range: every quantile of a constant distribution is that
+// constant.
+func TestQuantileSingleValue(t *testing.T) {
+	values := make([]uint64, 100)
+	for i := range values {
+		values[i] = 100
+	}
+	s := snapshotOf(t, values...)
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		if got := s.Quantile(q); got != 100 {
+			t.Errorf("constant-100 Quantile(%v) = %d, want 100", q, got)
+		}
+	}
+}
+
+func TestQuantileZeroObservation(t *testing.T) {
+	s := snapshotOf(t, 0)
+	if got := s.Quantile(0.5); got != 0 {
+		t.Errorf("Quantile(0.5) of {0} = %d, want 0", got)
+	}
+}
+
+// TestQuantileBucketAccuracy pins the documented precision contract:
+// the estimate lands inside the power-of-two bucket that holds the
+// true rank-q observation.
+func TestQuantileBucketAccuracy(t *testing.T) {
+	// 99 observations of 10 (bucket (8,16]) and one of 1_000_000
+	// (bucket (2^19, 2^20]).
+	values := make([]uint64, 0, 100)
+	for i := 0; i < 99; i++ {
+		values = append(values, 10)
+	}
+	values = append(values, 1_000_000)
+	s := snapshotOf(t, values...)
+
+	// p50 and p99 both rank inside the 99-strong bucket.
+	for _, q := range []float64{0.5, 0.99} {
+		got := s.Quantile(q)
+		if got < 8 || got > 16 {
+			t.Errorf("Quantile(%v) = %d, want within the (8,16] bucket", q, got)
+		}
+	}
+	// p99.5 ranks at the outlier; the estimate must move to its bucket
+	// and stay within the observed max.
+	got := s.Quantile(0.995)
+	if got <= 16 || got > 1_000_000 {
+		t.Errorf("Quantile(0.995) = %d, want in the outlier's bucket, <= Max", got)
+	}
+}
+
+// TestQuantileMonotone checks q -> Quantile(q) never decreases on a
+// spread distribution, which the bucket walk plus clamping guarantees.
+func TestQuantileMonotone(t *testing.T) {
+	values := []uint64{1, 2, 4, 9, 17, 33, 100, 1000, 5000, 100000}
+	s := snapshotOf(t, values...)
+	var prev uint64
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		got := s.Quantile(q)
+		if got < prev {
+			t.Errorf("Quantile(%v) = %d < previous %d", q, got, prev)
+		}
+		if got < s.Min || got > s.Max {
+			t.Errorf("Quantile(%v) = %d outside [%d, %d]", q, got, s.Min, s.Max)
+		}
+		prev = got
+	}
+}

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"math"
 	"math/bits"
 	"sort"
 	"sync"
@@ -92,6 +93,61 @@ func (s HistogramSnapshot) Mean() uint64 {
 		return 0
 	}
 	return s.Sum / s.Count
+}
+
+// Quantile estimates the q-th quantile (0 < q < 1) from the
+// power-of-two buckets: it finds the bucket holding the rank-q
+// observation and interpolates linearly inside the bucket's
+// [bound/2, bound) range, clamped to the observed [Min, Max]. With no
+// observations it returns 0; q <= 0 returns Min and q >= 1 returns Max.
+// The estimate is exact to within one power-of-two bucket, which is
+// what a wall-time p50/p99 needs for regression tracking.
+func (s HistogramSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.Min
+	}
+	if q >= 1 {
+		return s.Max
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for _, b := range s.Buckets {
+		if cum+b.Count < rank {
+			cum += b.Count
+			continue
+		}
+		lo, hi := bucketRange(b.UpperBound)
+		// Interpolate the in-bucket position of the rank-q observation.
+		frac := (float64(rank-cum) - 0.5) / float64(b.Count)
+		v := lo + uint64(frac*float64(hi-lo))
+		if v < s.Min {
+			v = s.Min
+		}
+		if v > s.Max {
+			v = s.Max
+		}
+		return v
+	}
+	return s.Max
+}
+
+// bucketRange returns the half-open observation range [lo, hi) of the
+// bucket with the given upper bound.
+func bucketRange(bound uint64) (lo, hi uint64) {
+	switch {
+	case bound == 0:
+		return 0, 1
+	case bound == ^uint64(0): // the saturated 2^64 bucket
+		return 1 << 63, ^uint64(0)
+	default:
+		return bound / 2, bound
+	}
 }
 
 // Counter returns the named counter, creating it on first use.

@@ -302,6 +302,25 @@ func (r *Recorder) Evidence(useCase, line string) {
 	r.emit(Event{Kind: KindVerdictEvidence, Label: useCase, Detail: line})
 }
 
+// EvidenceStateVal is the Val marker on a KindVerdictEvidence event that
+// carries the monitor's affirmative erroneous-state audit — the line the
+// audit writes when it confirms the state was really induced, as opposed
+// to the consequence-phase (violation oracle) evidence that follows. The
+// RQ2 trace-equivalence engine keys on this marker: the state audit must
+// match between an exploit-induced and an injected run even when a
+// hardened version absorbs the consequences.
+const EvidenceStateVal uint64 = 1
+
+// EvidenceState records the monitor's affirmative erroneous-state audit
+// evidence, marked with EvidenceStateVal on the wire.
+func (r *Recorder) EvidenceState(useCase, line string) {
+	if r == nil {
+		return
+	}
+	r.counters["monitor.evidence"]++
+	r.emit(Event{Kind: KindVerdictEvidence, Val: EvidenceStateVal, Label: useCase, Detail: line})
+}
+
 // GrantOp records a grant-table operation.
 func (r *Recorder) GrantOp(dom uint16, op string, ref int) {
 	if r == nil {

@@ -1,0 +1,179 @@
+package tracediff
+
+import (
+	"fmt"
+
+	"repro/internal/campaign"
+	"repro/internal/hv"
+)
+
+// The RQ2 pairing. For every (scenario, version) cell the engine picks
+// the strongest comparison the matrix supports:
+//
+//   - On a version where the exploit still induces the state, the
+//     exploit run itself is the basis: its effect stream must equal the
+//     injection run's (same version, different mechanism).
+//   - On a fixed version the exploit is blocked — its trace ends at the
+//     validation reject, so it cannot attest what the injected state
+//     should look like. The basis is then the *reference* exploit: the
+//     earliest version whose exploit induced the state (4.6 in the
+//     paper's matrix). When the injection's security outcome matches
+//     the reference's, the full effect streams are compared across
+//     versions (canonicalization masks the version banners).
+//   - When the outcomes differ — the hardened version *handled* the
+//     injected state, the shield cells of Table III — the consequence
+//     phases legitimately diverge, and the comparison narrows to the
+//     monitor's marked erroneous-state audit: the injected state must
+//     still look exactly like the exploit-induced one, even though the
+//     system's reaction differs. That narrowing is the paper's RQ2
+//     reading for handled cells: equivalence of the *state*, not of
+//     the consequences the hardening suppressed.
+type Basis string
+
+// Comparison bases.
+const (
+	// BasisExploit compares against the same version's exploit run.
+	BasisExploit Basis = "exploit@version"
+	// BasisReference compares against the reference version's exploit
+	// run (full effect streams, cross-version).
+	BasisReference Basis = "reference-exploit"
+	// BasisStateAudit compares only the marked erroneous-state audit
+	// against the reference exploit's.
+	BasisStateAudit Basis = "state-audit"
+)
+
+// CellVerdict is one (scenario, version) cell's trace-equivalence
+// result.
+type CellVerdict struct {
+	// UseCase and Version identify the cell.
+	UseCase string `json:"use_case"`
+	Version string `json:"version"`
+	// Tier is the verdict.
+	Tier Tier `json:"tier"`
+	// Basis says which comparison produced it.
+	Basis Basis `json:"basis"`
+	// RefVersion is the reference exploit's version when the basis is
+	// cross-version.
+	RefVersion string `json:"ref_version,omitempty"`
+	// BaseEvents and InjectionEvents are the compared stream lengths
+	// (effect events, or marked audit events under BasisStateAudit).
+	BaseEvents      int `json:"base_events"`
+	InjectionEvents int `json:"injection_events"`
+	// Divergence is the first disagreement, nil unless divergent.
+	Divergence *Divergence `json:"divergence,omitempty"`
+}
+
+// Equivalent reports whether the cell passed (identical or
+// equivalent-modulo-noise).
+func (cv *CellVerdict) Equivalent() bool { return cv.Tier != TierDivergent }
+
+// MatrixEquivalence computes per-cell trace-equivalence verdicts for a
+// profiled campaign matrix. Entries must come from a Runner with a
+// Telemetry registry (every cell needs its event trace) and a fully
+// successful run — a failed or unprofiled cell is an error, because an
+// equivalence claim over a partial matrix would be vacuous. Verdicts
+// are returned in matrix order (version-major, scenario-minor), one
+// per exploit/injection pair.
+func MatrixEquivalence(entries []campaign.MatrixEntry) ([]CellVerdict, error) {
+	type key struct {
+		version, useCase string
+		mode             campaign.Mode
+	}
+	idx := make(map[key]*campaign.MatrixEntry, len(entries))
+	for i := range entries {
+		e := &entries[i]
+		if e.Err != nil {
+			return nil, fmt.Errorf("tracediff: cell %s/%s/%s failed: %w", e.Version, e.UseCase, e.Mode, e.Err)
+		}
+		if e.Result == nil || e.Result.Profile == nil {
+			return nil, fmt.Errorf("tracediff: cell %s/%s/%s has no telemetry profile (run with a Telemetry registry)", e.Version, e.UseCase, e.Mode)
+		}
+		idx[key{e.Version, e.UseCase, e.Mode}] = e
+	}
+
+	// Reference exploit per scenario: the earliest release whose
+	// exploit induced the erroneous state.
+	reference := func(useCase string) *campaign.MatrixEntry {
+		for _, v := range hv.Versions() {
+			if e, ok := idx[key{v.Name, useCase, campaign.ModeExploit}]; ok && e.Result.Verdict.ErroneousState {
+				return e
+			}
+		}
+		return nil
+	}
+
+	// Canonical streams are cached per cell: the reference exploit's
+	// stream is reused by every fixed version of its scenario.
+	canon := make(map[key][]Event)
+	streamOf := func(e *campaign.MatrixEntry) []Event {
+		k := key{e.Version, e.UseCase, e.Mode}
+		if s, ok := canon[k]; ok {
+			return s
+		}
+		c := NewCanonicalizer(e.Version, campaign.MachineFrames)
+		s := c.Events(e.Result.Profile.Events)
+		canon[k] = s
+		return s
+	}
+
+	var out []CellVerdict
+	for i := range entries {
+		e := &entries[i]
+		if e.Mode != campaign.ModeExploit {
+			continue
+		}
+		inj, ok := idx[key{e.Version, e.UseCase, campaign.ModeInjection}]
+		if !ok {
+			return nil, fmt.Errorf("tracediff: cell %s/%s has no injection sibling in the matrix", e.Version, e.UseCase)
+		}
+		cv := CellVerdict{UseCase: e.UseCase, Version: e.Version}
+		iStream := streamOf(inj)
+
+		switch {
+		case e.Result.Verdict.ErroneousState:
+			// The exploit worked here: strongest basis.
+			cv.Basis = BasisExploit
+			eStream := streamOf(e)
+			cv.Tier, cv.Divergence = Compare(eStream, iStream)
+			cv.BaseEvents, cv.InjectionEvents = len(effects(eStream)), len(effects(iStream))
+
+		default:
+			ref := reference(e.UseCase)
+			if ref == nil {
+				return nil, fmt.Errorf("tracediff: %s: no version's exploit induced the erroneous state; no reference to compare %s's injection against", e.UseCase, e.Version)
+			}
+			cv.RefVersion = ref.Version
+			rStream := streamOf(ref)
+			if inj.Result.Verdict.SecurityViolation == ref.Result.Verdict.SecurityViolation {
+				cv.Basis = BasisReference
+				re, ie := effects(rStream), effects(iStream)
+				cv.BaseEvents, cv.InjectionEvents = len(re), len(ie)
+				if d := firstDivergence(re, ie); d != nil {
+					cv.Tier, cv.Divergence = TierDivergent, d
+				} else {
+					cv.Tier = TierEquivalent
+				}
+			} else {
+				// Handled cell: compare the erroneous state itself.
+				cv.Basis = BasisStateAudit
+				ra, ia := stateAudit(rStream), stateAudit(iStream)
+				cv.BaseEvents, cv.InjectionEvents = len(ra), len(ia)
+				switch {
+				case len(ra) == 0 && len(ia) == 0:
+					// Nothing attested on either side: vacuous equality
+					// is not equivalence evidence.
+					cv.Tier = TierDivergent
+					cv.Divergence = &Divergence{A: Absent, B: Absent}
+				default:
+					if d := firstDivergence(ra, ia); d != nil {
+						cv.Tier, cv.Divergence = TierDivergent, d
+					} else {
+						cv.Tier = TierEquivalent
+					}
+				}
+			}
+		}
+		out = append(out, cv)
+	}
+	return out, nil
+}

@@ -1,0 +1,95 @@
+package tracediff
+
+import (
+	"strings"
+
+	"repro/internal/campaign"
+	"repro/internal/telemetry"
+)
+
+// Offline mode: diff two recorded JSONL traces cell by cell, without a
+// live campaign's verdicts. Cells are matched by exact id
+// ("version/use-case/mode"), so this compares run to run — two
+// recordings of the same campaign, a known-good trace against a
+// suspect one — rather than exploit to injection (that pairing needs
+// the verdicts and is what `repro -equivalence` does in-process).
+
+// TraceCellDiff is one cell's offline comparison result.
+type TraceCellDiff struct {
+	// Cell is the "version/use-case/mode" identity.
+	Cell string `json:"cell"`
+	// Tier is the verdict; a cell present in only one trace is
+	// divergent by definition.
+	Tier Tier `json:"tier"`
+	// InA and InB report presence in each trace.
+	InA bool `json:"in_a"`
+	InB bool `json:"in_b"`
+	// AEvents and BEvents count the cell's canonical events per side.
+	AEvents int `json:"a_events"`
+	BEvents int `json:"b_events"`
+	// Divergence is the first disagreement, nil unless divergent (and
+	// absent for one-sided cells, where the whole cell is the
+	// divergence).
+	Divergence *Divergence `json:"divergence,omitempty"`
+}
+
+// cellVersion extracts the version component of a cell id.
+func cellVersion(cell string) string {
+	if i := strings.IndexByte(cell, '/'); i >= 0 {
+		return cell[:i]
+	}
+	return ""
+}
+
+// groupCells buckets trace records per cell, preserving first-
+// appearance order.
+func groupCells(recs []telemetry.TraceRecord) (map[string][]telemetry.TraceRecord, []string) {
+	byCell := make(map[string][]telemetry.TraceRecord)
+	var order []string
+	for _, r := range recs {
+		if _, ok := byCell[r.Cell]; !ok {
+			order = append(order, r.Cell)
+		}
+		byCell[r.Cell] = append(byCell[r.Cell], r)
+	}
+	return byCell, order
+}
+
+// DiffTraces compares two JSONL traces cell by cell. Results follow
+// trace A's cell order, with cells only in B appended in B's order.
+func DiffTraces(a, b []telemetry.TraceRecord) []TraceCellDiff {
+	aCells, aOrder := groupCells(a)
+	bCells, bOrder := groupCells(b)
+
+	var out []TraceCellDiff
+	diffCell := func(cell string) {
+		ar, inA := aCells[cell]
+		br, inB := bCells[cell]
+		d := TraceCellDiff{Cell: cell, InA: inA, InB: inB}
+		c := NewCanonicalizer(cellVersion(cell), campaign.MachineFrames)
+		var ca, cb []Event
+		if inA {
+			ca = c.Records(ar)
+			d.AEvents = len(ca)
+		}
+		if inB {
+			cb = c.Records(br)
+			d.BEvents = len(cb)
+		}
+		if !inA || !inB {
+			d.Tier = TierDivergent
+		} else {
+			d.Tier, d.Divergence = Compare(ca, cb)
+		}
+		out = append(out, d)
+	}
+	for _, cell := range aOrder {
+		diffCell(cell)
+	}
+	for _, cell := range bOrder {
+		if _, ok := aCells[cell]; !ok {
+			diffCell(cell)
+		}
+	}
+	return out
+}
