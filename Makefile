@@ -17,10 +17,16 @@
 # exploit-induced basis fails the build. `bench` additionally emits
 # BENCH_obs.json (the MatrixTelemetry off/on/server sub-benchmarks) so
 # the -listen overhead is tracked alongside the telemetry overhead.
+# `spans` runs the causal-span suite — every opened span closed exactly
+# once (including under chaos), the canonical forest digest and RQ3
+# detection latencies pinned — then drives a full -spans matrix through
+# the CLI, checks the summary carries the critical path and the RQ3
+# table, and validates the Perfetto trace with `tracecheck spans`. The
+# trace (spans-demo.json) is left behind for CI to attach on failure.
 
 GO ?= go
 
-.PHONY: all build test race vet bench check trace-demo chaos equivalence clean
+.PHONY: all build test race vet bench check trace-demo chaos equivalence spans clean
 
 all: check
 
@@ -55,8 +61,17 @@ chaos:
 equivalence:
 	$(GO) run ./cmd/repro -equivalence -workers 4
 
-check: build vet test race chaos equivalence
+spans:
+	$(GO) test ./internal/span/
+	$(GO) test -run 'Span|Latency' ./internal/campaign/ ./internal/tracediff/ ./internal/obs/ ./internal/report/
+	$(GO) run ./cmd/repro -matrix -workers 4 -spans spans-demo.json > spans-summary.txt
+	@grep -q 'CAUSAL SPAN SUMMARY' spans-summary.txt
+	@grep -q 'critical path: makespan=' spans-summary.txt
+	@grep -q 'DETECTION LATENCY (RQ3)' spans-summary.txt
+	$(GO) run ./cmd/tracecheck spans spans-demo.json
+
+check: build vet test race chaos equivalence spans
 
 clean:
-	rm -f BENCH_matrix.json BENCH_obs.json trace-demo.jsonl flight-*.jsonl
+	rm -f BENCH_matrix.json BENCH_obs.json trace-demo.jsonl flight-*.jsonl spans-demo.json spans-summary.txt
 	$(GO) clean ./...

@@ -9,11 +9,11 @@ import (
 	"time"
 )
 
-// buildCLIs compiles the three command-line tools once per test binary.
+// buildCLIs compiles the command-line tools once per test binary.
 func buildCLIs(t *testing.T) string {
 	t.Helper()
 	dir := t.TempDir()
-	for _, tool := range []string{"repro", "xsalab", "iinject", "tracecheck"} {
+	for _, tool := range []string{"repro", "xsalab", "iinject", "tracecheck", "benchdiff"} {
 		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool)
 		cmd.Env = os.Environ()
 		out, err := cmd.CombinedOutput()
@@ -281,6 +281,74 @@ func TestCLISmoke(t *testing.T) {
 			if !strings.Contains(string(out), want) {
 				t.Errorf("listen output missing %q:\n%s", want, out)
 			}
+		}
+	})
+
+	// Causal spans end to end: a matrix run with -spans renders the span
+	// summary (critical path + RQ3 latency table) and writes a Chrome
+	// trace-event file that tracecheck's spans mode validates.
+	t.Run("spans", func(t *testing.T) {
+		spans := filepath.Join(t.TempDir(), "spans.json")
+		out, err := exec.Command(filepath.Join(dir, "repro"),
+			"-matrix", "-workers", "4", "-spans", spans).CombinedOutput()
+		if err != nil {
+			t.Fatalf("repro -matrix -spans: %v\n%s", err, out)
+		}
+		for _, want := range []string{
+			"FULL CAMPAIGN MATRIX",
+			"CAUSAL SPAN SUMMARY (virtual time, events)",
+			"critical path: makespan=",
+			"DETECTION LATENCY (RQ3)",
+			"wrote span trace to",
+		} {
+			if !strings.Contains(string(out), want) {
+				t.Errorf("spans output missing %q:\n%s", want, out)
+			}
+		}
+		out, err = exec.Command(filepath.Join(dir, "tracecheck"), "spans", spans).CombinedOutput()
+		if err != nil {
+			t.Fatalf("tracecheck spans: %v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "ok:") || !strings.Contains(string(out), "24 cells") {
+			t.Errorf("tracecheck spans output = %s, want ok across 24 cells", out)
+		}
+	})
+
+	// benchdiff: equal artifacts pass, a blown threshold names the
+	// regression and exits non-zero.
+	t.Run("benchdiff", func(t *testing.T) {
+		tmp := t.TempDir()
+		mk := func(name, nsOld string) string {
+			p := filepath.Join(tmp, name)
+			content := `{"Action":"output","Output":"BenchmarkFullMatrix-8   \t"}` + "\n" +
+				`{"Action":"output","Output":"       5\t` + nsOld + ` ns/op\t1024 B/op\t7 allocs/op\n"}` + "\n"
+			if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			return p
+		}
+		old := mk("old.json", "100000")
+		out, err := exec.Command(filepath.Join(dir, "benchdiff"), old, old).CombinedOutput()
+		if err != nil {
+			t.Fatalf("self-diff failed: %v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "ok: no benchmark regressed") {
+			t.Errorf("self-diff output missing ok line:\n%s", out)
+		}
+		slow := mk("new.json", "300000")
+		out, err = exec.Command(filepath.Join(dir, "benchdiff"), old, slow).CombinedOutput()
+		if err == nil {
+			t.Fatalf("3x regression passed the default 1.25x threshold:\n%s", out)
+		}
+		for _, want := range []string{"REGRESSED", "BenchmarkFullMatrix-8", "1 benchmark(s) regressed"} {
+			if !strings.Contains(string(out), want) {
+				t.Errorf("regression output missing %q:\n%s", want, out)
+			}
+		}
+		// A loose threshold lets the same pair pass.
+		if out, err := exec.Command(filepath.Join(dir, "benchdiff"),
+			"-threshold", "4.0", old, slow).CombinedOutput(); err != nil {
+			t.Errorf("3x growth failed a 4.0x threshold: %v\n%s", err, out)
 		}
 	})
 

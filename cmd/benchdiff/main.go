@@ -1,0 +1,163 @@
+// Command benchdiff compares two benchmark artifacts produced by
+// `make bench` (test2json streams of `go test -bench`, e.g.
+// BENCH_matrix.json) benchmark by benchmark and reports the ns/op
+// delta, so a perf regression shows up as a reviewable number instead
+// of a hunch. A benchmark whose ns/op grew beyond the threshold ratio
+// fails the comparison with a non-zero exit.
+//
+// Usage:
+//
+//	benchdiff old.json new.json
+//	benchdiff -threshold 1.10 old.json new.json   # fail on >10% growth
+//
+// Benchmarks present on only one side are reported as added/removed
+// but never fail the comparison — the set changes legitimately as the
+// suite grows.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// testEvent is the subset of the test2json stream benchdiff reads.
+type testEvent struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+// result is one benchmark's parsed measurements.
+type result struct {
+	NsPerOp     float64
+	BytesPerOp  float64
+	AllocsPerOp float64
+}
+
+// benchLine matches a complete benchmark result line in the
+// reassembled output stream. Names carry the -N GOMAXPROCS suffix and
+// sub-benchmark paths; measurements beyond ns/op are optional.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+// parse reads a test2json stream and extracts benchmark results. The
+// test binary's output is split across Output events at arbitrary
+// points (a benchmark's name and its measurements often arrive in
+// separate events), so the events are concatenated before line
+// parsing. A benchmark that ran more than once keeps its last run.
+func parse(path string) (map[string]result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	var out strings.Builder
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1024*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(strings.TrimSpace(sc.Text())) == 0 {
+			continue
+		}
+		var ev testEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return nil, fmt.Errorf("%s: line %d: not a test2json event: %w", path, line, err)
+		}
+		if ev.Action == "output" {
+			out.WriteString(ev.Output)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+
+	results := make(map[string]result)
+	for _, l := range strings.Split(out.String(), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(l))
+		if m == nil {
+			continue
+		}
+		r := result{}
+		r.NsPerOp, _ = strconv.ParseFloat(m[2], 64)
+		if m[3] != "" {
+			r.BytesPerOp, _ = strconv.ParseFloat(m[3], 64)
+		}
+		if m[4] != "" {
+			r.AllocsPerOp, _ = strconv.ParseFloat(m[4], 64)
+		}
+		results[m[1]] = r
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results found", path)
+	}
+	return results, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchdiff: ")
+	threshold := flag.Float64("threshold", 1.25, "fail when any benchmark's new/old ns/op ratio exceeds this")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		log.Fatalf("usage: benchdiff [-threshold 1.25] old.json new.json")
+	}
+	if *threshold <= 0 {
+		log.Fatalf("-threshold: want a positive ratio, got %g", *threshold)
+	}
+	oldPath, newPath := flag.Arg(0), flag.Arg(1)
+	oldR, err := parse(oldPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	newR, err := parse(newPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	names := make([]string, 0, len(oldR)+len(newR))
+	seen := make(map[string]bool)
+	for n := range oldR {
+		names = append(names, n)
+		seen[n] = true
+	}
+	for n := range newR {
+		if !seen[n] {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	fmt.Printf("%-52s %14s %14s %8s\n", "Benchmark", "old ns/op", "new ns/op", "delta")
+	fmt.Println(strings.Repeat("-", 92))
+	regressed := 0
+	for _, n := range names {
+		o, inOld := oldR[n]
+		nw, inNew := newR[n]
+		switch {
+		case !inOld:
+			fmt.Printf("%-52s %14s %14.0f %8s\n", n, "-", nw.NsPerOp, "added")
+		case !inNew:
+			fmt.Printf("%-52s %14.0f %14s %8s\n", n, o.NsPerOp, "-", "removed")
+		default:
+			ratio := nw.NsPerOp / o.NsPerOp
+			mark := ""
+			if ratio > *threshold {
+				mark = " REGRESSED"
+				regressed++
+			}
+			fmt.Printf("%-52s %14.0f %14.0f %+7.1f%%%s\n", n, o.NsPerOp, nw.NsPerOp, (ratio-1)*100, mark)
+		}
+	}
+	if regressed > 0 {
+		log.Fatalf("%d benchmark(s) regressed beyond %.2fx (%s -> %s)", regressed, *threshold, oldPath, newPath)
+	}
+	fmt.Printf("ok: no benchmark regressed beyond %.2fx\n", *threshold)
+}

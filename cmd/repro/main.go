@@ -33,9 +33,24 @@
 // equivalent-modulo-noise / divergent per cell and exiting non-zero on
 // any divergence.
 //
+// Causal spans (RQ3):
+//
+//	repro -matrix -spans spans.json    # span forest as Chrome trace JSON
+//
+// -spans captures a causal span tree per cell (cell → phase →
+// hypercall/mm-op, with the monitor's audit pass nested in assess),
+// writes the forest as Chrome trace-event JSON — load it in Perfetto
+// (ui.perfetto.dev) or chrome://tracing; each campaign worker renders
+// as its own track — and prints the deterministic span summary:
+// per-phase virtual totals, the critical-path analysis of each batch at
+// the configured pool size, and the per-cell detection-latency table.
+// Span structure is measured in virtual time (the per-cell event
+// counter), so it is byte-identical at any -workers value.
+//
 // Live observability:
 //
 //	repro -matrix -listen :8080    # /metrics /healthz /cells while running
+//	repro -matrix -listen :8080 -spans spans.json   # adds /spans
 //
 // Robustness:
 //
@@ -79,6 +94,7 @@ import (
 	"repro/internal/inject"
 	"repro/internal/obs"
 	"repro/internal/report"
+	"repro/internal/span"
 	"repro/internal/telemetry"
 	"repro/internal/tracediff"
 	"repro/internal/workload"
@@ -132,7 +148,8 @@ func run(out io.Writer) (err error) {
 	chaos := flag.Int64("chaos", 0, "arm a seeded substrate fault plan with this seed (0 = off)")
 	contOnErr := flag.Bool("continue-on-error", false, "record per-cell failure classifications instead of stopping at the first failing cell")
 	equivalence := flag.Bool("equivalence", false, "run the full matrix in both modes and report per-cell trace equivalence (RQ2); exits non-zero on any divergent cell")
-	listenAddr := flag.String("listen", "", "serve live observability on this address (/metrics, /healthz, /cells) for the duration of the run")
+	listenAddr := flag.String("listen", "", "serve live observability on this address (/metrics, /healthz, /cells, /spans) for the duration of the run")
+	spansOut := flag.String("spans", "", "capture per-cell causal span trees, write them as Chrome trace-event JSON to this file, and print the span summary")
 	flag.Parse()
 
 	// Reject out-of-range selections before any work or profile file is
@@ -179,6 +196,9 @@ func run(out io.Writer) (err error) {
 		// registry behind /metrics.
 		runner.Telemetry = telemetry.NewRegistry()
 	}
+	if *spansOut != "" {
+		runner.Spans = span.NewCollector()
+	}
 	if *chaos != 0 {
 		plan := faults.NewPlan(*chaos, faults.DefaultDensity)
 		runner.Faults = plan
@@ -195,11 +215,12 @@ func run(out io.Writer) (err error) {
 	var flight *obs.FlightRecorder
 	if *listenAddr != "" {
 		server := obs.NewServer(runner.Telemetry)
+		server.SetSpans(runner.Spans)
 		addr, lerr := server.Listen(*listenAddr)
 		if lerr != nil {
 			return lerr
 		}
-		log.Printf("observability server on http://%s (/metrics /healthz /cells)", addr)
+		log.Printf("observability server on http://%s (/metrics /healthz /cells /spans)", addr)
 		defer func() {
 			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 			defer cancel()
@@ -397,6 +418,22 @@ func run(out io.Writer) (err error) {
 	if *metrics {
 		fmt.Fprintln(out, report.MetricsSummary(runner.Telemetry))
 	}
+	if *spansOut != "" {
+		forest := runner.Spans.Forest()
+		if cerr := forest.Check(); cerr != nil {
+			flushErrs = append(flushErrs, fmt.Errorf("spans: invariant violation: %w", cerr))
+		}
+		if werr := writeSpans(*spansOut, forest); werr != nil {
+			flushErrs = append(flushErrs, werr)
+		} else {
+			log.Printf("wrote span trace to %s (open in ui.perfetto.dev)", *spansOut)
+		}
+		poolSize := *workers
+		if poolSize == 0 {
+			poolSize = runtime.GOMAXPROCS(0)
+		}
+		fmt.Fprintln(out, report.SpanSummary(forest, poolSize))
+	}
 	if *memProfile != "" {
 		if err := writeHeapProfile(*memProfile); err != nil {
 			flushErrs = append(flushErrs, err)
@@ -416,6 +453,21 @@ func writeTrace(path string, profiles []*telemetry.CellProfile) error {
 	}
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("trace: %w", err)
+	}
+	return nil
+}
+
+func writeSpans(path string, f *span.Forest) error {
+	fh, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("spans: %w", err)
+	}
+	if err := span.WriteChrome(fh, f); err != nil {
+		fh.Close()
+		return fmt.Errorf("spans: %w", err)
+	}
+	if err := fh.Close(); err != nil {
+		return fmt.Errorf("spans: %w", err)
 	}
 	return nil
 }

@@ -16,10 +16,17 @@
 // source lines as evidence. Any divergent or one-sided cell exits
 // non-zero.
 //
+// Spans mode validates a Chrome trace-event JSON span file produced by
+// `repro -spans`: it must parse, carry the process/worker metadata
+// Perfetto needs, and every complete event must carry its cell identity
+// and a well-formed virtual interval; every cell must have exactly one
+// cell-root span and at least one phase span.
+//
 // Usage:
 //
 //	tracecheck <trace.jsonl>
 //	tracecheck diff <a.jsonl> <b.jsonl>
+//	tracecheck spans <spans.json>
 package main
 
 import (
@@ -33,17 +40,19 @@ import (
 )
 
 func usage() {
-	log.Fatalf("usage: tracecheck <trace.jsonl> | tracecheck diff <a.jsonl> <b.jsonl>")
+	log.Fatalf("usage: tracecheck <trace.jsonl> | tracecheck diff <a.jsonl> <b.jsonl> | tracecheck spans <spans.json>")
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tracecheck: ")
 	switch {
-	case len(os.Args) == 2 && os.Args[1] != "diff":
+	case len(os.Args) == 2 && os.Args[1] != "diff" && os.Args[1] != "spans":
 		validate(os.Args[1])
 	case len(os.Args) == 4 && os.Args[1] == "diff":
 		diff(os.Args[2], os.Args[3])
+	case len(os.Args) == 3 && os.Args[1] == "spans":
+		validateSpans(os.Args[2])
 	default:
 		usage()
 	}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/inject"
 	"repro/internal/mm"
 	"repro/internal/monitor"
+	"repro/internal/span"
 	"repro/internal/telemetry"
 	"repro/internal/vnet"
 )
@@ -66,7 +67,7 @@ type Environment struct {
 // mode compiles the injector hypercall into the build, as the prototype
 // does per version.
 func NewEnvironment(v hv.Version, mode Mode) (*Environment, error) {
-	return newEnvironment(campaignPlan(), v, mode, nil, nil)
+	return newEnvironment(campaignPlan(), v, mode, nil, nil, nil)
 }
 
 // newEnvironment boots an environment from the precomputed campaign
@@ -74,8 +75,9 @@ func NewEnvironment(v hv.Version, mode Mode) (*Environment, error) {
 // laid out once per process instead of once per run. tel, when non-nil,
 // is installed as the build's telemetry sink before boot; flt, when
 // non-nil, arms the build's substrate fault-injection plane the same
-// way.
-func newEnvironment(p *plan, v hv.Version, mode Mode, tel *telemetry.Recorder, flt *faults.Injector) (*Environment, error) {
+// way; tree, when non-nil, is installed as the build's span tree so
+// hypercall and mm-op spans nest under the cell's phases.
+func newEnvironment(p *plan, v hv.Version, mode Mode, tel *telemetry.Recorder, flt *faults.Injector, tree *span.Tree) (*Environment, error) {
 	mem, err := mm.NewMemory(MachineFrames)
 	if err != nil {
 		return nil, err
@@ -86,6 +88,9 @@ func newEnvironment(p *plan, v hv.Version, mode Mode, tel *telemetry.Recorder, f
 	}
 	if flt != nil {
 		opts = append(opts, hv.WithFaults(flt))
+	}
+	if tree != nil {
+		opts = append(opts, hv.WithSpans(tree))
 	}
 	h, err := hv.New(mem, v, opts...)
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"regexp"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"time"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/hv"
 	"repro/internal/monitor"
+	"repro/internal/span"
 	"repro/internal/telemetry"
 )
 
@@ -88,6 +90,14 @@ type Runner struct {
 	// results and nothing is merged anywhere — so rendered tables and
 	// JSON exports stay byte-identical to an unprofiled run.
 	SalvageProfiles bool
+
+	// Spans, when set, captures a causal span tree per cell — cell →
+	// phase → hypercall/mm-op — and assembles the campaign's span
+	// forest. Each cell gets a recorder (as with SalvageProfiles) so the
+	// tree's virtual clock is the cell's event counter; results and
+	// rendered tables stay byte-identical to an uninstrumented run. Nil
+	// disables span capture.
+	Spans *span.Collector
 }
 
 // Progress observes a running campaign. The hooks fire on the worker
@@ -260,14 +270,19 @@ func runCell(c cell, reg *telemetry.Registry, inj *faults.Injector) (*RunResult,
 		rec.AttachFaults(inj)
 		start = time.Now()
 	}
-	return runCellWith(c, reg, rec, inj, start)
+	return runCellWith(c, reg, rec, inj, nil, start)
 }
 
 // runCellWith is runCell with the recorder owned by the caller, so the
 // guarded path can snapshot a salvage profile from a cell that errors
 // or panics mid-run. The recorder (and start, its creation time) must
-// come from the same goroutine that calls this.
-func runCellWith(c cell, reg *telemetry.Registry, rec *telemetry.Recorder, inj *faults.Injector, start time.Time) (*RunResult, error) {
+// come from the same goroutine that calls this. tree, when non-nil, is
+// the cell's span tree: the lifecycle phases (boot, exploit/inject,
+// assess) open under its root, and the environment is built with the
+// tree installed so hypercall and mm-op spans nest inside them. Error
+// returns leave the failing phase open — the guarded caller's Abort
+// closes and marks it.
+func runCellWith(c cell, reg *telemetry.Registry, rec *telemetry.Recorder, inj *faults.Injector, tree *span.Tree, start time.Time) (*RunResult, error) {
 	p := campaignPlan()
 	scen, ok := p.scenarios[c.useCase]
 	if !ok {
@@ -277,7 +292,8 @@ func runCellWith(c cell, reg *telemetry.Registry, rec *telemetry.Recorder, inj *
 			return nil, err
 		}
 	}
-	e, err := newEnvironment(p, c.version, c.mode, rec, inj)
+	boot := tree.Phase(span.PhaseBoot)
+	e, err := newEnvironment(p, c.version, c.mode, rec, inj, tree)
 	if err != nil {
 		return nil, err
 	}
@@ -285,8 +301,19 @@ func runCellWith(c cell, reg *telemetry.Registry, rec *telemetry.Recorder, inj *
 	if err != nil {
 		return nil, err
 	}
+	tree.End(boot)
+	// The attack phase is named after the cell's mode, so exploit and
+	// injection trees for the same use case stay distinguishable.
+	attack := span.PhaseExploit
+	if c.mode == ModeInjection {
+		attack = span.PhaseInject
+	}
+	ap := tree.Phase(attack)
 	outcome := scen.Run(env)
+	tree.End(ap)
+	as := tree.Phase(span.PhaseAssess)
 	verdict := monitor.Assess(e.HV, e.Guests, outcome)
+	tree.End(as)
 	res := &RunResult{Outcome: outcome, Verdict: verdict}
 	if reg != nil {
 		res.Profile = rec.Profile(c.String(), time.Since(start).Nanoseconds())
@@ -298,11 +325,16 @@ func runCellWith(c cell, reg *telemetry.Registry, rec *telemetry.Recorder, inj *
 // cellOutcome pairs one cell's result with its failure record; exactly
 // one of res/err is set. profile carries the cell's telemetry snapshot
 // when one exists — on failure it is the salvage profile the flight
-// recorder dumps.
+// recorder dumps. tree and latency carry the cell's span capture when
+// the runner collects spans; sending them over the outcome channel is
+// what hands tree ownership from the cell goroutine back to the worker
+// (an abandoned cell keeps its tree, and the worker records a stub).
 type cellOutcome struct {
 	res     *RunResult
 	err     *CellError
 	profile *telemetry.CellProfile
+	tree    *span.Tree
+	latency span.Latency
 }
 
 // runGuarded executes one cell behind the engine's fault barriers: a
@@ -313,7 +345,7 @@ type cellOutcome struct {
 // can abandon it; an abandoned body parks on a buffered channel and
 // exits when it eventually finishes (or is released from a wedge), so
 // nothing leaks once the campaign's injectors are released.
-func (r *Runner) runGuarded(ctx context.Context, c cell) cellOutcome {
+func (r *Runner) runGuarded(ctx context.Context, c cell, worker int) cellOutcome {
 	id := c.String()
 	if err := ctx.Err(); err != nil {
 		return r.settle(id, 0, cellOutcome{err: &CellError{Cell: id, Class: FailCanceled, Message: err.Error(), cause: err}})
@@ -327,17 +359,29 @@ func (r *Runner) runGuarded(ctx context.Context, c cell) cellOutcome {
 	}
 	began := time.Now()
 	done := make(chan cellOutcome, 1)
-	go func() {
-		// The cell's recorder lives on this goroutine so a panicking or
-		// erroring cell can still be snapshotted for the flight
-		// recorder. The watchdog/cancel paths abandon the goroutine and
-		// the recorder with it — they must never touch it.
+	// The cell body runs under pprof labels so CPU and goroutine
+	// profiles of a live campaign attribute samples to the cell, its
+	// scenario and its hypervisor version.
+	go pprof.Do(ctx, pprof.Labels(
+		"cell", id,
+		"scenario", c.useCase,
+		"version", c.version.Name,
+	), func(context.Context) {
+		// The cell's recorder and span tree live on this goroutine so a
+		// panicking or erroring cell can still be snapshotted for the
+		// flight recorder and the span forest. The watchdog/cancel paths
+		// abandon the goroutine, the recorder and the tree with it —
+		// they must never touch them.
 		var rec *telemetry.Recorder
+		var tree *span.Tree
 		var start time.Time
-		if r.Telemetry != nil || r.SalvageProfiles {
+		if r.Telemetry != nil || r.SalvageProfiles || r.Spans != nil {
 			rec = telemetry.NewRecorder(0)
 			rec.AttachFaults(inj)
 			start = time.Now()
+		}
+		if r.Spans != nil {
+			tree = span.NewTree(id, rec.Emitted)
 		}
 		salvage := func() *telemetry.CellProfile {
 			if rec == nil {
@@ -347,21 +391,25 @@ func (r *Runner) runGuarded(ctx context.Context, c cell) cellOutcome {
 		}
 		defer func() {
 			if p := recover(); p != nil {
+				tree.Abort()
 				done <- cellOutcome{err: &CellError{
 					Cell:    id,
 					Class:   FailPanic,
 					Message: fmt.Sprint(p),
 					Stack:   sanitizeStack(debug.Stack()),
-				}, profile: salvage()}
+				}, profile: salvage(), tree: tree, latency: span.DetectionLatency(tree, rec.Events())}
 			}
 		}()
-		res, err := runCellWith(c, r.Telemetry, rec, inj, start)
+		res, err := runCellWith(c, r.Telemetry, rec, inj, tree, start)
 		if err != nil {
-			done <- cellOutcome{err: &CellError{Cell: id, Class: FailError, Message: err.Error(), cause: err}, profile: salvage()}
+			tree.Abort()
+			done <- cellOutcome{err: &CellError{Cell: id, Class: FailError, Message: err.Error(), cause: err},
+				profile: salvage(), tree: tree, latency: span.DetectionLatency(tree, rec.Events())}
 			return
 		}
-		done <- cellOutcome{res: res, profile: res.Profile}
-	}()
+		tree.Finish()
+		done <- cellOutcome{res: res, profile: res.Profile, tree: tree, latency: span.DetectionLatency(tree, rec.Events())}
+	})
 
 	var watchdog <-chan time.Time
 	if d := r.cellTimeout(); d > 0 {
@@ -371,15 +419,15 @@ func (r *Runner) runGuarded(ctx context.Context, c cell) cellOutcome {
 	}
 	select {
 	case out := <-done:
-		return r.settle(id, time.Since(began), out)
+		return r.settleSpans(id, worker, began, time.Since(began), out)
 	case <-watchdog:
-		return r.settle(id, time.Since(began), cellOutcome{err: &CellError{
+		return r.settleSpans(id, worker, began, time.Since(began), cellOutcome{err: &CellError{
 			Cell:    id,
 			Class:   FailHang,
 			Message: fmt.Sprintf("cell exceeded the %s watchdog deadline", r.cellTimeout()),
 		}})
 	case <-ctx.Done():
-		return r.settle(id, time.Since(began), cellOutcome{err: &CellError{Cell: id, Class: FailCanceled, Message: ctx.Err().Error(), cause: ctx.Err()}})
+		return r.settleSpans(id, worker, began, time.Since(began), cellOutcome{err: &CellError{Cell: id, Class: FailCanceled, Message: ctx.Err().Error(), cause: ctx.Err()}})
 	}
 }
 
@@ -392,18 +440,49 @@ func (r *Runner) settle(id string, wall time.Duration, out cellOutcome) cellOutc
 	return out
 }
 
+// settleSpans is settle for cells that actually started: it also files
+// the cell's span capture with the collector and feeds the RQ3
+// detection-latency histogram. Abandoned cells (hang, cancel while
+// running) carry no tree — the stub records only worker, wall placement
+// and failure class, and the racing goroutine keeps its tree.
+func (r *Runner) settleSpans(id string, worker int, began time.Time, wall time.Duration, out cellOutcome) cellOutcome {
+	if r.Spans != nil {
+		cs := &span.CellSpans{
+			Cell:     id,
+			Worker:   worker,
+			OffsetNS: began.Sub(r.Spans.Epoch()).Nanoseconds(),
+			WallNS:   wall.Nanoseconds(),
+			Latency:  out.latency,
+			Tree:     out.tree,
+		}
+		if out.err != nil {
+			cs.Class = string(out.err.Class)
+		}
+		r.Spans.FinishCell(cs)
+		if r.Telemetry != nil && out.latency.Found && out.latency.Events >= 0 {
+			r.Telemetry.Histogram(telemetry.DetectionLatencyHistogram).Observe(uint64(out.latency.Events))
+		}
+	}
+	return r.settle(id, wall, out)
+}
+
 // runCellsDetailed executes a batch of cells and returns one outcome
 // per cell, in cell order, never failing as a whole: panics, hangs and
 // cancellation all land as per-cell records. On cancellation, cells
 // never dispatched are marked FailCanceled without running.
 func (r *Runner) runCellsDetailed(ctx context.Context, cells []cell) []cellOutcome {
 	outs := make([]cellOutcome, len(cells))
-	if r.Progress != nil {
+	if r.Progress != nil || r.Spans != nil {
 		ids := make([]string, len(cells))
 		for i, c := range cells {
 			ids[i] = c.String()
 		}
-		r.Progress.BatchStarted(ids)
+		if r.Progress != nil {
+			r.Progress.BatchStarted(ids)
+		}
+		if r.Spans != nil {
+			r.Spans.StartBatch(ids)
+		}
 	}
 	n := r.workers()
 	if n > len(cells) {
@@ -411,7 +490,7 @@ func (r *Runner) runCellsDetailed(ctx context.Context, cells []cell) []cellOutco
 	}
 	if n <= 1 {
 		for i, c := range cells {
-			outs[i] = r.runGuarded(ctx, c)
+			outs[i] = r.runGuarded(ctx, c, 0)
 		}
 		return outs
 	}
@@ -419,12 +498,12 @@ func (r *Runner) runCellsDetailed(ctx context.Context, cells []cell) []cellOutco
 	var wg sync.WaitGroup
 	wg.Add(n)
 	for w := 0; w < n; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range next {
-				outs[i] = r.runGuarded(ctx, cells[i])
+				outs[i] = r.runGuarded(ctx, cells[i], w)
 			}
-		}()
+		}(w)
 	}
 	for i := range cells {
 		select {
@@ -504,7 +583,7 @@ func (r *Runner) Run(v hv.Version, useCase string, mode Mode) (*RunResult, error
 // RunContext is Run under a context: cancellation classifies the cell
 // as canceled instead of letting it run to completion.
 func (r *Runner) RunContext(ctx context.Context, v hv.Version, useCase string, mode Mode) (*RunResult, error) {
-	out := r.runGuarded(ctx, cell{version: v, useCase: useCase, mode: mode})
+	out := r.runGuarded(ctx, cell{version: v, useCase: useCase, mode: mode}, 0)
 	if out.err != nil {
 		if out.err.Class == FailError {
 			return nil, out.err.cause

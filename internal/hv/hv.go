@@ -9,6 +9,7 @@ import (
 	"repro/internal/layout"
 	"repro/internal/mm"
 	"repro/internal/pagetable"
+	"repro/internal/span"
 	"repro/internal/telemetry"
 )
 
@@ -74,6 +75,7 @@ type config struct {
 	tlbCapacity int
 	tel         *telemetry.Recorder
 	flt         *faults.Injector
+	spans       *span.Tree
 }
 
 // defaultTLBCapacity is the per-vCPU translation-cache size.
@@ -100,6 +102,13 @@ func WithTelemetry(r *telemetry.Recorder) Option { return func(c *config) { c.te
 // allocation failures. A nil injector (the default) keeps the plane
 // disabled at the cost of one predicted branch per instrumented site.
 func WithFaults(f *faults.Injector) Option { return func(c *config) { c.flt = f } }
+
+// WithSpans installs the cell's causal span tree on the build: every
+// hypercall dispatch and machine range allocation opens a span in it,
+// and the monitor nests its audit pass under the assess phase. A nil
+// tree (the default) keeps span capture disabled at the cost of one
+// predicted branch per instrumented site.
+func WithSpans(t *span.Tree) Option { return func(c *config) { c.spans = t } }
 
 // Hypervisor is one booted instance of the simulated PV hypervisor.
 type Hypervisor struct {
@@ -166,6 +175,11 @@ func (h *Hypervisor) boot() error {
 	// during boot model a machine that was sick before the first domain.
 	if h.cfg.flt != nil {
 		h.mem.AttachFaults(h.cfg.flt)
+	}
+	// And the span tree, so boot-time range allocations appear as mm_op
+	// spans under the boot phase.
+	if h.cfg.spans != nil {
+		h.mem.AttachSpans(h.cfg.spans)
 	}
 	// Reserve hypervisor text/data and heap at deterministic addresses.
 	var err error
@@ -409,6 +423,11 @@ func (h *Hypervisor) PageFaults() int { return h.pfCount }
 // is disabled). Packages holding the hypervisor — the injector, the
 // scenarios, the monitor — reach the environment's sink through this.
 func (h *Hypervisor) Telemetry() *telemetry.Recorder { return h.cfg.tel }
+
+// Spans returns the build's causal span tree (nil when span capture is
+// disabled). The campaign engine and the monitor nest their phases and
+// audit passes in it.
+func (h *Hypervisor) Spans() *span.Tree { return h.cfg.spans }
 
 // ClockTicks returns how many benign vDSO clock reads have executed.
 func (h *Hypervisor) ClockTicks() int { return h.clockTicks }

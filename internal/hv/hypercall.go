@@ -135,6 +135,13 @@ func (d *Domain) Hypercall(nr int, arg any) error {
 	if !ok {
 		return fmt.Errorf("%w: hypercall %d", ErrNoSys, nr)
 	}
+	// Each dispatched hypercall is one causal span. It opens before the
+	// fault sites and closes on defer, so even an injected handler panic
+	// unwinds through the End and never leaks an open span.
+	if t := h.cfg.spans; t != nil {
+		sp := t.Hypercall(hypercallName(nr))
+		defer t.End(sp)
+	}
 	// The substrate fault plane fires at dispatch, before the handler:
 	// an injected handler panic models a hypercall-handler bug taking
 	// the campaign worker down (the Milenkoski-style untrusted-handler

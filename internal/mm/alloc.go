@@ -96,6 +96,8 @@ func (m *Memory) AllocRange(n int, owner DomID) (MFN, error) {
 	if n <= 0 {
 		return 0, fmt.Errorf("mm: AllocRange needs a positive count, got %d", n)
 	}
+	sp := m.spans.MMOp(fmt.Sprintf("alloc_range[%d]", n))
+	defer m.spans.End(sp)
 	if err := m.allocFault(); err != nil {
 		return 0, err
 	}

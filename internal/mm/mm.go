@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"repro/internal/faults"
+	"repro/internal/span"
 	"repro/internal/telemetry"
 )
 
@@ -221,6 +222,10 @@ type Memory struct {
 	// flt is the machine's fault-injection plane; nil (the default)
 	// disables it at the cost of one predicted branch per allocation.
 	flt *faults.Injector
+
+	// spans receives a causal span per range allocation; nil (the
+	// default) disables span capture at the same near-zero cost.
+	spans *span.Tree
 }
 
 // AttachTelemetry installs the machine's telemetry sink. A nil recorder
@@ -230,6 +235,10 @@ func (m *Memory) AttachTelemetry(r *telemetry.Recorder) { m.tel = r }
 // AttachFaults installs the machine's fault-injection plane. A nil
 // injector (or never calling this) leaves fault injection disabled.
 func (m *Memory) AttachFaults(f *faults.Injector) { m.flt = f }
+
+// AttachSpans installs the machine's causal span tree. A nil tree (or
+// never calling this) leaves span capture disabled.
+func (m *Memory) AttachSpans(t *span.Tree) { m.spans = t }
 
 type m2pEntry struct {
 	dom   DomID

@@ -73,6 +73,8 @@ func (v *Verdict) String() string {
 
 // Assess audits a scenario outcome against the live system state.
 func Assess(h *hv.Hypervisor, guests []*guest.Kernel, o *exploits.Outcome) *Verdict {
+	sp := h.Spans().Audit(o.UseCase)
+	defer h.Spans().End(sp)
 	v := &Verdict{UseCase: o.UseCase, Mode: o.Mode, Version: o.Version, tel: h.Telemetry()}
 	switch o.UseCase {
 	case "XSA-212-crash":

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/span"
 	"repro/internal/telemetry"
 )
 
@@ -52,7 +53,8 @@ type CellState struct {
 // campaign.Progress; install it on the Runner and Listen before the
 // campaign starts. All methods are safe for concurrent use.
 type Server struct {
-	reg *telemetry.Registry
+	reg   *telemetry.Registry
+	spans *span.Collector
 
 	mu    sync.Mutex
 	cells map[string]*CellState
@@ -70,9 +72,15 @@ func NewServer(reg *telemetry.Registry) *Server {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/cells", s.handleCells)
+	mux.HandleFunc("/spans", s.handleSpans)
 	s.srv = &http.Server{Handler: mux}
 	return s
 }
+
+// SetSpans installs the campaign's span collector; /spans serves its
+// live forest. Call before Listen; nil (the default) makes /spans
+// report that span collection is disabled.
+func (s *Server) SetSpans(c *span.Collector) { s.spans = c }
 
 // Listen binds the address and starts serving in the background,
 // returning the bound address (useful with ":0"). Call Shutdown to
@@ -185,18 +193,65 @@ func metricName(name string) string {
 	return b.String()
 }
 
+// helpFor returns the HELP text for a registry series, keyed by the
+// raw (pre-fold) registry name. Families share a prefix — every
+// "hypercall.<name>" counter is a dispatch count — so the lookup is
+// exact-name first, longest-prefix second, with a generic fallback so
+// no series is ever exposed without documentation.
+func helpFor(name string) string {
+	exact := map[string]string{
+		"hypercall.errors":      "Hypercall dispatches that returned an error.",
+		"frames.alloc":          "Machine frames claimed from the allocator.",
+		"frames.free":           "Machine frames returned to the allocator.",
+		"pagetype.get":          "Page-type references taken (get_page_type).",
+		"pagetype.put":          "Page-type references dropped (put_page_type).",
+		"validation.reject":     "Page-table entries rejected by validation.",
+		"walk.policy_denied":    "Page-table walks denied by the version's policy.",
+		"walk.fault":            "Page-table walks that faulted.",
+		"injector.ops":          "Injector primitive operations (arbitrary_access/state_inject).",
+		"injector.transitions":  "Injector state-machine transitions.",
+		"monitor.evidence":      "Evidence lines recorded by the monitor's audit.",
+		"scenario.steps":        "Scenario transcript steps executed.",
+		"telemetry.sink_errors": "Telemetry events the streaming sink failed to write.",
+		telemetry.CellWallHistogram: "Per-cell wall time in nanoseconds " +
+			"(not deterministic across runs).",
+		telemetry.DetectionLatencyHistogram: "Per-cell detection latency in virtual-time events: " +
+			"attack-phase end to first monitor evidence (RQ3).",
+	}
+	if h, ok := exact[name]; ok {
+		return h
+	}
+	prefixes := []struct{ prefix, help string }{
+		{"hypercall.", "Dispatches of this hypercall."},
+		{"grant.", "Grant-table operations of this kind."},
+		{"domctl.", "Domctl operations of this kind."},
+		{"frames.", "Machine frame-allocator activity."},
+		{"monitor.", "Monitor audit activity."},
+		{"injector.", "Injector activity."},
+	}
+	for _, p := range prefixes {
+		if strings.HasPrefix(name, p.prefix) {
+			return p.help
+		}
+	}
+	return "Campaign telemetry series " + name + "."
+}
+
 // WriteMetrics renders the registry in the Prometheus text exposition
 // format: every counter as a _total series, every histogram with
 // cumulative buckets, sum, count, and estimated p50/p99 quantile
-// gauges. Output is deterministic (series sorted by name).
+// gauges. Every series is preceded by its # HELP and # TYPE lines.
+// Output is deterministic (series sorted by name).
 func WriteMetrics(w io.Writer, reg *telemetry.Registry) {
 	for _, cv := range reg.Snapshot() {
 		name := metricName(cv.Name)
+		fmt.Fprintf(w, "# HELP %s_total %s\n", name, helpFor(cv.Name))
 		fmt.Fprintf(w, "# TYPE %s_total counter\n", name)
 		fmt.Fprintf(w, "%s_total %d\n", name, cv.Value)
 	}
 	for _, h := range reg.Histograms() {
 		name := metricName(h.Name)
+		fmt.Fprintf(w, "# HELP %s %s\n", name, helpFor(h.Name))
 		fmt.Fprintf(w, "# TYPE %s histogram\n", name)
 		var cum uint64
 		for _, b := range h.Buckets {
@@ -209,6 +264,7 @@ func WriteMetrics(w io.Writer, reg *telemetry.Registry) {
 		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
 		fmt.Fprintf(w, "%s_sum %d\n", name, h.Sum)
 		fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+		fmt.Fprintf(w, "# HELP %s_quantile Estimated quantiles of %s.\n", name, metricName(h.Name))
 		fmt.Fprintf(w, "# TYPE %s_quantile gauge\n", name)
 		for _, q := range []struct {
 			label string

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"repro/internal/span"
+)
+
+// The /spans endpoint: the live span forest as JSON. CellSpans keeps
+// its *Tree out of its own JSON form (the tree is engine-internal
+// state), so the wire view re-attaches each cell's spans explicitly,
+// with span kinds as their wire names.
+
+// wireSpan is one span on the /spans wire: the span's own JSON fields
+// plus the kind's wire name.
+type wireSpan struct {
+	span.Span
+	Kind string `json:"kind"`
+}
+
+// wireCell is one cell on the /spans wire.
+type wireCell struct {
+	*span.CellSpans
+	Spans []wireSpan `json:"spans"`
+}
+
+// wireBatch is one batch on the /spans wire.
+type wireBatch struct {
+	Name  string     `json:"name"`
+	Cells []wireCell `json:"cells"`
+}
+
+// wireForest is the /spans response body.
+type wireForest struct {
+	Epoch   time.Time   `json:"epoch"`
+	Batches []wireBatch `json:"batches"`
+}
+
+func (s *Server) handleSpans(w http.ResponseWriter, _ *http.Request) {
+	if s.spans == nil {
+		http.Error(w, "span collection not enabled (run with -spans)", http.StatusNotFound)
+		return
+	}
+	f := s.spans.Forest()
+	out := wireForest{Epoch: f.Epoch, Batches: make([]wireBatch, 0, len(f.Batches))}
+	for bi := range f.Batches {
+		b := &f.Batches[bi]
+		wb := wireBatch{Name: b.Name, Cells: make([]wireCell, 0, len(b.Cells))}
+		for _, cs := range b.Cells {
+			wc := wireCell{CellSpans: cs}
+			for _, sp := range cs.Tree.Spans() {
+				wc.Spans = append(wc.Spans, wireSpan{Span: sp, Kind: sp.Kind.String()})
+			}
+			wb.Cells = append(wb.Cells, wc)
+		}
+		out.Batches = append(out.Batches, wb)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(out)
+}

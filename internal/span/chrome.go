@@ -1,0 +1,102 @@
+package span
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace-event JSON export, the interchange format Perfetto and
+// chrome://tracing load directly. The campaign maps onto it naturally:
+// one process, one track (tid) per campaign worker, and every span as a
+// complete ("X") event placed at its cell's wall offset. Virtual times
+// ride along in args, so a Perfetto query can still reason in the
+// deterministic clock.
+
+// chromeEvent is one trace-event line. Field order is fixed by the
+// struct, so the artifact is stable apart from the wall timestamps.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`            // microseconds
+	Dur   float64        `json:"dur,omitempty"` // microseconds
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+const chromePID = 1
+
+// WriteChrome writes the forest as a Chrome trace-event JSON array.
+// Open it in Perfetto (ui.perfetto.dev) or chrome://tracing; each
+// campaign worker renders as its own track.
+func WriteChrome(w io.Writer, f *Forest) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("[\n")
+	first := true
+	emit := func(ev chromeEvent) error {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		raw, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		_, err = bw.Write(raw)
+		return err
+	}
+
+	if err := emit(chromeEvent{
+		Name: "process_name", Phase: "M", PID: chromePID, TID: 0,
+		Args: map[string]any{"name": "repro campaign"},
+	}); err != nil {
+		return err
+	}
+
+	// One metadata row per worker track seen in the forest.
+	workers := map[int]bool{}
+	for _, cs := range f.Cells() {
+		if !workers[cs.Worker] {
+			workers[cs.Worker] = true
+			if err := emit(chromeEvent{
+				Name: "thread_name", Phase: "M", PID: chromePID, TID: cs.Worker + 1,
+				Args: map[string]any{"name": fmt.Sprintf("worker %d", cs.Worker)},
+			}); err != nil {
+				return err
+			}
+		}
+	}
+
+	for _, cs := range f.Cells() {
+		if cs.Tree == nil {
+			continue
+		}
+		for _, s := range cs.Tree.Spans() {
+			ev := chromeEvent{
+				Name:  s.Name,
+				Cat:   s.Kind.String(),
+				Phase: "X",
+				TS:    float64(cs.OffsetNS+s.StartNS) / 1e3,
+				Dur:   float64(s.EndNS-s.StartNS) / 1e3,
+				PID:   chromePID,
+				TID:   cs.Worker + 1,
+				Args: map[string]any{
+					"cell":    cs.Cell,
+					"v_start": s.StartV,
+					"v_end":   s.EndV,
+				},
+			}
+			if s.Aborted {
+				ev.Args["aborted"] = true
+			}
+			if err := emit(ev); err != nil {
+				return err
+			}
+		}
+	}
+	bw.WriteString("\n]\n")
+	return bw.Flush()
+}

@@ -1,0 +1,57 @@
+package span
+
+import (
+	"repro/internal/telemetry"
+)
+
+// RQ3 asks whether injected intrusions can stand in for real attacks
+// when evaluating detection mechanisms. That requires knowing *when*,
+// along the causal chain from injection to verdict, the monitor first
+// observed the erroneous state — a latency. Wall-clock latency is
+// meaningless in a deterministic simulator; what is meaningful (and
+// reproducible) is the virtual-time distance: how many events elapsed
+// between the end of the attack phase (injection complete, or the
+// exploit's final trigger) and the first verdict_evidence event the
+// monitor recorded.
+
+// Latency is one cell's detection-latency measurement.
+type Latency struct {
+	// Found reports whether the monitor recorded any evidence at all.
+	Found bool `json:"found"`
+	// TriggerV is the virtual time at which the attack phase ended
+	// (injection complete / exploit trigger done).
+	TriggerV uint64 `json:"trigger_v"`
+	// EvidenceV is the virtual time of the first verdict_evidence event.
+	EvidenceV uint64 `json:"evidence_v"`
+	// Events is the virtual-time distance EvidenceV - TriggerV: how many
+	// events after state induction the detection fired. Negative only
+	// when evidence preceded the trigger (a crash detected mid-attack).
+	Events int64 `json:"events"`
+}
+
+// DetectionLatency measures a cell's detection latency from its span
+// tree (for the attack-phase boundary) and its recorded event stream
+// (for the first monitor evidence). Returns Found=false when the tree
+// has no attack phase or the monitor recorded no evidence — a cell that
+// failed before assessment, or a chaos-faulted cell.
+func DetectionLatency(t *Tree, evs []telemetry.Event) Latency {
+	var lat Latency
+	trigger, ok := t.PhaseEnd(PhaseInject)
+	if !ok {
+		trigger, ok = t.PhaseEnd(PhaseExploit)
+	}
+	if !ok {
+		return lat
+	}
+	lat.TriggerV = trigger
+	for i := range evs {
+		if evs[i].Kind != telemetry.KindVerdictEvidence {
+			continue
+		}
+		lat.Found = true
+		lat.EvidenceV = evs[i].Seq
+		lat.Events = int64(lat.EvidenceV) - int64(lat.TriggerV)
+		break
+	}
+	return lat
+}

@@ -1,0 +1,72 @@
+package tracediff
+
+import (
+	"strings"
+
+	"repro/internal/span"
+)
+
+// Span canonicalization. A cell's span tree is structural by
+// construction — virtual timestamps are deterministic per cell — but
+// comparing trees *across* runs (exploit vs injection, version vs
+// version) needs the same masking the event canonicalizer applies:
+// version banners, mode words and addresses are run identity, and the
+// virtual timestamps are mechanism-count dependent (an injector reaches
+// the state in fewer events than the exploit by design). What remains
+// after folding is the causal skeleton: which phases ran, what each
+// dispatched, in what nesting.
+
+// SpanTree canonicalizes one cell's span tree into indented structural
+// lines, one per span in pre-order: "kind «name»", with names passed
+// through the canonicalizer's text normalization and the mode-specific
+// attack-phase name folded to the «mode» placeholder. Virtual and wall
+// timestamps are dropped. Two runs that induced the same state through
+// the same causal skeleton produce equal line slices.
+func (c *Canonicalizer) SpanTree(spans []span.Span) []string {
+	out := make([]string, 0, len(spans))
+	depth := make([]int, len(spans))
+	for i := range spans {
+		s := &spans[i]
+		d := 0
+		if s.Parent >= 0 && s.Parent < len(spans) {
+			d = depth[s.Parent] + 1
+		}
+		depth[i] = d
+		name := c.normalizeText(s.Name)
+		if s.Kind == span.KindPhase && (s.Name == span.PhaseExploit || s.Name == span.PhaseInject) {
+			name = placeholderMode
+		}
+		var b strings.Builder
+		b.WriteString(strings.Repeat("  ", d))
+		b.WriteString(s.Kind.String())
+		b.WriteString(" ")
+		b.WriteString(name)
+		if s.Aborted {
+			b.WriteString(" aborted")
+		}
+		out = append(out, b.String())
+	}
+	return out
+}
+
+// CompareSpanTrees diffs two canonical span-line slices in lockstep,
+// mirroring the event diff: the first disagreeing line — or the line
+// where one tree ended early — is the divergence, nil if equal.
+func CompareSpanTrees(a, b []string) *Divergence {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return &Divergence{Index: i, A: a[i], B: b[i]}
+		}
+	}
+	switch {
+	case len(a) > n:
+		return &Divergence{Index: n, A: a[n], B: Absent}
+	case len(b) > n:
+		return &Divergence{Index: n, A: Absent, B: b[n]}
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package tracediff
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/span"
+)
+
+// buildTree assembles a small cell tree: boot, an attack phase of the
+// given name with one hypercall, assess.
+func buildTree(attack, hypercall string, abortAttack bool) *span.Tree {
+	v := new(uint64)
+	tr := span.NewTree("4.6/XSA-148-priv/x", func() uint64 { *v++; return *v })
+	boot := tr.Phase(span.PhaseBoot)
+	tr.End(boot)
+	p := tr.Phase(attack)
+	h := tr.Hypercall(hypercall)
+	tr.End(h)
+	if abortAttack {
+		tr.Abort()
+		return tr
+	}
+	tr.End(p)
+	assess := tr.Phase(span.PhaseAssess)
+	tr.End(assess)
+	tr.Finish()
+	return tr
+}
+
+// The canonical span skeleton folds the run's identity out: the
+// mode-specific attack-phase name masks to «mode», timestamps drop, so
+// an exploit tree and an injection tree that dispatched the same
+// operations canonicalize identically — the RQ2 claim at span
+// granularity.
+func TestSpanTreeMasksModeAndTimestamps(t *testing.T) {
+	c := NewCanonicalizer("4.6", campaign.MachineFrames)
+	exp := c.SpanTree(buildTree(span.PhaseExploit, "mmu_update", false).Spans())
+	inj := c.SpanTree(buildTree(span.PhaseInject, "mmu_update", false).Spans())
+	if d := CompareSpanTrees(exp, inj); d != nil {
+		t.Errorf("same-skeleton exploit/injection trees diverge: %+v", d)
+	}
+	var phaseLine string
+	for _, l := range exp {
+		if strings.Contains(l, placeholderMode) {
+			phaseLine = l
+		}
+		if strings.Contains(l, span.PhaseExploit) {
+			t.Errorf("canonical line leaks the mode word: %q", l)
+		}
+		if strings.Contains(l, "[") || strings.Contains(l, ",") {
+			t.Errorf("canonical line leaks a timestamp interval: %q", l)
+		}
+	}
+	if phaseLine == "" {
+		t.Errorf("no masked attack-phase line in %q", exp)
+	}
+	// Depth renders as two-space indentation under the cell root.
+	if want := "  phase " + placeholderMode; phaseLine != want {
+		t.Errorf("attack-phase line = %q, want %q", phaseLine, want)
+	}
+}
+
+// A differing dispatch diverges at the hypercall line; a tree that
+// ended early diverges with the Absent sentinel; an aborted span is
+// structurally distinct from a clean one.
+func TestCompareSpanTreesDivergence(t *testing.T) {
+	c := NewCanonicalizer("4.6", campaign.MachineFrames)
+	base := c.SpanTree(buildTree(span.PhaseInject, "mmu_update", false).Spans())
+
+	other := c.SpanTree(buildTree(span.PhaseInject, "grant_table_op", false).Spans())
+	d := CompareSpanTrees(base, other)
+	if d == nil {
+		t.Fatal("different dispatches compare equal")
+	}
+	if !strings.Contains(d.A, "mmu_update") || !strings.Contains(d.B, "grant_table_op") {
+		t.Errorf("divergence = %+v, want the differing hypercall lines", d)
+	}
+
+	short := c.SpanTree(buildTree(span.PhaseInject, "mmu_update", true).Spans())
+	d = CompareSpanTrees(base, short)
+	if d == nil {
+		t.Fatal("aborted tree compares equal to the full run")
+	}
+	if !strings.Contains(d.A, "phase") && d.B != Absent {
+		t.Errorf("divergence against aborted tree = %+v", d)
+	}
+
+	aborted := c.SpanTree(buildTree(span.PhaseInject, "mmu_update", true).Spans())
+	found := false
+	for _, l := range aborted {
+		if strings.HasSuffix(l, " aborted") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("aborted tree's canonical lines carry no aborted marker: %q", aborted)
+	}
+
+	if d := CompareSpanTrees(base, base); d != nil {
+		t.Errorf("self-comparison diverges: %+v", d)
+	}
+}
