@@ -16,7 +16,12 @@
 # matrix; any cell whose injection trace diverges from its
 # exploit-induced basis fails the build. `bench` additionally emits
 # BENCH_obs.json (the MatrixTelemetry off/on/server sub-benchmarks) so
-# the -listen overhead is tracked alongside the telemetry overhead.
+# the -listen overhead is tracked alongside the telemetry overhead, and
+# BENCH_snapshot.json (BootEnvironment vs SnapshotBuild vs CellFork) so
+# the snapshot/COW fork path's per-cell cost is tracked next to the
+# full boot it replaces. `benchdiff` is the CI regression gate: it
+# re-runs the tracked benchmarks and fails if any grew past 2x its
+# committed baseline.
 # `spans` runs the causal-span suite — every opened span closed exactly
 # once (including under chaos), the canonical forest digest and RQ3
 # detection latencies pinned — then drives a full -spans matrix through
@@ -26,7 +31,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench check trace-demo chaos equivalence spans clean
+.PHONY: all build test race vet bench benchdiff check trace-demo chaos equivalence spans clean
 
 all: check
 
@@ -48,6 +53,21 @@ bench:
 	@echo "wrote BENCH_matrix.json"
 	$(GO) test -run '^$$' -bench MatrixTelemetry -benchmem -json . > BENCH_obs.json
 	@echo "wrote BENCH_obs.json"
+	$(GO) test -run '^$$' -bench 'BootEnvironment|SnapshotBuild|CellFork' -benchmem -json . > BENCH_snapshot.json
+	@grep -o '"Output":"[^"]*ns/op[^"]*' BENCH_snapshot.json | sed 's/"Output":"//;s/\\t/  /g;s/\\n//'
+	@echo "wrote BENCH_snapshot.json"
+
+# The regression gate: re-run the tracked benchmarks and compare them
+# against the committed baselines. The thresholds are deliberately
+# coarse (2x) — the gate exists to catch structural regressions (e.g.
+# losing the snapshot fork path puts FullMatrix ~9x over its baseline),
+# not scheduler noise between runner machines.
+benchdiff:
+	$(GO) test -run '^$$' -bench Matrix -benchmem -json . > BENCH_matrix.new.json
+	$(GO) run ./cmd/benchdiff -threshold 2.0 BENCH_matrix.json BENCH_matrix.new.json
+	$(GO) test -run '^$$' -bench 'BootEnvironment|SnapshotBuild|CellFork' -benchmem -json . > BENCH_snapshot.new.json
+	$(GO) run ./cmd/benchdiff -threshold 2.0 BENCH_snapshot.json BENCH_snapshot.new.json
+	@rm -f BENCH_matrix.new.json BENCH_snapshot.new.json
 
 trace-demo:
 	$(GO) run ./cmd/repro -cell 4.6/XSA-148-priv/injection -trace trace-demo.jsonl > /dev/null
@@ -73,5 +93,6 @@ spans:
 check: build vet test race chaos equivalence spans
 
 clean:
-	rm -f BENCH_matrix.json BENCH_obs.json trace-demo.jsonl flight-*.jsonl spans-demo.json spans-summary.txt
+	rm -f BENCH_matrix.json BENCH_obs.json BENCH_snapshot.json trace-demo.jsonl flight-*.jsonl spans-demo.json spans-summary.txt
+	rm -f BENCH_matrix.new.json BENCH_snapshot.new.json
 	$(GO) clean ./...

@@ -264,6 +264,37 @@ func BenchmarkBootEnvironment(b *testing.B) {
 	}
 }
 
+// BenchmarkSnapshotBuild measures the one-time cost of booting and
+// sealing a (version, mode) environment snapshot — paid once per
+// process per pair, then amortized over every forked cell.
+func BenchmarkSnapshotBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := campaign.BuildSnapshot(hv.Version46(), campaign.ModeInjection); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCellFork measures stamping one cell environment out of the
+// sealed snapshot — the per-cell setup cost that replaces the full boot
+// measured by BenchmarkBootEnvironment. The budget is <10µs per fork.
+func BenchmarkCellFork(b *testing.B) {
+	// Warm the cache so the one-time build is not measured.
+	if _, recycle, err := campaign.NewForkedEnvironment(hv.Version46(), campaign.ModeInjection); err != nil {
+		b.Fatal(err)
+	} else {
+		recycle()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, recycle, err := campaign.NewForkedEnvironment(hv.Version46(), campaign.ModeInjection)
+		if err != nil {
+			b.Fatal(err)
+		}
+		recycle()
+	}
+}
+
 // BenchmarkPageWalk measures one 4-level guest translation.
 func BenchmarkPageWalk(b *testing.B) {
 	e := benchEnv(b, hv.Version46(), campaign.ModeExploit)

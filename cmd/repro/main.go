@@ -14,6 +14,13 @@
 // -workers overrides, and -workers 1 forces the serial debug path).
 // The rendered output is byte-identical at any worker count.
 //
+// By default each (version, mode) environment boots once per process
+// and every cell runs on a copy-on-write fork of the sealed machine;
+// the output is byte-identical either way. -no-snapshot (or a
+// non-empty REPRO_NO_SNAPSHOT in the environment) forces every cell
+// through a full fresh boot — the escape hatch for bisecting a
+// suspected snapshot-path divergence.
+//
 // Observability:
 //
 //	repro -matrix -trace trace.jsonl   # per-cell event trace (JSONL)
@@ -150,7 +157,12 @@ func run(out io.Writer) (err error) {
 	equivalence := flag.Bool("equivalence", false, "run the full matrix in both modes and report per-cell trace equivalence (RQ2); exits non-zero on any divergent cell")
 	listenAddr := flag.String("listen", "", "serve live observability on this address (/metrics, /healthz, /cells, /spans) for the duration of the run")
 	spansOut := flag.String("spans", "", "capture per-cell causal span trees, write them as Chrome trace-event JSON to this file, and print the span summary")
+	noSnapshot := flag.Bool("no-snapshot", false, "boot every campaign cell fresh instead of forking the sealed (version, mode) snapshot")
 	flag.Parse()
+
+	if *noSnapshot {
+		campaign.EnableSnapshots(false)
+	}
 
 	// Reject out-of-range selections before any work or profile file is
 	// created. 0 means "not selected" for the numeric flags.

@@ -82,6 +82,13 @@ func newEnvironment(p *plan, v hv.Version, mode Mode, tel *telemetry.Recorder, f
 	if err != nil {
 		return nil, err
 	}
+	return buildEnvironment(p, mem, v, mode, tel, flt, tree)
+}
+
+// buildEnvironment boots the standard environment on a caller-provided
+// machine, so the snapshot cache can journal the boot on a fresh machine
+// and seal the result.
+func buildEnvironment(p *plan, mem *mm.Memory, v hv.Version, mode Mode, tel *telemetry.Recorder, flt *faults.Injector, tree *span.Tree) (*Environment, error) {
 	var opts []hv.Option
 	if tel != nil {
 		opts = append(opts, hv.WithTelemetry(tel))

@@ -9,6 +9,7 @@ import (
 	"runtime/pprof"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/exploits"
@@ -270,7 +271,7 @@ func runCell(c cell, reg *telemetry.Registry, inj *faults.Injector) (*RunResult,
 		rec.AttachFaults(inj)
 		start = time.Now()
 	}
-	return runCellWith(c, reg, rec, inj, nil, start)
+	return runCellWith(c, reg, rec, inj, nil, start, nil)
 }
 
 // runCellWith is runCell with the recorder owned by the caller, so the
@@ -281,8 +282,11 @@ func runCell(c cell, reg *telemetry.Registry, inj *faults.Injector) (*RunResult,
 // assess) open under its root, and the environment is built with the
 // tree installed so hypercall and mm-op spans nest inside them. Error
 // returns leave the failing phase open — the guarded caller's Abort
-// closes and marks it.
-func runCellWith(c cell, reg *telemetry.Registry, rec *telemetry.Recorder, inj *faults.Injector, tree *span.Tree, start time.Time) (*RunResult, error) {
+// closes and marks it. abandoned, when non-nil, is set by the guarded
+// caller once it stops waiting for this cell (watchdog or cancel); a
+// cell that finishes after that point must not recycle its machine fork
+// — the runner already wrote it off as poisoned.
+func runCellWith(c cell, reg *telemetry.Registry, rec *telemetry.Recorder, inj *faults.Injector, tree *span.Tree, start time.Time, abandoned *atomic.Bool) (*RunResult, error) {
 	p := campaignPlan()
 	scen, ok := p.scenarios[c.useCase]
 	if !ok {
@@ -293,7 +297,7 @@ func runCellWith(c cell, reg *telemetry.Registry, rec *telemetry.Recorder, inj *
 		}
 	}
 	boot := tree.Phase(span.PhaseBoot)
-	e, err := newEnvironment(p, c.version, c.mode, rec, inj, tree)
+	e, recycle, err := cellEnvironment(p, c, rec, inj, tree)
 	if err != nil {
 		return nil, err
 	}
@@ -318,6 +322,14 @@ func runCellWith(c cell, reg *telemetry.Registry, rec *telemetry.Recorder, inj *
 	if reg != nil {
 		res.Profile = rec.Profile(c.String(), time.Since(start).Nanoseconds())
 		reg.Record(res.Profile)
+	}
+	// Only a cleanly completed cell that the runner is still waiting for
+	// returns its machine fork to the snapshot pool; every error path
+	// above — and a cell the watchdog or a cancellation already wrote
+	// off, even if it later unwedges and finishes — abandons a possibly
+	// poisoned fork to the collector instead.
+	if recycle != nil && (abandoned == nil || !abandoned.Load()) {
+		recycle()
 	}
 	return res, nil
 }
@@ -359,6 +371,10 @@ func (r *Runner) runGuarded(ctx context.Context, c cell, worker int) cellOutcome
 	}
 	began := time.Now()
 	done := make(chan cellOutcome, 1)
+	// abandoned flips once the worker stops waiting (watchdog, cancel):
+	// from then on the cell body, should it ever finish, must not
+	// recycle its machine fork into the snapshot pool.
+	var abandoned atomic.Bool
 	// The cell body runs under pprof labels so CPU and goroutine
 	// profiles of a live campaign attribute samples to the cell, its
 	// scenario and its hypervisor version.
@@ -400,7 +416,7 @@ func (r *Runner) runGuarded(ctx context.Context, c cell, worker int) cellOutcome
 				}, profile: salvage(), tree: tree, latency: span.DetectionLatency(tree, rec.Events())}
 			}
 		}()
-		res, err := runCellWith(c, r.Telemetry, rec, inj, tree, start)
+		res, err := runCellWith(c, r.Telemetry, rec, inj, tree, start, &abandoned)
 		if err != nil {
 			tree.Abort()
 			done <- cellOutcome{err: &CellError{Cell: id, Class: FailError, Message: err.Error(), cause: err},
@@ -421,12 +437,14 @@ func (r *Runner) runGuarded(ctx context.Context, c cell, worker int) cellOutcome
 	case out := <-done:
 		return r.settleSpans(id, worker, began, time.Since(began), out)
 	case <-watchdog:
+		abandoned.Store(true)
 		return r.settleSpans(id, worker, began, time.Since(began), cellOutcome{err: &CellError{
 			Cell:    id,
 			Class:   FailHang,
 			Message: fmt.Sprintf("cell exceeded the %s watchdog deadline", r.cellTimeout()),
 		}})
 	case <-ctx.Done():
+		abandoned.Store(true)
 		return r.settleSpans(id, worker, began, time.Since(began), cellOutcome{err: &CellError{Cell: id, Class: FailCanceled, Message: ctx.Err().Error(), cause: ctx.Err()}})
 	}
 }

@@ -105,6 +105,22 @@ func (i *Injector) Hit(site Site) bool {
 	return false
 }
 
+// WouldFire reports whether the armed rule for the site would fire
+// within the next `within` hits, without recording any. The campaign's
+// snapshot cache uses it to decide whether a cell's boot-time fault
+// budget forces a fresh boot instead of a fork.
+func (i *Injector) WouldFire(site Site, within uint64) bool {
+	if i == nil {
+		return false
+	}
+	nth, ok := i.trigger[site]
+	if !ok {
+		return false
+	}
+	h := i.hits[site]
+	return nth > h && nth <= h+within
+}
+
 // Errorf manufactures a site's injected error, wrapping ErrInjected.
 func (i *Injector) Errorf(site Site, format string, args ...any) error {
 	return fmt.Errorf("%w: %s: %s", ErrInjected, site, fmt.Sprintf(format, args...))

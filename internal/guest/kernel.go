@@ -75,6 +75,28 @@ func New(dom *hv.Domain, net *vnet.Network, addr string) *Kernel {
 	return k
 }
 
+// ForkOnto clones the kernel onto a forked domain and network, and
+// attaches the clone as the domain's OS. The kernel log is clip-shared
+// with the sealed original — appends reallocate — and the filesystem
+// map is copied (it is small and mutated by most experiments). No boot
+// Printk: the sealed log already carries it.
+func (k *Kernel) ForkOnto(dom *hv.Domain, net *vnet.Network) *Kernel {
+	nk := &Kernel{
+		dom:   dom,
+		net:   net,
+		addr:  k.addr,
+		files: make(map[string]File, len(k.files)),
+		klog:  k.klog[:len(k.klog):len(k.klog)],
+		ticks: k.ticks,
+		hung:  k.hung,
+	}
+	for p, f := range k.files {
+		nk.files[p] = f
+	}
+	dom.AttachOS(nk)
+	return nk
+}
+
 // Domain returns the hosting domain.
 func (k *Kernel) Domain() *hv.Domain { return k.dom }
 

@@ -49,6 +49,7 @@ type Domain struct {
 
 	cr3      mm.MFN
 	ptFrames map[mm.MFN]int // guest page-table frames -> level
+	ptShared bool           // ptFrames belongs to a sealed snapshot; clone before writing
 
 	vcpu *cpu.CPU
 	os   GuestOS
@@ -146,7 +147,7 @@ func (d *Domain) buildPageTables() error {
 		return d.p2m.Lookup(cursor)
 	}
 	b := pagetable.NewBuilder(d.hv.mem, ptAlloc)
-	b.OnTableAlloc = func(mfn mm.MFN, level int) { d.ptFrames[mfn] = level }
+	b.OnTableAlloc = func(mfn mm.MFN, level int) { d.setPTFrame(mfn, level) }
 
 	root, err := b.NewRoot()
 	if err != nil {
@@ -205,6 +206,20 @@ func (d *Domain) buildPageTables() error {
 		}
 	}
 	return d.accountBootMappings()
+}
+
+// setPTFrame records a validated page-table frame, cloning the map
+// first when it is still shared with a sealed snapshot.
+func (d *Domain) setPTFrame(mfn mm.MFN, level int) {
+	if d.ptShared {
+		clone := make(map[mm.MFN]int, len(d.ptFrames)+1)
+		for k, v := range d.ptFrames {
+			clone[k] = v
+		}
+		d.ptFrames = clone
+		d.ptShared = false
+	}
+	d.ptFrames[mfn] = level
 }
 
 // ptFramesInOrder returns the domain's page-table frames in ascending

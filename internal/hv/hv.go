@@ -334,20 +334,7 @@ func (h *Hypervisor) initIDT() error {
 		Base:  layout.HypervisorVirtStart + idtFrameOffset*mm.PageSize,
 		Limit: cpu.NumVectors*cpu.DescriptorSize - 1,
 	}
-	h.builtins[pfHandlerVA] = func(vector uint8) error {
-		// The native #PF handler fixes up or reflects the fault to the
-		// guest; from the machine's point of view delivery succeeded.
-		h.pfCount++
-		return nil
-	}
-	h.builtins[dfHandlerVA] = func(vector uint8) error {
-		h.Crash("FATAL TRAP: vector = 8 (double fault)")
-		return cpu.ErrCrashed
-	}
-	h.builtins[gpHandlerVA] = func(vector uint8) error {
-		h.pfCount++
-		return nil
-	}
+	h.installBuiltins()
 	gates := map[uint8]uint64{
 		cpu.VectorPageFault:   pfHandlerVA,
 		cpu.VectorDoubleFault: dfHandlerVA,
@@ -365,6 +352,26 @@ func (h *Hypervisor) initIDT() error {
 		}
 	}
 	return nil
+}
+
+// installBuiltins registers the native trap handlers. They close over
+// the hypervisor, so a forked instance must install its own set rather
+// than share the prototype's.
+func (h *Hypervisor) installBuiltins() {
+	h.builtins[pfHandlerVA] = func(vector uint8) error {
+		// The native #PF handler fixes up or reflects the fault to the
+		// guest; from the machine's point of view delivery succeeded.
+		h.pfCount++
+		return nil
+	}
+	h.builtins[dfHandlerVA] = func(vector uint8) error {
+		h.Crash("FATAL TRAP: vector = 8 (double fault)")
+		return cpu.ErrCrashed
+	}
+	h.builtins[gpHandlerVA] = func(vector uint8) error {
+		h.pfCount++
+		return nil
+	}
 }
 
 // hardenedPolicy is the 4.13 page-walk policy: guest-initiated writes

@@ -275,7 +275,7 @@ func (v *validation) getTable(mfn mm.MFN, level int) error {
 			}
 			return err
 		}
-		d.ptFrames[mfn] = level
+		d.setPTFrame(mfn, level)
 	}
 	return h.mem.GetRef(mfn, d.id)
 }

@@ -75,6 +75,18 @@ type AccessArgs struct {
 // "small changes in the hypercalls table" of Section V-B. The core of
 // the injector is identical across versions.
 func Enable(h *hv.Hypervisor) error {
+	if err := Attach(h); err != nil {
+		return err
+	}
+	h.Logf("intrusion injector enabled (hypercall %d)", hv.HypercallArbitraryAccess)
+	return nil
+}
+
+// Attach registers the arbitrary_access hypercall without logging.
+// Snapshot forks use it: the prototype's console already carries the
+// boot-time "injector enabled" line, so a fork re-attaching the handler
+// (its dispatch table is rebuilt per fork) must not log a second one.
+func Attach(h *hv.Hypervisor) error {
 	handler := func(d *hv.Domain, arg any) error {
 		a, ok := arg.(*AccessArgs)
 		if !ok {
@@ -86,7 +98,6 @@ func Enable(h *hv.Hypervisor) error {
 	if err := h.RegisterHypercall(hv.HypercallArbitraryAccess, handler); err != nil {
 		return fmt.Errorf("inject: enabling injector: %w", err)
 	}
-	h.Logf("intrusion injector enabled (hypercall %d)", hv.HypercallArbitraryAccess)
 	return nil
 }
 

@@ -12,6 +12,10 @@ import (
 // if the machine were exhausted, wrapped in faults.ErrInjected so
 // callers can tell a forced failure from a real one.
 func (m *Memory) allocFault() error {
+	if m.jrn != nil {
+		m.jrn.allocConsults++
+		m.jrn.record(jAllocConsult, 0, "")
+	}
 	if m.flt.Hit(faults.SiteAlloc) {
 		return fmt.Errorf("%w: %w (forced allocation failure)", ErrOutOfMemory, faults.ErrInjected)
 	}
@@ -96,8 +100,17 @@ func (m *Memory) AllocRange(n int, owner DomID) (MFN, error) {
 	if n <= 0 {
 		return 0, fmt.Errorf("mm: AllocRange needs a positive count, got %d", n)
 	}
-	sp := m.spans.MMOp(fmt.Sprintf("alloc_range[%d]", n))
-	defer m.spans.End(sp)
+	name := fmt.Sprintf("alloc_range[%d]", n)
+	sp := m.spans.MMOp(name)
+	if m.jrn != nil {
+		m.jrn.record(jSpanStart, 0, name)
+	}
+	defer func() {
+		if m.jrn != nil {
+			m.jrn.record(jSpanEnd, 0, "")
+		}
+		m.spans.End(sp)
+	}()
 	if err := m.allocFault(); err != nil {
 		return 0, err
 	}
@@ -142,14 +155,25 @@ func (m *Memory) claimRange(start MFN, n int, owner DomID) (MFN, error) {
 }
 
 func (m *Memory) claim(mfn MFN, owner DomID) {
-	pi := &m.pageInfo[mfn]
-	*pi = PageInfo{Owner: owner, Type: TypeNone}
+	if m.snap != nil {
+		m.ownInfoChunk(mfn)
+	}
+	m.pageInfo[mfn] = PageInfo{Owner: owner, Type: TypeNone}
 	if m.frames[mfn] != nil {
 		clear(m.frames[mfn])
+	} else if m.snap != nil && m.snap.frames[mfn] != nil {
+		// The sealed image has content here; a freshly claimed frame
+		// must read as zeros, so materialize a private zero page that
+		// shadows it.
+		m.frames[mfn] = make([]byte, PageSize)
+		m.dirtyFrames = append(m.dirtyFrames, mfn)
 	}
-	m.m2p[mfn] = m2pEntry{}
+	*m.m2pRef(mfn) = m2pEntry{}
 	m.allocated++
 	m.tel.Inc("frames.alloc")
+	if m.jrn != nil {
+		m.jrn.record(jCounter, 0, "frames.alloc")
+	}
 }
 
 // Free returns a frame to the allocator. The frame must have no
@@ -169,10 +193,13 @@ func (m *Memory) Free(mfn MFN) error {
 		return fmt.Errorf("%w: mfn %#x ref=%d typecount=%d", ErrFrameBusy, uint64(mfn), pi.RefCount, pi.TypeCount)
 	}
 	*pi = PageInfo{Owner: DomInvalid, Type: TypeNone}
-	m.m2p[mfn] = m2pEntry{}
+	*m.m2pRef(mfn) = m2pEntry{}
 	m.setFree(mfn)
 	m.allocated--
 	m.tel.Inc("frames.free")
+	if m.jrn != nil {
+		m.jrn.record(jCounter, 0, "frames.free")
+	}
 	return nil
 }
 
@@ -221,15 +248,16 @@ func (m *Memory) GetType(mfn MFN, t FrameType) error {
 	if pi.TypeCount == 0 {
 		pi.Type = t
 		pi.TypeCount = 1
-		m.tel.PageTypeGet(uint64(mfn), t.String())
-		return nil
-	}
-	if pi.Type != t {
+	} else if pi.Type != t {
 		return fmt.Errorf("%w: mfn %#x is %s (count %d), wanted %s",
 			ErrTypeConflict, uint64(mfn), pi.Type, pi.TypeCount, t)
+	} else {
+		pi.TypeCount++
 	}
-	pi.TypeCount++
 	m.tel.PageTypeGet(uint64(mfn), t.String())
+	if m.jrn != nil {
+		m.jrn.record(jTypeGet, uint64(mfn), t.String())
+	}
 	return nil
 }
 
@@ -245,6 +273,9 @@ func (m *Memory) PutType(mfn MFN) error {
 	}
 	pi.TypeCount--
 	m.tel.PageTypePut(uint64(mfn), pi.Type.String())
+	if m.jrn != nil {
+		m.jrn.record(jTypePut, uint64(mfn), pi.Type.String())
+	}
 	if pi.TypeCount == 0 && !pi.Pinned {
 		pi.Type = TypeNone
 	}

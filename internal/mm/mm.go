@@ -226,6 +226,21 @@ type Memory struct {
 	// spans receives a causal span per range allocation; nil (the
 	// default) disables span capture at the same near-zero cost.
 	spans *span.Tree
+
+	// snap, when non-nil, marks this Memory as a copy-on-write fork of
+	// a sealed Snapshot: unowned frame-table and M2P chunks read
+	// through the snapshot and clone on first write, tracked in the
+	// ownership bitmaps below; frame contents materialize per frame on
+	// first write, tracked in dirtyFrames for arena-style reuse. See
+	// snapshot.go.
+	snap        *Snapshot
+	ownInfo     []uint64
+	ownM2P      []uint64
+	dirtyFrames []MFN
+
+	// jrn, when non-nil, records boot-time observability activity for
+	// snapshot replay (see StartBootJournal).
+	jrn *bootJournal
 }
 
 // AttachTelemetry installs the machine's telemetry sink. A nil recorder
@@ -285,23 +300,17 @@ func (m *Memory) ValidMFN(mfn MFN) bool { return uint64(mfn) < uint64(len(m.fram
 
 // Info returns a pointer to the frame-table entry for the frame so the
 // caller can inspect or update counts in place, mirroring how the
-// hypervisor manipulates struct page_info.
+// hypervisor manipulates struct page_info. On a snapshot fork the
+// returned pointer must be privately owned — callers may write through
+// it — so the enclosing chunk is cloned on first access.
 func (m *Memory) Info(mfn MFN) (*PageInfo, error) {
 	if !m.ValidMFN(mfn) {
 		return nil, fmt.Errorf("%w: mfn %#x (machine has %d frames)", ErrBadMFN, uint64(mfn), len(m.frames))
 	}
+	if m.snap != nil {
+		m.ownInfoChunk(mfn)
+	}
 	return &m.pageInfo[mfn], nil
-}
-
-// frame returns the backing store of a frame, allocating it on first use.
-func (m *Memory) frame(mfn MFN) ([]byte, error) {
-	if !m.ValidMFN(mfn) {
-		return nil, fmt.Errorf("%w: mfn %#x", ErrBadMFN, uint64(mfn))
-	}
-	if m.frames[mfn] == nil {
-		m.frames[mfn] = make([]byte, PageSize)
-	}
-	return m.frames[mfn], nil
 }
 
 // ReadPhys copies len(buf) bytes starting at the machine-physical address
@@ -326,16 +335,12 @@ func (m *Memory) accessPhys(addr PhysAddr, buf []byte, write bool) error {
 	done := 0
 	for done < len(buf) {
 		cur := PhysAddr(uint64(addr) + uint64(done))
-		f, err := m.frame(cur.Frame())
-		if err != nil {
-			return err
-		}
 		off := cur.Offset()
 		var n int
 		if write {
-			n = copy(f[off:], buf[done:])
+			n = copy(m.frameWrite(cur.Frame())[off:], buf[done:])
 		} else {
-			n = copy(buf[done:], f[off:])
+			n = copy(buf[done:], m.frameRead(cur.Frame())[off:])
 		}
 		done += n
 	}

@@ -17,11 +17,34 @@ type P2M struct {
 	mem     *Memory
 	entries map[PFN]MFN
 	maxPFN  PFN
+	// shared marks the entries map as belonging to a sealed snapshot;
+	// the first mutation clones it (see own).
+	shared bool
 }
 
 // NewP2M creates an empty translation table for the domain.
 func (m *Memory) NewP2M(dom DomID) *P2M {
 	return &P2M{dom: dom, mem: m, entries: make(map[PFN]MFN)}
+}
+
+// ForkOnto creates a copy-on-write view of the table bound to a forked
+// machine. The entries map is shared with the sealed original until the
+// fork's first Set or Clear clones it.
+func (p *P2M) ForkOnto(mem *Memory) *P2M {
+	return &P2M{dom: p.dom, mem: mem, entries: p.entries, maxPFN: p.maxPFN, shared: true}
+}
+
+// own clones the shared entries map before the first mutation.
+func (p *P2M) own() {
+	if !p.shared {
+		return
+	}
+	clone := make(map[PFN]MFN, len(p.entries))
+	for k, v := range p.entries {
+		clone[k] = v
+	}
+	p.entries = clone
+	p.shared = false
 }
 
 // Domain returns the domain this table belongs to.
@@ -46,11 +69,12 @@ func (p *P2M) Set(pfn PFN, mfn MFN) error {
 		return fmt.Errorf("%w: p2m of dom%d cannot map mfn %#x owned by dom%d",
 			ErrNotOwner, p.dom, uint64(mfn), pi.Owner)
 	}
+	p.own()
 	if old, ok := p.entries[pfn]; ok {
-		p.mem.m2p[old] = m2pEntry{}
+		*p.mem.m2pRef(old) = m2pEntry{}
 	}
 	p.entries[pfn] = mfn
-	p.mem.m2p[mfn] = m2pEntry{dom: p.dom, pfn: pfn, valid: true}
+	*p.mem.m2pRef(mfn) = m2pEntry{dom: p.dom, pfn: pfn, valid: true}
 	if pfn > p.maxPFN {
 		p.maxPFN = pfn
 	}
@@ -65,8 +89,9 @@ func (p *P2M) Clear(pfn PFN) (MFN, error) {
 	if !ok {
 		return 0, fmt.Errorf("%w: dom%d pfn %#x", ErrNoMapping, p.dom, uint64(pfn))
 	}
+	p.own()
 	delete(p.entries, pfn)
-	p.mem.m2p[mfn] = m2pEntry{}
+	*p.mem.m2pRef(mfn) = m2pEntry{}
 	return mfn, nil
 }
 
@@ -100,7 +125,7 @@ func (m *Memory) M2P(mfn MFN) (DomID, PFN, error) {
 	if !m.ValidMFN(mfn) {
 		return 0, 0, fmt.Errorf("%w: mfn %#x", ErrBadMFN, uint64(mfn))
 	}
-	e := m.m2p[mfn]
+	e := m.m2pAt(mfn)
 	if !e.valid {
 		return 0, 0, fmt.Errorf("%w: mfn %#x has no m2p entry", ErrNoMapping, uint64(mfn))
 	}

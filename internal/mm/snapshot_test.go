@@ -1,0 +1,343 @@
+package mm
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/span"
+	"repro/internal/telemetry"
+)
+
+func testMemory(t *testing.T, frames int) *Memory {
+	t.Helper()
+	m, err := NewMemory(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestSnapshotForkContentIsolation: forks read the sealed content
+// through the snapshot and materialize private copies on write, so
+// sibling forks and later forks never see each other's writes.
+func TestSnapshotForkContentIsolation(t *testing.T) {
+	m := testMemory(t, 128)
+	mfn, err := m.Alloc(Dom0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WritePhys(mfn.Addr(), []byte("sealed")); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Seal()
+
+	a, b := s.Fork(), s.Fork()
+	read := func(fm *Memory) string {
+		buf := make([]byte, 6)
+		if err := fm.ReadPhys(mfn.Addr(), buf); err != nil {
+			t.Fatal(err)
+		}
+		return string(buf)
+	}
+	if got := read(a); got != "sealed" {
+		t.Fatalf("fork reads %q through snapshot, want \"sealed\"", got)
+	}
+	if err := a.WritePhys(mfn.Addr(), []byte("forked")); err != nil {
+		t.Fatal(err)
+	}
+	if got := read(a); got != "forked" {
+		t.Errorf("fork a reads %q after its own write", got)
+	}
+	if got := read(b); got != "sealed" {
+		t.Errorf("fork b reads %q after a's write; COW leaked", got)
+	}
+	if got := read(s.Fork()); got != "sealed" {
+		t.Errorf("new fork reads %q; the sealed image was corrupted", got)
+	}
+}
+
+// TestSnapshotForkAllocatorIsolation: each fork owns a private free-set
+// copy, so allocation in one fork is invisible to its siblings and both
+// get the same deterministic lowest-first frames.
+func TestSnapshotForkAllocatorIsolation(t *testing.T) {
+	m := testMemory(t, 128)
+	if _, err := m.AllocRange(8, DomXen); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Seal()
+
+	a, b := s.Fork(), s.Fork()
+	fa, err := a.Alloc(Dom0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := b.Alloc(Dom0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa != fb {
+		t.Errorf("forks allocated different frames (%#x vs %#x); allocator state is shared or nondeterministic", uint64(fa), uint64(fb))
+	}
+	pa, err := a.Info(fa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.Owner != Dom0 {
+		t.Errorf("fork a's frame owned by dom%d, want dom0", pa.Owner)
+	}
+	// The same frame is still DomXen-free in a third fork: neither the
+	// claim nor the page-info write reached the sealed image.
+	c := s.Fork()
+	pc, err := c.Info(fa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc.Owner != DomInvalid {
+		t.Errorf("sealed image's frame %#x owned by dom%d after fork allocs, want free", uint64(fa), pc.Owner)
+	}
+}
+
+// TestSnapshotForkM2PAndTypeIsolation: M2P entries and frame types set
+// in a fork stay in the fork.
+func TestSnapshotForkM2PAndTypeIsolation(t *testing.T) {
+	m := testMemory(t, 128)
+	mfn, err := m.Alloc(Dom0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2m := m.NewP2M(Dom0)
+	if err := p2m.Set(7, mfn); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Seal()
+
+	a := s.Fork()
+	fp := p2m.ForkOnto(a)
+	// Read-through: the sealed translation is visible in the fork.
+	if dom, pfn, err := a.M2P(mfn); err != nil || dom != Dom0 || pfn != 7 {
+		t.Fatalf("fork M2P = (%v, %v, %v), want (dom0, 7, nil)", dom, pfn, err)
+	}
+	if _, err := fp.Clear(7); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.M2P(mfn); err == nil {
+		t.Error("fork still translates mfn after Clear")
+	}
+	if err := a.GetType(mfn, TypeL1); err != nil {
+		t.Fatal(err)
+	}
+	// Sibling fork sees the sealed state: translation intact, no type.
+	b := s.Fork()
+	if dom, pfn, err := b.M2P(mfn); err != nil || dom != Dom0 || pfn != 7 {
+		t.Errorf("sibling M2P = (%v, %v, %v) after fork a's Clear, want sealed (dom0, 7, nil)", dom, pfn, err)
+	}
+	pi, err := b.Info(mfn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pi.TypeCount != 0 {
+		t.Errorf("sibling sees type count %d from fork a's GetType", pi.TypeCount)
+	}
+	if p2m.Len() != 1 {
+		t.Errorf("sealed p2m length %d after fork mutations, want 1", p2m.Len())
+	}
+}
+
+// TestRecycleReturnsPristineFork: a recycled fork comes back from the
+// pool with all COW state reset, indistinguishable from a fresh fork.
+func TestRecycleReturnsPristineFork(t *testing.T) {
+	m := testMemory(t, 128)
+	mfn, err := m.Alloc(Dom0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WritePhys(mfn.Addr(), []byte("sealed")); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Seal()
+
+	f := s.Fork()
+	if err := f.WritePhys(mfn.Addr(), []byte("dirty!")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Alloc(Dom0); err != nil {
+		t.Fatal(err)
+	}
+	s.Recycle(f)
+	if got := s.PoolSize(); got != 1 {
+		t.Fatalf("pool size %d after recycle, want 1", got)
+	}
+
+	g := s.Fork()
+	if g != f {
+		t.Fatalf("fork after recycle is not the pooled instance")
+	}
+	buf := make([]byte, 6)
+	if err := g.ReadPhys(mfn.Addr(), buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "sealed" {
+		t.Errorf("recycled fork reads %q, want sealed content", buf)
+	}
+	// The allocator was reset: the recycled fork hands out the same
+	// lowest frame a brand-new fork would.
+	got, err := g.Alloc(Dom0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.Fork().Alloc(Dom0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("recycled fork allocated %#x, fresh fork %#x", uint64(got), uint64(want))
+	}
+}
+
+// TestRecycleRejectsForeignMemory: only forks of this snapshot enter
+// the pool; fresh machines and other snapshots' forks are ignored.
+func TestRecycleRejectsForeignMemory(t *testing.T) {
+	s := testMemory(t, 64).Seal()
+	s.Recycle(testMemory(t, 64))           // fresh machine
+	s.Recycle(testMemory(t, 64).Seal().Fork()) // another snapshot's fork
+	s.Recycle(nil)
+	if got := s.PoolSize(); got != 0 {
+		t.Errorf("pool size %d after foreign recycles, want 0", got)
+	}
+}
+
+// TestJournalReplayMatchesFreshBoot: replaying the boot journal into
+// fresh sinks reproduces exactly the events, counters and span
+// structure the same operations emit when the sinks are attached live.
+func TestJournalReplayMatchesFreshBoot(t *testing.T) {
+	ops := func(m *Memory) {
+		if _, err := m.AllocRange(4, DomXen); err != nil {
+			t.Fatal(err)
+		}
+		f, err := m.Alloc(Dom0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.GetType(f, TypeL1); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.PutType(f); err != nil {
+			t.Fatal(err)
+		}
+		g, err := m.Alloc(Dom0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Free(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Reference: the same operations with live sinks.
+	ref := testMemory(t, 64)
+	refRec := telemetry.NewRecorder(0)
+	refTree := span.NewTree("cell", refRec.Emitted)
+	ref.AttachTelemetry(refRec)
+	ref.AttachSpans(refTree)
+	ops(ref)
+
+	// Snapshot path: journal with no sinks, seal, fork, replay.
+	proto := testMemory(t, 64)
+	proto.StartBootJournal()
+	ops(proto)
+	s := proto.Seal()
+	fm := s.Fork()
+	rec := telemetry.NewRecorder(0)
+	tree := span.NewTree("cell", rec.Emitted)
+	fm.AttachTelemetry(rec)
+	fm.AttachSpans(tree)
+	s.Replay(rec, nil, tree)
+
+	if got, want := rec.Emitted(), refRec.Emitted(); got != want {
+		t.Errorf("replay emitted %d events, fresh boot %d", got, want)
+	}
+	if !reflect.DeepEqual(rec.Events(), refRec.Events()) {
+		t.Errorf("replayed events differ from fresh boot\nreplay: %v\nfresh:  %v", rec.Events(), refRec.Events())
+	}
+	if !reflect.DeepEqual(rec.Counters(), refRec.Counters()) {
+		t.Errorf("replayed counters differ from fresh boot\nreplay: %v\nfresh:  %v", rec.Counters(), refRec.Counters())
+	}
+	// Compare the spans' canonical structure; StartNS/EndNS are wall
+	// clock and excluded from every canonical surface.
+	gs, ws := tree.Spans(), refTree.Spans()
+	if len(gs) != len(ws) {
+		t.Fatalf("replayed %d spans, fresh boot %d", len(gs), len(ws))
+	}
+	for i := range gs {
+		g, w := gs[i], ws[i]
+		g.StartNS, g.EndNS = 0, 0
+		w.StartNS, w.EndNS = 0, 0
+		if !reflect.DeepEqual(g, w) {
+			t.Errorf("span %d differs\nreplay: %+v\nfresh:  %+v", i, g, w)
+		}
+	}
+	if s.BootAllocConsults() != 3 {
+		t.Errorf("journal recorded %d alloc consults, want 3 (AllocRange + 2 Allocs)", s.BootAllocConsults())
+	}
+}
+
+// TestJournalReplayAdvancesFaultPlane: replay drives the injector's hit
+// counters exactly as a fresh boot would, so a rule armed beyond the
+// boot window fires at the same post-boot hit in a forked cell.
+func TestJournalReplayAdvancesFaultPlane(t *testing.T) {
+	proto := testMemory(t, 64)
+	proto.StartBootJournal()
+	if _, err := proto.AllocRange(4, DomXen); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := proto.Alloc(Dom0); err != nil {
+		t.Fatal(err)
+	}
+	s := proto.Seal()
+
+	inj := faults.NewInjector().Arm(faults.SiteAlloc, s.BootAllocConsults()+1)
+	if inj.WouldFire(faults.SiteAlloc, s.BootAllocConsults()) {
+		t.Fatal("rule armed beyond the boot window reported as boot-window")
+	}
+	fm := s.Fork()
+	fm.AttachFaults(inj)
+	s.Replay(nil, inj, nil)
+	// The very next allocation is the (boot+1)th consult and must fail
+	// injected, exactly as on a machine that booted with this injector.
+	if _, err := fm.Alloc(Dom0); err == nil {
+		t.Fatal("post-boot armed fault did not fire on the fork's next alloc")
+	}
+	// The sealed image is untouched; a clean fork allocates fine.
+	if _, err := s.Fork().Alloc(Dom0); err != nil {
+		t.Fatalf("clean fork alloc failed after faulted sibling: %v", err)
+	}
+}
+
+// TestBootWindowWouldFire covers the fresh-boot fallback predicate.
+func TestBootWindowWouldFire(t *testing.T) {
+	inj := faults.NewInjector().Arm(faults.SiteAlloc, 3)
+	if !inj.WouldFire(faults.SiteAlloc, 3) {
+		t.Error("nth=3 within 3 consults should fire")
+	}
+	if inj.WouldFire(faults.SiteAlloc, 2) {
+		t.Error("nth=3 within 2 consults should not fire")
+	}
+	if inj.WouldFire(faults.SiteHang, 100) {
+		t.Error("unarmed site reported as firing")
+	}
+	var nilInj *faults.Injector
+	if nilInj.WouldFire(faults.SiteAlloc, 100) {
+		t.Error("nil injector reported as firing")
+	}
+	// Past hits count: after two hits, nth=3 fires within 1.
+	inj.Hit(faults.SiteAlloc)
+	inj.Hit(faults.SiteAlloc)
+	if !inj.WouldFire(faults.SiteAlloc, 1) {
+		t.Error("nth=3 with 2 recorded hits should fire within 1")
+	}
+	inj.Hit(faults.SiteAlloc) // fires
+	if inj.WouldFire(faults.SiteAlloc, 100) {
+		t.Error("already-fired rule reported as firing again")
+	}
+}

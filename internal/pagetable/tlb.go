@@ -34,14 +34,12 @@ type TLB struct {
 	stats    TLBStats
 }
 
-// NewTLB creates a cache holding up to capacity page translations.
+// NewTLB creates a cache holding up to capacity page translations. The
+// backing storage is allocated lazily on the first Insert, so the many
+// short-lived vCPUs a snapshot-forking campaign stamps out pay nothing
+// until they actually translate.
 func NewTLB(capacity int) *TLB {
-	t := &TLB{capacity: capacity}
-	if capacity > 0 {
-		t.entries = make(map[uint64]TLBEntry, capacity)
-		t.order = make([]uint64, 0, capacity)
-	}
-	return t
+	return &TLB{capacity: capacity}
 }
 
 // Enabled reports whether the cache holds anything at all.
@@ -74,6 +72,10 @@ func (t *TLB) Lookup(va uint64) (TLBEntry, bool) {
 func (t *TLB) Insert(va uint64, e TLBEntry) {
 	if !t.Enabled() {
 		return
+	}
+	if t.entries == nil {
+		t.entries = make(map[uint64]TLBEntry, t.capacity)
+		t.order = make([]uint64, 0, t.capacity)
 	}
 	page := pageOf(va)
 	if _, exists := t.entries[page]; !exists {

@@ -40,6 +40,33 @@ func New() *Network {
 	return &Network{listeners: make(map[string]*Listener)}
 }
 
+// Fork clones the network for a snapshot fork: every bound address gets
+// a fresh listener with an empty pending queue, and the connection log
+// is clip-shared with the sealed original so appends reallocate.
+// Established connections are not cloned — at seal time none exist (the
+// experiments dial during the attack phase, never at boot).
+func (n *Network) Fork() *Network {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	f := &Network{
+		listeners: make(map[string]*Listener, len(n.listeners)),
+		log:       n.log[:len(n.log):len(n.log)],
+	}
+	for addr := range n.listeners {
+		f.listeners[addr] = &Listener{net: f, addr: addr}
+	}
+	return f
+}
+
+// Listener returns the listener bound to addr, if any. Snapshot forks
+// use it to rebind an environment's well-known listener handles.
+func (n *Network) Listener(addr string) (*Listener, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	l, ok := n.listeners[addr]
+	return l, ok
+}
+
 // Log returns the connection log ("Connection from ..." lines), the
 // observable the XSA-148 experiment checks on the attacker host.
 func (n *Network) Log() []string {
