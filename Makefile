@@ -3,10 +3,8 @@
 # `race` is mandatory in CI now that the campaign engine runs cells on
 # a goroutine worker pool. `bench` tracks the campaign-matrix perf
 # trajectory across PRs by emitting BENCH_matrix.json (test2json
-# stream of `go test -bench Matrix -benchmem`); the Matrix pattern
-# also matches BenchmarkMatrixTelemetry, so the artifact carries the
-# telemetry-overhead numbers (trace off vs on) alongside the pool
-# sizes. `trace-demo` generates a one-cell JSONL trace and asserts it
+# stream of `go test -bench -benchmem` over the anchored
+# $(MATRIX_BENCHES) set). `trace-demo` generates a one-cell JSONL trace and asserts it
 # is non-empty, parseable and carries the expected event families.
 # `chaos` runs the fault-injection suite under the race detector (the
 # chaos tests exercise panic recovery, watchdog abandonment and
@@ -28,10 +26,25 @@
 # the CLI, checks the summary carries the critical path and the RQ3
 # table, and validates the Perfetto trace with `tracecheck spans`. The
 # trace (spans-demo.json) is left behind for CI to attach on failure.
+# `cover-matrix` is the coverage determinism gate: it runs the full
+# 24-cell matrix with -coverage at 4 workers, self-verifies the report,
+# and diffs it against the committed COVERAGE_matrix.json baseline —
+# any new or lost hypervisor behaviour edge fails the build with the
+# edge named and the cell that first witnessed it (cov-diff.txt is left
+# behind for CI to attach on failure).
 
 GO ?= go
 
-.PHONY: all build test race vet bench benchdiff check trace-demo chaos equivalence spans clean
+# Anchored benchmark patterns, shared by `bench` and `benchdiff` so the
+# artifacts and the regression gate always track the same set. The old
+# bare `-bench Matrix` substring silently swept in every benchmark with
+# "Matrix" anywhere in its name — any future BenchmarkFooMatrix would
+# have joined the committed baseline unreviewed.
+MATRIX_BENCHES   = ^BenchmarkFullMatrix$$|^BenchmarkMatrixParallel$$|^BenchmarkMatrixTelemetry$$
+OBS_BENCHES      = ^BenchmarkMatrixTelemetry$$
+SNAPSHOT_BENCHES = ^BenchmarkBootEnvironment$$|^BenchmarkSnapshotBuild$$|^BenchmarkCellFork$$
+
+.PHONY: all build test race vet bench benchdiff check trace-demo chaos equivalence spans cover-matrix clean
 
 all: check
 
@@ -48,12 +61,12 @@ vet:
 	$(GO) vet ./...
 
 bench:
-	$(GO) test -run '^$$' -bench Matrix -benchmem -json . > BENCH_matrix.json
+	$(GO) test -run '^$$' -bench '$(MATRIX_BENCHES)' -benchmem -json . > BENCH_matrix.json
 	@grep -o '"Output":"[^"]*ns/op[^"]*' BENCH_matrix.json | sed 's/"Output":"//;s/\\t/  /g;s/\\n//'
 	@echo "wrote BENCH_matrix.json"
-	$(GO) test -run '^$$' -bench MatrixTelemetry -benchmem -json . > BENCH_obs.json
+	$(GO) test -run '^$$' -bench '$(OBS_BENCHES)' -benchmem -json . > BENCH_obs.json
 	@echo "wrote BENCH_obs.json"
-	$(GO) test -run '^$$' -bench 'BootEnvironment|SnapshotBuild|CellFork' -benchmem -json . > BENCH_snapshot.json
+	$(GO) test -run '^$$' -bench '$(SNAPSHOT_BENCHES)' -benchmem -json . > BENCH_snapshot.json
 	@grep -o '"Output":"[^"]*ns/op[^"]*' BENCH_snapshot.json | sed 's/"Output":"//;s/\\t/  /g;s/\\n//'
 	@echo "wrote BENCH_snapshot.json"
 
@@ -63,9 +76,9 @@ bench:
 # losing the snapshot fork path puts FullMatrix ~9x over its baseline),
 # not scheduler noise between runner machines.
 benchdiff:
-	$(GO) test -run '^$$' -bench Matrix -benchmem -json . > BENCH_matrix.new.json
+	$(GO) test -run '^$$' -bench '$(MATRIX_BENCHES)' -benchmem -json . > BENCH_matrix.new.json
 	$(GO) run ./cmd/benchdiff -threshold 2.0 BENCH_matrix.json BENCH_matrix.new.json
-	$(GO) test -run '^$$' -bench 'BootEnvironment|SnapshotBuild|CellFork' -benchmem -json . > BENCH_snapshot.new.json
+	$(GO) test -run '^$$' -bench '$(SNAPSHOT_BENCHES)' -benchmem -json . > BENCH_snapshot.new.json
 	$(GO) run ./cmd/benchdiff -threshold 2.0 BENCH_snapshot.json BENCH_snapshot.new.json
 	@rm -f BENCH_matrix.new.json BENCH_snapshot.new.json
 
@@ -90,9 +103,16 @@ spans:
 	@grep -q 'DETECTION LATENCY (RQ3)' spans-summary.txt
 	$(GO) run ./cmd/tracecheck spans spans-demo.json
 
-check: build vet test race chaos equivalence spans
+# The coverage gate deliberately preserves tracecheck's exit code while
+# still echoing the diff into cov-diff.txt for the CI artifact upload.
+cover-matrix:
+	$(GO) run ./cmd/repro -matrix -workers 4 -coverage cov-matrix.json > /dev/null
+	$(GO) run ./cmd/tracecheck cov cov-matrix.json
+	@$(GO) run ./cmd/tracecheck cov COVERAGE_matrix.json cov-matrix.json > cov-diff.txt 2>&1; rc=$$?; cat cov-diff.txt; exit $$rc
+
+check: build vet test race chaos equivalence spans cover-matrix
 
 clean:
 	rm -f BENCH_matrix.json BENCH_obs.json BENCH_snapshot.json trace-demo.jsonl flight-*.jsonl spans-demo.json spans-summary.txt
-	rm -f BENCH_matrix.new.json BENCH_snapshot.new.json
+	rm -f BENCH_matrix.new.json BENCH_snapshot.new.json cov-matrix.json cov-diff.txt
 	$(GO) clean ./...

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/campaign"
+	"repro/internal/coverage"
 	"repro/internal/cpu"
 	"repro/internal/device"
 	"repro/internal/exploits"
@@ -137,20 +138,25 @@ func BenchmarkMatrixParallel(b *testing.B) {
 // "off" sub-benchmark is the guard for the disabled-sink contract: it
 // must stay within noise of BenchmarkMatrixParallel's pre-telemetry
 // numbers; "server" tracks the -listen overhead recorded in
-// BENCH_obs.json.
+// BENCH_obs.json; "coverage" tracks the cost of the per-cell coverage
+// maps on top of plain telemetry (the -coverage flag's overhead —
+// with coverage disabled, "on" is the baseline that must not move).
 func BenchmarkMatrixTelemetry(b *testing.B) {
-	run := func(b *testing.B, reg *telemetry.Registry, progress campaign.Progress) {
-		r := &campaign.Runner{Workers: 4, Telemetry: reg, Progress: progress}
+	run := func(b *testing.B, reg *telemetry.Registry, progress campaign.Progress, cov *coverage.Collector) {
+		r := &campaign.Runner{Workers: 4, Telemetry: reg, Progress: progress, Coverage: cov}
 		for i := 0; i < b.N; i++ {
 			entries, err := r.RunMatrix()
 			if err != nil {
 				b.Fatal(err)
 			}
 			_ = report.Matrix(entries)
+			if cov != nil {
+				_ = cov.Report()
+			}
 		}
 	}
-	b.Run("off", func(b *testing.B) { run(b, nil, nil) })
-	b.Run("on", func(b *testing.B) { run(b, telemetry.NewRegistry(), nil) })
+	b.Run("off", func(b *testing.B) { run(b, nil, nil, nil) })
+	b.Run("on", func(b *testing.B) { run(b, telemetry.NewRegistry(), nil, nil) })
 	b.Run("server", func(b *testing.B) {
 		reg := telemetry.NewRegistry()
 		srv := obs.NewServer(reg)
@@ -159,7 +165,10 @@ func BenchmarkMatrixTelemetry(b *testing.B) {
 		}
 		defer srv.Shutdown(context.Background())
 		b.ResetTimer()
-		run(b, reg, srv)
+		run(b, reg, srv, nil)
+	})
+	b.Run("coverage", func(b *testing.B) {
+		run(b, telemetry.NewRegistry(), nil, coverage.NewCollector())
 	})
 }
 

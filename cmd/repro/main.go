@@ -54,10 +54,25 @@
 // Span structure is measured in virtual time (the per-cell event
 // counter), so it is byte-identical at any -workers value.
 //
+// Coverage maps (RQ1):
+//
+//	repro -matrix -coverage cov.json   # per-cell edge coverage + campaign union
+//
+// -coverage accumulates a deterministic coverage map per cell —
+// behaviour edges derived from the telemetry stream (hypercall
+// outcomes, page-type transitions per frame class, validation rejects,
+// walk denials, injector transitions, grant/domctl ops) — writes the
+// settled campaign report (per-cell maps, attributed union, canonical
+// digest) as JSON, and prints the coverage summary with the
+// exploit-vs-injection shared-edge table. The report is byte-identical
+// at any -workers value, under seeded -chaos, and fork-vs-fresh boot;
+// diff two runs with "tracecheck cov a.json b.json".
+//
 // Live observability:
 //
 //	repro -matrix -listen :8080    # /metrics /healthz /cells while running
 //	repro -matrix -listen :8080 -spans spans.json   # adds /spans
+//	repro -matrix -listen :8080 -coverage cov.json  # adds /coverage
 //
 // Robustness:
 //
@@ -81,6 +96,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -94,7 +110,9 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/campaign"
+	"repro/internal/coverage"
 	"repro/internal/faults"
 	"repro/internal/fieldstudy"
 	"repro/internal/hv"
@@ -158,10 +176,20 @@ func run(out io.Writer) (err error) {
 	listenAddr := flag.String("listen", "", "serve live observability on this address (/metrics, /healthz, /cells, /spans) for the duration of the run")
 	spansOut := flag.String("spans", "", "capture per-cell causal span trees, write them as Chrome trace-event JSON to this file, and print the span summary")
 	noSnapshot := flag.Bool("no-snapshot", false, "boot every campaign cell fresh instead of forking the sealed (version, mode) snapshot")
+	covOut := flag.String("coverage", "", "accumulate per-cell coverage maps and write the campaign coverage report (JSON) to this file")
+	version := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
 
 	if *noSnapshot {
 		campaign.EnableSnapshots(false)
+	}
+	if *version {
+		snapshots := "enabled"
+		if !campaign.SnapshotsEnabled() {
+			snapshots = "disabled"
+		}
+		fmt.Fprintf(out, "repro %s (%s, snapshots %s)\n", buildinfo.Version, buildinfo.GoVersion(), snapshots)
+		return nil
 	}
 
 	// Reject out-of-range selections before any work or profile file is
@@ -211,6 +239,9 @@ func run(out io.Writer) (err error) {
 	if *spansOut != "" {
 		runner.Spans = span.NewCollector()
 	}
+	if *covOut != "" {
+		runner.Coverage = coverage.NewCollector()
+	}
 	if *chaos != 0 {
 		plan := faults.NewPlan(*chaos, faults.DefaultDensity)
 		runner.Faults = plan
@@ -228,11 +259,12 @@ func run(out io.Writer) (err error) {
 	if *listenAddr != "" {
 		server := obs.NewServer(runner.Telemetry)
 		server.SetSpans(runner.Spans)
+		server.SetCoverage(runner.Coverage)
 		addr, lerr := server.Listen(*listenAddr)
 		if lerr != nil {
 			return lerr
 		}
-		log.Printf("observability server on http://%s (/metrics /healthz /cells /spans)", addr)
+		log.Printf("observability server on http://%s (/metrics /healthz /cells /spans /coverage)", addr)
 		defer func() {
 			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 			defer cancel()
@@ -446,6 +478,15 @@ func run(out io.Writer) (err error) {
 		}
 		fmt.Fprintln(out, report.SpanSummary(forest, poolSize))
 	}
+	if *covOut != "" {
+		rep := runner.Coverage.Report()
+		if werr := writeCoverage(*covOut, rep); werr != nil {
+			flushErrs = append(flushErrs, werr)
+		} else {
+			log.Printf("wrote coverage report (%d edges, digest %s) to %s", rep.TotalEdges, rep.Digest, *covOut)
+		}
+		fmt.Fprintln(out, report.CoverageSummary(rep))
+	}
 	if *memProfile != "" {
 		if err := writeHeapProfile(*memProfile); err != nil {
 			flushErrs = append(flushErrs, err)
@@ -480,6 +521,23 @@ func writeSpans(path string, f *span.Forest) error {
 	}
 	if err := fh.Close(); err != nil {
 		return fmt.Errorf("spans: %w", err)
+	}
+	return nil
+}
+
+func writeCoverage(path string, rep *coverage.Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("coverage: %w", err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return fmt.Errorf("coverage: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("coverage: %w", err)
 	}
 	return nil
 }

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/coverage"
+)
+
+// readCoverage loads and self-verifies a coverage report produced by
+// `repro -coverage`: every cell digest and the report digest must
+// recompute from the exported edges, so a truncated or hand-edited
+// artifact fails here instead of poisoning a diff.
+func readCoverage(path string) *coverage.Report {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := &coverage.Report{}
+	if err := json.Unmarshal(raw, rep); err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	if err := rep.Verify(); err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	return rep
+}
+
+// covValidate checks one coverage report and prints its identity.
+func covValidate(path string, digestOnly bool) {
+	rep := readCoverage(path)
+	if digestOnly {
+		fmt.Println(rep.Digest)
+		return
+	}
+	if rep.TotalEdges == 0 {
+		log.Fatalf("%s: coverage report is empty", path)
+	}
+	fmt.Printf("ok: %d edges across %d cells, digest %s\n",
+		rep.TotalEdges, len(rep.Cells), rep.Digest)
+	for _, f := range rep.Families {
+		fmt.Printf("  %-12s %d\n", f.Family, f.Edges)
+	}
+}
+
+// covDiff compares two coverage reports' unions, reporting new and
+// lost edges with the dispatch-order first-witness cell of each, and
+// exits non-zero if the runs' canonical digests differ.
+func covDiff(pathA, pathB string) {
+	a, b := readCoverage(pathA), readCoverage(pathB)
+	newEdges, lostEdges := coverage.Diff(a, b)
+	for _, u := range newEdges {
+		fmt.Printf("NEW  %s/%s (first witnessed by %s)\n", u.Family, u.Name, u.FirstCell)
+	}
+	for _, u := range lostEdges {
+		fmt.Printf("LOST %s/%s (was first witnessed by %s)\n", u.Family, u.Name, u.FirstCell)
+	}
+	if a.Digest != b.Digest {
+		fmt.Printf("DIVERGENT: digest %s vs %s (%d new, %d lost edges)\n",
+			a.Digest, b.Digest, len(newEdges), len(lostEdges))
+		os.Exit(1)
+	}
+	fmt.Printf("ok: identical coverage (%d edges, digest %s)\n", a.TotalEdges, a.Digest)
+}

@@ -22,11 +22,22 @@
 // and a well-formed virtual interval; every cell must have exactly one
 // cell-root span and at least one phase span.
 //
+// Cov mode works with deterministic coverage reports produced by
+// `repro -coverage`. With one file it recomputes every cell digest and
+// the report digest from the exported edges and prints the identity
+// (add -digest to print just the report digest, for golden pinning).
+// With two files it diffs their edge unions: new and lost edges are
+// listed with the dispatch-order cell that first witnessed each, and
+// any digest difference exits non-zero — this is what `make
+// cover-matrix` runs against the committed baseline.
+//
 // Usage:
 //
 //	tracecheck <trace.jsonl>
 //	tracecheck diff <a.jsonl> <b.jsonl>
 //	tracecheck spans <spans.json>
+//	tracecheck cov [-digest] <cov.json>
+//	tracecheck cov <a.json> <b.json>
 package main
 
 import (
@@ -40,19 +51,25 @@ import (
 )
 
 func usage() {
-	log.Fatalf("usage: tracecheck <trace.jsonl> | tracecheck diff <a.jsonl> <b.jsonl> | tracecheck spans <spans.json>")
+	log.Fatalf("usage: tracecheck <trace.jsonl> | tracecheck diff <a.jsonl> <b.jsonl> | tracecheck spans <spans.json> | tracecheck cov [-digest] <cov.json> | tracecheck cov <a.json> <b.json>")
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tracecheck: ")
 	switch {
-	case len(os.Args) == 2 && os.Args[1] != "diff" && os.Args[1] != "spans":
+	case len(os.Args) == 2 && os.Args[1] != "diff" && os.Args[1] != "spans" && os.Args[1] != "cov":
 		validate(os.Args[1])
 	case len(os.Args) == 4 && os.Args[1] == "diff":
 		diff(os.Args[2], os.Args[3])
 	case len(os.Args) == 3 && os.Args[1] == "spans":
 		validateSpans(os.Args[2])
+	case len(os.Args) == 3 && os.Args[1] == "cov":
+		covValidate(os.Args[2], false)
+	case len(os.Args) == 4 && os.Args[1] == "cov" && os.Args[2] == "-digest":
+		covValidate(os.Args[3], true)
+	case len(os.Args) == 4 && os.Args[1] == "cov":
+		covDiff(os.Args[2], os.Args[3])
 	default:
 		usage()
 	}

@@ -1,0 +1,13 @@
+// Package buildinfo centralizes the build's identity: the version the
+// CLI's -version flag prints, the /healthz endpoint reports, and the
+// repro_build_info metric exposes. Keeping it in one leaf package lets
+// cmd/repro and the obs server agree without an import cycle.
+package buildinfo
+
+import "runtime"
+
+// Version is the repro build version, bumped per released PR.
+const Version = "0.7.0"
+
+// GoVersion reports the toolchain the binary was built with.
+func GoVersion() string { return runtime.Version() }

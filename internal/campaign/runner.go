@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/coverage"
 	"repro/internal/exploits"
 	"repro/internal/faults"
 	"repro/internal/hv"
@@ -99,6 +100,14 @@ type Runner struct {
 	// rendered tables stay byte-identical to an uninstrumented run. Nil
 	// disables span capture.
 	Spans *span.Collector
+
+	// Coverage, when set, accumulates a deterministic coverage map per
+	// cell — behaviour edges derived from the telemetry stream — and
+	// aggregates the campaign union with dispatch-order new-edge
+	// attribution. Each cell gets a recorder (as with SalvageProfiles)
+	// to feed its map; results and rendered tables stay byte-identical
+	// to an uninstrumented run. Nil disables coverage.
+	Coverage *coverage.Collector
 }
 
 // Progress observes a running campaign. The hooks fire on the worker
@@ -347,6 +356,7 @@ type cellOutcome struct {
 	profile *telemetry.CellProfile
 	tree    *span.Tree
 	latency span.Latency
+	cov     *coverage.Map
 }
 
 // runGuarded executes one cell behind the engine's fault barriers: a
@@ -391,10 +401,13 @@ func (r *Runner) runGuarded(ctx context.Context, c cell, worker int) cellOutcome
 		var rec *telemetry.Recorder
 		var tree *span.Tree
 		var start time.Time
-		if r.Telemetry != nil || r.SalvageProfiles || r.Spans != nil {
+		if r.Telemetry != nil || r.SalvageProfiles || r.Spans != nil || r.Coverage != nil {
 			rec = telemetry.NewRecorder(0)
 			rec.AttachFaults(inj)
 			start = time.Now()
+		}
+		if r.Coverage != nil {
+			rec.AttachCoverage(coverage.NewMap())
 		}
 		if r.Spans != nil {
 			tree = span.NewTree(id, rec.Emitted)
@@ -413,18 +426,18 @@ func (r *Runner) runGuarded(ctx context.Context, c cell, worker int) cellOutcome
 					Class:   FailPanic,
 					Message: fmt.Sprint(p),
 					Stack:   sanitizeStack(debug.Stack()),
-				}, profile: salvage(), tree: tree, latency: span.DetectionLatency(tree, rec.Events())}
+				}, profile: salvage(), tree: tree, latency: span.DetectionLatency(tree, rec.Events()), cov: rec.Coverage()}
 			}
 		}()
 		res, err := runCellWith(c, r.Telemetry, rec, inj, tree, start, &abandoned)
 		if err != nil {
 			tree.Abort()
 			done <- cellOutcome{err: &CellError{Cell: id, Class: FailError, Message: err.Error(), cause: err},
-				profile: salvage(), tree: tree, latency: span.DetectionLatency(tree, rec.Events())}
+				profile: salvage(), tree: tree, latency: span.DetectionLatency(tree, rec.Events()), cov: rec.Coverage()}
 			return
 		}
 		tree.Finish()
-		done <- cellOutcome{res: res, profile: res.Profile, tree: tree, latency: span.DetectionLatency(tree, rec.Events())}
+		done <- cellOutcome{res: res, profile: res.Profile, tree: tree, latency: span.DetectionLatency(tree, rec.Events()), cov: rec.Coverage()}
 	})
 
 	var watchdog <-chan time.Time
@@ -449,9 +462,16 @@ func (r *Runner) runGuarded(ctx context.Context, c cell, worker int) cellOutcome
 	}
 }
 
-// settle notifies the progress observer of a cell's settled outcome and
-// passes it through.
+// settle notifies the progress observer of a cell's settled outcome,
+// files its coverage map, and passes it through. Every cell outcome —
+// success, error, panic, hang, cancel, even cells never dispatched —
+// funnels through here, so the coverage collector sees exactly one
+// FinishCell per cell (abandoned cells file a nil map, which settles
+// as empty coverage deterministically).
 func (r *Runner) settle(id string, wall time.Duration, out cellOutcome) cellOutcome {
+	if r.Coverage != nil {
+		r.Coverage.FinishCell(id, out.cov)
+	}
 	if r.Progress != nil {
 		r.Progress.CellFinished(id, wall, out.profile, out.err)
 	}
@@ -490,7 +510,7 @@ func (r *Runner) settleSpans(id string, worker int, began time.Time, wall time.D
 // never dispatched are marked FailCanceled without running.
 func (r *Runner) runCellsDetailed(ctx context.Context, cells []cell) []cellOutcome {
 	outs := make([]cellOutcome, len(cells))
-	if r.Progress != nil || r.Spans != nil {
+	if r.Progress != nil || r.Spans != nil || r.Coverage != nil {
 		ids := make([]string, len(cells))
 		for i, c := range cells {
 			ids[i] = c.String()
@@ -500,6 +520,9 @@ func (r *Runner) runCellsDetailed(ctx context.Context, cells []cell) []cellOutco
 		}
 		if r.Spans != nil {
 			r.Spans.StartBatch(ids)
+		}
+		if r.Coverage != nil {
+			r.Coverage.StartBatch(ids)
 		}
 	}
 	n := r.workers()

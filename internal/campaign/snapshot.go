@@ -121,6 +121,12 @@ func (s *envSnapshot) forkEnvironment(tel *telemetry.Recorder, flt *faults.Injec
 	if tree != nil {
 		fm.AttachSpans(tree)
 	}
+	// A coverage map riding on the cell's recorder needs the region
+	// classifier installed before the boot journal replays, so the
+	// replayed page-type events classify exactly as a fresh boot's.
+	if cov := tel.Coverage(); cov != nil {
+		cov.SetFrameClassifier(s.hs.FrameClassifier())
+	}
 	s.ms.Replay(tel, flt, tree)
 
 	fh := s.hs.Fork(fm, tel, flt, tree)

@@ -1,0 +1,232 @@
+package coverage
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEdgeNamesAndFamilies(t *testing.T) {
+	m := NewMap()
+	m.Hypercall(1, "mmu_update", false)
+	m.Hypercall(1, "mmu_update", true)
+	m.PageType("get", 100, "l4")
+	m.PageType("put", 100, "l4")
+	m.ValidationReject(2, "superpage (PSE) mappings are not permitted")
+	m.WalkDenied("hardened: guest write to l4 page-table frame 0x2a refused")
+	m.InjectorOp("ARBITRARY_WRITE_PHYS")
+	m.InjectorTransition("initial", "erroneous", "KEEP_PAGE_ACCESS")
+	m.GrantOp("map")
+	m.DomctlOp("pausedomain")
+	want := []string{
+		"domctl/pausedomain x1",
+		"grant/map x1",
+		"hypercall/mmu_update:err x1",
+		"hypercall/mmu_update:ok x1",
+		"injector/initial->erroneous:KEEP_PAGE_ACCESS x1",
+		"injector/op:ARBITRARY_WRITE_PHYS x1",
+		"pagetype/get:l4@general x1",
+		"pagetype/put:l4@general x1",
+		"validation/L2:superpage (PSE) mappings are not permitted x1",
+		"walk/hardened: guest write to l4 page-table frame «x» refused x1",
+	}
+	got := strings.Split(strings.TrimRight(Canonical(m.Edges()), "\n"), "\n")
+	if len(got) != len(want) {
+		t.Fatalf("edge count: got %d, want %d\n%s", len(got), len(want), strings.Join(got, "\n"))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("edge %d: got %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCountingAndOrderIndependence(t *testing.T) {
+	a, b := NewMap(), NewMap()
+	a.Hypercall(1, "mmu_update", false)
+	a.Hypercall(1, "mmu_update", false)
+	a.GrantOp("map")
+	// Same edges, observed in the opposite order.
+	b.GrantOp("map")
+	b.Hypercall(1, "mmu_update", false)
+	b.Hypercall(1, "mmu_update", false)
+	if a.Digest() != b.Digest() {
+		t.Errorf("digest depends on observation order: %s vs %s", a.Digest(), b.Digest())
+	}
+	edges := a.Edges()
+	if edges[1].Name != "mmu_update:ok" || edges[1].Count != 2 {
+		t.Errorf("expected mmu_update:ok x2, got %+v", edges[1])
+	}
+	if a.Len() != 2 {
+		t.Errorf("Len: got %d, want 2", a.Len())
+	}
+}
+
+func TestFrameClassifier(t *testing.T) {
+	m := NewMap()
+	m.SetFrameClassifier(func(mfn uint64) string {
+		if mfn < 16 {
+			return "hv-text"
+		}
+		return "general"
+	})
+	m.PageType("get", 3, "writable")
+	m.PageType("get", 100, "writable")
+	canon := Canonical(m.Edges())
+	if !strings.Contains(canon, "get:writable@hv-text x1") || !strings.Contains(canon, "get:writable@general x1") {
+		t.Errorf("classifier not applied:\n%s", canon)
+	}
+}
+
+func TestMaskReason(t *testing.T) {
+	cases := map[string]string{
+		"frame 0x2a refused":        "frame «x» refused",
+		"mfn 1055 out of range":     "mfn «n» out of range",
+		"bad entry 7f3a refused":    "bad entry «x» refused",
+		"level 3 dom2 denied":       "level 3 dom2 denied", // single digits survive
+		"all-letter word feed kept": "all-letter word feed kept",
+	}
+	for in, want := range cases {
+		if got := MaskReason(in); got != want {
+			t.Errorf("MaskReason(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestDigestPinned pins the FNV edge hashing and canonical rendering:
+// if this digest moves, every committed coverage golden moves with it,
+// so treat a failure as an intentional format change and regenerate
+// the goldens.
+func TestDigestPinned(t *testing.T) {
+	m := NewMap()
+	m.Hypercall(1, "mmu_update", false)
+	m.GrantOp("map")
+	const want = "16af8e58c8ed0252"
+	if got := m.Digest(); got != want {
+		t.Errorf("pinned digest moved: got %s, want %s (regenerate coverage goldens if intentional)", got, want)
+	}
+}
+
+func TestNilMapIsNoOp(t *testing.T) {
+	var m *Map
+	m.Hypercall(1, "x", false)
+	m.PageType("get", 0, "l1")
+	m.ValidationReject(1, "r")
+	m.WalkDenied("r")
+	m.InjectorOp("a")
+	m.InjectorTransition("a", "b", "c")
+	m.GrantOp("g")
+	m.DomctlOp("d")
+	m.SetFrameClassifier(nil)
+	if m.Len() != 0 || m.Edges() != nil {
+		t.Errorf("nil map must stay empty")
+	}
+	if m.Digest() != DigestOf(nil) {
+		t.Errorf("nil map digest must equal empty digest")
+	}
+}
+
+func TestCollectorDispatchOrderAttribution(t *testing.T) {
+	mk := func(names ...string) *Map {
+		m := NewMap()
+		for _, n := range names {
+			m.GrantOp(n)
+		}
+		return m
+	}
+	col := NewCollector()
+	col.StartBatch([]string{"c1", "c2", "c3"})
+	// Completion order is adversarial: c3 first, then c1, then c2.
+	col.FinishCell("c3", mk("a", "c"))
+	col.FinishCell("c1", mk("a", "b"))
+	col.FinishCell("c2", mk("b", "c"))
+	rep := col.Report()
+	if rep.TotalEdges != 3 {
+		t.Fatalf("union: got %d edges, want 3", rep.TotalEdges)
+	}
+	// Attribution follows dispatch order c1, c2, c3 — not completion.
+	wantNew := map[string]int{"c1": 2, "c2": 1, "c3": 0}
+	for _, c := range rep.Cells {
+		if c.NewEdges != wantNew[c.Cell] {
+			t.Errorf("cell %s: new=%d, want %d", c.Cell, c.NewEdges, wantNew[c.Cell])
+		}
+	}
+	for _, u := range rep.Union {
+		first := map[string]string{"grant/a": "c1", "grant/b": "c1", "grant/c": "c2"}[string(u.Family)+"/"+u.Name]
+		if u.FirstCell != first {
+			t.Errorf("edge %s/%s: first=%s, want %s", u.Family, u.Name, u.FirstCell, first)
+		}
+		if u.Cells != 2 {
+			t.Errorf("edge %s/%s: cells=%d, want 2", u.Family, u.Name, u.Cells)
+		}
+	}
+	if err := rep.Verify(); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+}
+
+func TestCollectorImplicitBatchAndNilMaps(t *testing.T) {
+	col := NewCollector()
+	// A cell never announced settles into an implicit one-cell batch.
+	m := NewMap()
+	m.DomctlOp("createdomain")
+	col.FinishCell("solo", m)
+	// An announced cell abandoned before producing coverage files nil.
+	col.StartBatch([]string{"dead"})
+	col.FinishCell("dead", nil)
+	rep := col.Report()
+	if len(rep.Cells) != 2 {
+		t.Fatalf("cells: got %d, want 2", len(rep.Cells))
+	}
+	if rep.Cells[0].Cell != "solo" || rep.Cells[0].NewEdges != 1 {
+		t.Errorf("solo cell wrong: %+v", rep.Cells[0])
+	}
+	if rep.Cells[1].Cell != "dead" || len(rep.Cells[1].Edges) != 0 || rep.Cells[1].NewEdges != 0 {
+		t.Errorf("dead cell must settle empty: %+v", rep.Cells[1])
+	}
+}
+
+func TestReportDiff(t *testing.T) {
+	mk := func(names ...string) *Report {
+		col := NewCollector()
+		m := NewMap()
+		for _, n := range names {
+			m.GrantOp(n)
+		}
+		col.FinishCell("cell", m)
+		return col.Report()
+	}
+	a := mk("x", "y")
+	b := mk("y", "z")
+	newEdges, lostEdges := Diff(a, b)
+	if len(newEdges) != 1 || newEdges[0].Name != "z" {
+		t.Errorf("new edges: %+v", newEdges)
+	}
+	if len(lostEdges) != 1 || lostEdges[0].Name != "x" {
+		t.Errorf("lost edges: %+v", lostEdges)
+	}
+	if n, l := Diff(a, a); n != nil || l != nil {
+		t.Errorf("self-diff must be empty: new=%v lost=%v", n, l)
+	}
+}
+
+func TestVerifyCatchesTampering(t *testing.T) {
+	col := NewCollector()
+	m := NewMap()
+	m.GrantOp("map")
+	col.FinishCell("cell", m)
+	rep := col.Report()
+	rep.Union[0].Count++
+	if err := rep.Verify(); err == nil {
+		t.Errorf("Verify must fail after tampering with the union")
+	}
+}
+
+func TestNilCollectorIsNoOp(t *testing.T) {
+	var col *Collector
+	col.StartBatch([]string{"a"})
+	col.FinishCell("a", NewMap())
+	rep := col.Report()
+	if rep.TotalEdges != 0 || len(rep.Cells) != 0 {
+		t.Errorf("nil collector must report empty: %+v", rep)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/coverage"
 	"repro/internal/cpu"
 	"repro/internal/faults"
 	"repro/internal/layout"
@@ -76,6 +77,7 @@ type config struct {
 	tel         *telemetry.Recorder
 	flt         *faults.Injector
 	spans       *span.Tree
+	cov         *coverage.Map
 }
 
 // defaultTLBCapacity is the per-vCPU translation-cache size.
@@ -102,6 +104,15 @@ func WithTelemetry(r *telemetry.Recorder) Option { return func(c *config) { c.te
 // allocation failures. A nil injector (the default) keeps the plane
 // disabled at the cost of one predicted branch per instrumented site.
 func WithFaults(f *faults.Injector) Option { return func(c *config) { c.flt = f } }
+
+// WithCoverage installs the cell's coverage map on the build: the
+// telemetry instrumentation sites feed it behaviour edges (hypercall
+// outcomes, page-type transitions, validation rejects, walk denials,
+// injector transitions, grant/domctl ops). Coverage rides on the
+// telemetry recorder; if none was configured, boot creates a private
+// one so coverage works standalone. A nil map (the default) keeps
+// coverage disabled at zero cost.
+func WithCoverage(m *coverage.Map) Option { return func(c *config) { c.cov = m } }
 
 // WithSpans installs the cell's causal span tree on the build: every
 // hypercall dispatch and machine range allocation opens a span in it,
@@ -166,6 +177,18 @@ func New(mem *mm.Memory, version Version, opts ...Option) (*Hypervisor, error) {
 }
 
 func (h *Hypervisor) boot() error {
+	// Coverage rides on the telemetry recorder: discover a map a caller
+	// attached to the recorder directly, or — when WithCoverage came
+	// without telemetry — create a private recorder to feed it.
+	if h.cfg.cov == nil && h.cfg.tel != nil {
+		h.cfg.cov = h.cfg.tel.Coverage()
+	}
+	if h.cfg.cov != nil {
+		if h.cfg.tel == nil {
+			h.cfg.tel = telemetry.NewRecorder(0)
+		}
+		h.cfg.tel.AttachCoverage(h.cfg.cov)
+	}
 	// Wire the telemetry sink before the first reservation so boot-time
 	// allocator and frame-type activity is part of the trace.
 	if h.cfg.tel != nil {
@@ -189,6 +212,10 @@ func (h *Hypervisor) boot() error {
 	if h.heapBase, err = h.mem.AllocRange(xenHeapFrames, mm.DomXen); err != nil {
 		return fmt.Errorf("reserving xen heap: %w", err)
 	}
+	// The region classifier depends only on the two reservations above,
+	// so it is identical for a fresh boot and a snapshot fork; install
+	// it before buildSharedTables takes the first page-type references.
+	h.cfg.cov.SetFrameClassifier(h.FrameClassifier())
 
 	// The hypervisor's own view of memory: its text, the directmap, and
 	// the declared guest-visible windows. Guest-side access rights flow
@@ -435,6 +462,29 @@ func (h *Hypervisor) Telemetry() *telemetry.Recorder { return h.cfg.tel }
 // disabled). The campaign engine and the monitor nest their phases and
 // audit passes in it.
 func (h *Hypervisor) Spans() *span.Tree { return h.cfg.spans }
+
+// Coverage returns the build's coverage map (nil when coverage is
+// disabled).
+func (h *Hypervisor) Coverage() *coverage.Map { return h.cfg.cov }
+
+// FrameClassifier returns the region classifier coverage uses for
+// page-type edges: the hypervisor's own reservations classify as
+// "hv-text" and "xen-heap", everything else as "general". The classes
+// depend only on the boot-time reservation bases, which are
+// deterministic, so classification is identical across fresh boots,
+// snapshot forks and worker counts.
+func (h *Hypervisor) FrameClassifier() coverage.FrameClassifier {
+	text, heap := uint64(h.hvTextBase), uint64(h.heapBase)
+	return func(mfn uint64) string {
+		switch {
+		case mfn >= text && mfn < text+hvTextFrames:
+			return "hv-text"
+		case mfn >= heap && mfn < heap+xenHeapFrames:
+			return "xen-heap"
+		}
+		return "general"
+	}
+}
 
 // ClockTicks returns how many benign vDSO clock reads have executed.
 func (h *Hypervisor) ClockTicks() int { return h.clockTicks }

@@ -1,6 +1,7 @@
 package hv
 
 import (
+	"repro/internal/coverage"
 	"repro/internal/cpu"
 	"repro/internal/faults"
 	"repro/internal/mm"
@@ -21,6 +22,15 @@ type Snapshot struct {
 // after the full environment (domains, guests, listeners) is built and
 // the machine has been sealed.
 func (h *Hypervisor) Seal() *Snapshot { return &Snapshot{proto: h} }
+
+// FrameClassifier returns the prototype's coverage region classifier.
+// Forks share the prototype's reservation bases, so the classifier is
+// valid for every cell stamped from this snapshot; the campaign
+// installs it on a cell's coverage map before replaying the boot
+// journal.
+func (s *Snapshot) FrameClassifier() coverage.FrameClassifier {
+	return s.proto.FrameClassifier()
+}
 
 // Fork stamps out a per-cell hypervisor instance on a forked machine.
 // Immutable structure (layout, policy, shared-table addresses, IDT
@@ -65,6 +75,10 @@ func (s *Snapshot) Fork(mem *mm.Memory, tel *telemetry.Recorder, flt *faults.Inj
 	h.cfg.tel = tel
 	h.cfg.flt = flt
 	h.cfg.spans = spans
+	// Coverage rides on the cell's recorder, as in boot. The campaign
+	// installed the classifier (via FrameClassifier) before replaying
+	// the boot journal, so fork-path classification matches fresh boot.
+	h.cfg.cov = tel.Coverage()
 
 	// Handlers close over their hypervisor, so each fork installs its
 	// own set; sharing the prototype's closures would route a fork's

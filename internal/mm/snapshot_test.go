@@ -199,7 +199,7 @@ func TestRecycleReturnsPristineFork(t *testing.T) {
 // the pool; fresh machines and other snapshots' forks are ignored.
 func TestRecycleRejectsForeignMemory(t *testing.T) {
 	s := testMemory(t, 64).Seal()
-	s.Recycle(testMemory(t, 64))           // fresh machine
+	s.Recycle(testMemory(t, 64))               // fresh machine
 	s.Recycle(testMemory(t, 64).Seal().Fork()) // another snapshot's fork
 	s.Recycle(nil)
 	if got := s.PoolSize(); got != 0 {

@@ -18,7 +18,9 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/campaign"
+	"repro/internal/coverage"
 	"repro/internal/span"
 	"repro/internal/telemetry"
 )
@@ -55,6 +57,7 @@ type CellState struct {
 type Server struct {
 	reg   *telemetry.Registry
 	spans *span.Collector
+	cov   *coverage.Collector
 
 	mu    sync.Mutex
 	cells map[string]*CellState
@@ -73,6 +76,7 @@ func NewServer(reg *telemetry.Registry) *Server {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/cells", s.handleCells)
 	mux.HandleFunc("/spans", s.handleSpans)
+	mux.HandleFunc("/coverage", s.handleCoverage)
 	s.srv = &http.Server{Handler: mux}
 	return s
 }
@@ -81,6 +85,12 @@ func NewServer(reg *telemetry.Registry) *Server {
 // live forest. Call before Listen; nil (the default) makes /spans
 // report that span collection is disabled.
 func (s *Server) SetSpans(c *span.Collector) { s.spans = c }
+
+// SetCoverage installs the campaign's coverage collector; /coverage
+// serves its live report and /metrics gains coverage_edges_total per
+// family. Call before Listen; nil (the default) makes /coverage report
+// that coverage is disabled.
+func (s *Server) SetCoverage(c *coverage.Collector) { s.cov = c }
 
 // Listen binds the address and starts serving in the background,
 // returning the bound address (useful with ":0"). Call Shutdown to
@@ -160,9 +170,36 @@ func (s *Server) snapshot() []CellState {
 	return out
 }
 
+// HealthInfo is the /healthz wire format: liveness plus the build
+// identity, so a scrape can tell which binary is answering.
+type HealthInfo struct {
+	Status           string `json:"status"`
+	Version          string `json:"version"`
+	GoVersion        string `json:"go_version"`
+	SnapshotsEnabled bool   `json:"snapshots_enabled"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(HealthInfo{
+		Status:           "ok",
+		Version:          buildinfo.Version,
+		GoVersion:        buildinfo.GoVersion(),
+		SnapshotsEnabled: campaign.SnapshotsEnabled(),
+	})
+}
+
+func (s *Server) handleCoverage(w http.ResponseWriter, _ *http.Request) {
+	if s.cov == nil {
+		http.Error(w, "coverage collection is disabled (run with -coverage)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.cov.Report())
 }
 
 func (s *Server) handleCells(w http.ResponseWriter, _ *http.Request) {
@@ -174,7 +211,30 @@ func (s *Server) handleCells(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	WriteBuildInfo(w)
 	WriteMetrics(w, s.reg)
+	if s.cov != nil {
+		writeCoverageMetrics(w, s.cov.Report())
+	}
+}
+
+// WriteBuildInfo renders the repro_build_info gauge: always 1, with
+// the build identity carried in the labels (the node_exporter idiom).
+func WriteBuildInfo(w io.Writer) {
+	fmt.Fprintf(w, "# HELP repro_build_info Build identity of the serving binary (value is always 1).\n")
+	fmt.Fprintf(w, "# TYPE repro_build_info gauge\n")
+	fmt.Fprintf(w, "repro_build_info{version=%q,goversion=%q,snapshots=%q} 1\n",
+		buildinfo.Version, buildinfo.GoVersion(), fmt.Sprint(campaign.SnapshotsEnabled()))
+}
+
+// writeCoverageMetrics renders the live coverage union as
+// repro_coverage_edges_total, one series per edge family.
+func writeCoverageMetrics(w io.Writer, rep *coverage.Report) {
+	fmt.Fprintf(w, "# HELP repro_coverage_edges_total Distinct coverage edges observed, by family.\n")
+	fmt.Fprintf(w, "# TYPE repro_coverage_edges_total gauge\n")
+	for _, f := range rep.Families {
+		fmt.Fprintf(w, "repro_coverage_edges_total{family=%q} %d\n", f.Family, f.Edges)
+	}
 }
 
 // metricName folds a registry counter/histogram name into the

@@ -1,0 +1,86 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/coverage"
+)
+
+// CoverageSummary renders the campaign's coverage report: the union
+// size with its digest, edge counts per hypervisor version, and the
+// exploit-vs-injection shared/unique edge table — the direct RQ1
+// readout (does injection exercise the same hypervisor paths as the
+// real exploit?).
+func CoverageSummary(rep *coverage.Report) string {
+	var b strings.Builder
+	b.WriteString("COVERAGE MAP: deterministic hypervisor behaviour edges\n")
+	b.WriteString(rule(78) + "\n")
+	b.WriteString(fmt.Sprintf("union: %d edges across %d cells, digest %s\n",
+		rep.TotalEdges, len(rep.Cells), rep.Digest))
+	for _, f := range rep.Families {
+		b.WriteString(fmt.Sprintf("  %-12s %d\n", f.Family, f.Edges))
+	}
+
+	// Per-version union sizes: how much of the edge space each build
+	// profile exposes.
+	type modeEdges map[string]map[string]bool // mode → edge set
+	perVersion := make(map[string]map[string]bool)
+	perCell := make(map[string]modeEdges) // "version/use-case" → mode → edges
+	var versions, pairs []string
+	for _, c := range rep.Cells {
+		parts := strings.Split(c.Cell, "/")
+		if len(parts) != 3 {
+			continue
+		}
+		version, useCase, mode := parts[0], parts[1], parts[2]
+		if perVersion[version] == nil {
+			perVersion[version] = make(map[string]bool)
+			versions = append(versions, version)
+		}
+		pair := version + "/" + useCase
+		if perCell[pair] == nil {
+			perCell[pair] = make(modeEdges)
+			pairs = append(pairs, pair)
+		}
+		set := make(map[string]bool, len(c.Edges))
+		for _, e := range c.Edges {
+			key := string(e.Family) + "/" + e.Name
+			set[key] = true
+			perVersion[version][key] = true
+		}
+		perCell[pair][mode] = set
+	}
+	b.WriteString(rule(78) + "\n")
+	b.WriteString("edges per version:\n")
+	for _, v := range versions {
+		b.WriteString(fmt.Sprintf("  %-8s %d\n", v, len(perVersion[v])))
+	}
+
+	b.WriteString(rule(78) + "\n")
+	b.WriteString("exploit vs injection (RQ1): shared and unique edges per scenario cell\n")
+	b.WriteString(fmt.Sprintf("%-8s %-16s %7s %7s %7s %7s %7s\n",
+		"Version", "Use Case", "Exploit", "Inject", "Shared", "Union", "Jaccard"))
+	sort.Strings(pairs)
+	for _, pair := range pairs {
+		modes := perCell[pair]
+		ex, in := modes["exploit"], modes["injection"]
+		if ex == nil || in == nil {
+			continue
+		}
+		shared := 0
+		for e := range ex {
+			if in[e] {
+				shared++
+			}
+		}
+		union := len(ex) + len(in) - shared
+		slash := strings.IndexByte(pair, '/')
+		b.WriteString(fmt.Sprintf("%-8s %-16s %7d %7d %7d %7d %7.2f\n",
+			pair[:slash], pair[slash+1:], len(ex), len(in), shared, union,
+			float64(shared)/float64(union)))
+	}
+	b.WriteString(rule(78) + "\n")
+	return b.String()
+}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/coverage"
 	"repro/internal/faults"
 )
 
@@ -145,6 +146,31 @@ type Recorder struct {
 	// ring: the event is dropped and telemetry.sink_errors counts it.
 	flt         *faults.Injector
 	sinkDropped uint64
+
+	// cov, when attached, accumulates coverage edges alongside the
+	// ring. Coverage observes the instrumented site itself, before the
+	// ring write, so sink-write faults and ring wraps never perturb
+	// the coverage map — it stays deterministic under chaos.
+	cov *coverage.Map
+}
+
+// AttachCoverage installs a coverage map fed by the recorder's
+// instrumentation hooks. A nil map (or never calling this) leaves
+// coverage disabled at zero cost.
+func (r *Recorder) AttachCoverage(m *coverage.Map) {
+	if r == nil {
+		return
+	}
+	r.cov = m
+}
+
+// Coverage returns the attached coverage map, if any (nil receiver
+// safe).
+func (r *Recorder) Coverage() *coverage.Map {
+	if r == nil {
+		return nil
+	}
+	return r.cov
 }
 
 // AttachFaults installs the recorder's fault-injection plane. A nil
@@ -212,6 +238,7 @@ func (r *Recorder) HypercallExit(dom uint16, nr int32, name string, err error) {
 	if r == nil {
 		return
 	}
+	r.cov.Hypercall(int(nr), name, err != nil)
 	e := Event{Kind: KindHypercallExit, Dom: dom, Nr: nr, Label: name}
 	if err != nil {
 		r.counters["hypercall.errors"]++
@@ -225,6 +252,7 @@ func (r *Recorder) PageTypeGet(mfn uint64, typ string) {
 	if r == nil {
 		return
 	}
+	r.cov.PageType("get", mfn, typ)
 	r.counters["pagetype.get"]++
 	r.emit(Event{Kind: KindPageTypeGet, Addr: mfn, Label: typ})
 }
@@ -234,6 +262,7 @@ func (r *Recorder) PageTypePut(mfn uint64, typ string) {
 	if r == nil {
 		return
 	}
+	r.cov.PageType("put", mfn, typ)
 	r.counters["pagetype.put"]++
 	r.emit(Event{Kind: KindPageTypePut, Addr: mfn, Label: typ})
 }
@@ -244,6 +273,7 @@ func (r *Recorder) ValidationReject(dom uint16, level int, reason string) {
 	if r == nil {
 		return
 	}
+	r.cov.ValidationReject(level, reason)
 	r.counters["validation.reject"]++
 	r.emit(Event{Kind: KindValidationReject, Dom: dom, Val: uint64(level), Detail: reason})
 }
@@ -253,6 +283,7 @@ func (r *Recorder) WalkDenied(va uint64, reason string) {
 	if r == nil {
 		return
 	}
+	r.cov.WalkDenied(reason)
 	r.counters["walk.policy_denied"]++
 	r.emit(Event{Kind: KindWalkDenied, Addr: va, Detail: reason})
 }
@@ -271,6 +302,7 @@ func (r *Recorder) InjectorOp(dom uint16, action string, addr uint64, n int) {
 	if r == nil {
 		return
 	}
+	r.cov.InjectorOp(action)
 	r.counters["injector.ops"]++
 	r.emit(Event{Kind: KindInjectorOp, Dom: dom, Addr: addr, Val: uint64(n), Label: action})
 }
@@ -280,6 +312,7 @@ func (r *Recorder) InjectorTransition(dom uint16, from, to, input string) {
 	if r == nil {
 		return
 	}
+	r.cov.InjectorTransition(from, to, input)
 	r.counters["injector.transitions"]++
 	r.emit(Event{Kind: KindInjectorState, Dom: dom, Label: from + "->" + to, Detail: input})
 }
@@ -326,6 +359,7 @@ func (r *Recorder) GrantOp(dom uint16, op string, ref int) {
 	if r == nil {
 		return
 	}
+	r.cov.GrantOp(op)
 	r.counters["grant."+op]++
 	r.emit(Event{Kind: KindGrantOp, Dom: dom, Val: uint64(ref), Label: op})
 }
@@ -335,6 +369,7 @@ func (r *Recorder) DomctlOp(dom uint16, op string, target uint16) {
 	if r == nil {
 		return
 	}
+	r.cov.DomctlOp(op)
 	r.counters["domctl."+op]++
 	r.emit(Event{Kind: KindDomctlOp, Dom: dom, Val: uint64(target), Label: op})
 }
