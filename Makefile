@@ -26,8 +26,12 @@
 # the CLI, checks the summary carries the critical path and the RQ3
 # table, and validates the Perfetto trace with `tracecheck spans`. The
 # trace (spans-demo.json) is left behind for CI to attach on failure.
+# `lint-scenarios` is the registry gate: the scenario-registry
+# invariants, lookup pins and corpus-distribution goldens — cheap, so it
+# runs before the expensive campaign gates and fails fast on a
+# malformed registry entry.
 # `cover-matrix` is the coverage determinism gate: it runs the full
-# 24-cell matrix with -coverage at 4 workers, self-verifies the report,
+# 102-cell matrix with -coverage at 4 workers, self-verifies the report,
 # and diffs it against the committed COVERAGE_matrix.json baseline —
 # any new or lost hypervisor behaviour edge fails the build with the
 # edge named and the cell that first witnessed it (cov-diff.txt is left
@@ -44,7 +48,7 @@ MATRIX_BENCHES   = ^BenchmarkFullMatrix$$|^BenchmarkMatrixParallel$$|^BenchmarkM
 OBS_BENCHES      = ^BenchmarkMatrixTelemetry$$
 SNAPSHOT_BENCHES = ^BenchmarkBootEnvironment$$|^BenchmarkSnapshotBuild$$|^BenchmarkCellFork$$
 
-.PHONY: all build test race vet bench benchdiff check trace-demo chaos equivalence spans cover-matrix clean
+.PHONY: all build test race vet bench benchdiff check trace-demo chaos equivalence spans lint-scenarios cover-matrix clean
 
 all: check
 
@@ -103,6 +107,10 @@ spans:
 	@grep -q 'DETECTION LATENCY (RQ3)' spans-summary.txt
 	$(GO) run ./cmd/tracecheck spans spans-demo.json
 
+lint-scenarios:
+	$(GO) test -run 'Registry|SpecNames|ScenarioLookup|ScenariosMatch|Seed' ./internal/exploits/ ./internal/campaign/
+	$(GO) test -run 'Corpus' ./internal/fieldstudy/ ./internal/report/
+
 # The coverage gate deliberately preserves tracecheck's exit code while
 # still echoing the diff into cov-diff.txt for the CI artifact upload.
 cover-matrix:
@@ -110,7 +118,7 @@ cover-matrix:
 	$(GO) run ./cmd/tracecheck cov cov-matrix.json
 	@$(GO) run ./cmd/tracecheck cov COVERAGE_matrix.json cov-matrix.json > cov-diff.txt 2>&1; rc=$$?; cat cov-diff.txt; exit $$rc
 
-check: build vet test race chaos equivalence spans cover-matrix
+check: build vet lint-scenarios test race chaos equivalence spans cover-matrix
 
 clean:
 	rm -f BENCH_matrix.json BENCH_obs.json BENCH_snapshot.json trace-demo.jsonl flight-*.jsonl spans-demo.json spans-summary.txt

@@ -39,7 +39,7 @@ func TestCLISmoke(t *testing.T) {
 	}{
 		{"table2", "repro", []string{"-table", "2"}, []string{"TABLE II", "Write Page Table Entries"}},
 		{"fig3", "repro", []string{"-figure", "3"}, []string{"equivalence", "true"}},
-		{"score", "repro", []string{"-score"}, []string{"SECURITY BENCHMARK", "0.50"}},
+		{"score", "repro", []string{"-score"}, []string{"SECURITY BENCHMARK", "0.18"}},
 		{"matrix-parallel", "repro", []string{"-matrix", "-workers", "4"}, []string{"FULL CAMPAIGN MATRIX", "4.13"}},
 		{"xsalab", "xsalab", []string{"-version", "4.8", "-case", "XSA-182-test"}, []string{"not vulnerable", "err-state=no"}},
 		{"iinject", "iinject", []string{"-version", "4.13", "-case", "XSA-182-test"}, []string{"handled by the system"}},
@@ -262,7 +262,7 @@ func TestCLISmoke(t *testing.T) {
 		if err != nil {
 			t.Fatalf("repro -equivalence: %v\n%s", err, out)
 		}
-		for _, want := range []string{"TRACE EQUIVALENCE (RQ2)", "12/12 cells trace-equivalent", "state-audit"} {
+		for _, want := range []string{"TRACE EQUIVALENCE (RQ2)", "51/51 cells trace-equivalent", "state-audit"} {
 			if !strings.Contains(string(out), want) {
 				t.Errorf("equivalence output missing %q:\n%s", want, out)
 			}
@@ -309,8 +309,8 @@ func TestCLISmoke(t *testing.T) {
 		if err != nil {
 			t.Fatalf("tracecheck spans: %v\n%s", err, out)
 		}
-		if !strings.Contains(string(out), "ok:") || !strings.Contains(string(out), "24 cells") {
-			t.Errorf("tracecheck spans output = %s, want ok across 24 cells", out)
+		if !strings.Contains(string(out), "ok:") || !strings.Contains(string(out), "102 cells") {
+			t.Errorf("tracecheck spans output = %s, want ok across 102 cells", out)
 		}
 	})
 

@@ -26,7 +26,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("iinject: ")
 	versionName := flag.String("version", "4.13", "hypervisor version (4.6, 4.8, 4.13)")
-	useCase := flag.String("case", "XSA-212-crash", "use case (XSA-212-crash, XSA-212-priv, XSA-148-priv, XSA-182-test)")
+	useCase := flag.String("case", "XSA-212-crash", "use case (any registry scenario, e.g. XSA-212-crash; see repro -corpus)")
 	listModels := flag.Bool("models", false, "list intrusion models and exit")
 	flag.Parse()
 
@@ -82,10 +82,9 @@ func runExtension(v hv.Version, m inject.IntrusionModel) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := inject.EnableStateOps(e.HV); err != nil {
-		log.Fatal(err)
-	}
-	sc := inject.NewStateClient(e.Attacker.Domain())
+	// Injection-mode environments already carry the state injector;
+	// registering it a second time would collide on the hypercall slot.
+	sc := e.State
 	switch m.Name {
 	case "grant-status-leak":
 		leaked, err := sc.KeepPageAccess()

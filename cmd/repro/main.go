@@ -113,6 +113,7 @@ import (
 	"repro/internal/buildinfo"
 	"repro/internal/campaign"
 	"repro/internal/coverage"
+	"repro/internal/exploits"
 	"repro/internal/faults"
 	"repro/internal/fieldstudy"
 	"repro/internal/hv"
@@ -125,7 +126,10 @@ import (
 	"repro/internal/workload"
 )
 
-// parseCell splits a "version/use-case/mode" cell coordinate.
+// parseCell splits a "version/use-case/mode" cell coordinate. The
+// use-case segment is validated against the scenario registry up front,
+// so a typo fails here with the valid names instead of deep inside the
+// campaign engine.
 func parseCell(s string) (hv.Version, string, campaign.Mode, error) {
 	parts := strings.Split(s, "/")
 	if len(parts) != 3 {
@@ -134,6 +138,10 @@ func parseCell(s string) (hv.Version, string, campaign.Mode, error) {
 	v, err := hv.VersionByName(parts[0])
 	if err != nil {
 		return hv.Version{}, "", "", err
+	}
+	if _, err := exploits.SpecByName(parts[1]); err != nil {
+		return hv.Version{}, "", "", fmt.Errorf("cell %q: %w (valid use cases: %s)",
+			s, err, strings.Join(exploits.SpecNames(), ", "))
 	}
 	mode := campaign.Mode(parts[2])
 	if mode != campaign.ModeExploit && mode != campaign.ModeInjection {
@@ -164,6 +172,7 @@ func run(out io.Writer) (err error) {
 	score := flag.Bool("score", false, "run the per-version security benchmark")
 	jsonOut := flag.Bool("json", false, "emit the full campaign as a JSON artifact")
 	avail := flag.Bool("availability", false, "run the availability-under-injection experiment")
+	corpus := flag.Bool("corpus", false, "print the scenario-corpus distribution (families, functionality classes, cell counts)")
 	workers := flag.Int("workers", 0, "campaign worker-pool size (0 = one per CPU, 1 = serial)")
 	cellSpec := flag.String("cell", "", "run a single cell, \"version/use-case/mode\" (e.g. 4.6/XSA-148-priv/injection)")
 	traceOut := flag.String("trace", "", "write a per-cell JSONL event trace to this file")
@@ -295,7 +304,7 @@ func run(out io.Writer) (err error) {
 		}
 	}
 
-	all := *table == 0 && *figure == 0 && !*matrix && *fuzz == 0 && !*score && !*jsonOut && !*avail && *cellSpec == "" && !*equivalence
+	all := *table == 0 && *figure == 0 && !*matrix && *fuzz == 0 && !*score && !*jsonOut && !*avail && *cellSpec == "" && !*equivalence && !*corpus
 	body := func() error {
 		if *cellSpec != "" {
 			v, useCase, mode, err := parseCell(*cellSpec)
@@ -321,6 +330,9 @@ func run(out io.Writer) (err error) {
 		}
 		if all || *table == 2 {
 			fmt.Fprintln(out, report.TableII(inject.UseCaseModels()))
+		}
+		if all || *corpus {
+			fmt.Fprintln(out, report.Corpus(fieldstudy.CorpusOf(exploits.Specs())))
 		}
 		if all || *table == 3 {
 			rows, err := runner.RunTable3Context(ctx)

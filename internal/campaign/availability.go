@@ -35,6 +35,9 @@ type AvailabilityRow struct {
 func AvailabilityUnderInjection(v hv.Version, cfg workload.Config) ([]AvailabilityRow, error) {
 	rows := make([]AvailabilityRow, 0, len(exploits.Scenarios()))
 	for _, scen := range exploits.Scenarios() {
+		if spec, err := exploits.SpecByName(scen.Name); err != nil || !spec.AppliesTo(v.Name) {
+			continue
+		}
 		e, err := NewEnvironment(v, ModeInjection)
 		if err != nil {
 			return nil, err

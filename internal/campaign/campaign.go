@@ -56,7 +56,8 @@ type Environment struct {
 	Attacker *guest.Kernel
 	Guests   []*guest.Kernel // dom0 first, then guest01..guest03
 	Listener *vnet.Listener
-	Injector *inject.Client // nil on exploit-mode builds
+	Injector *inject.Client      // nil on exploit-mode builds
+	State    *inject.StateClient // nil on exploit-mode builds
 	// Tel is the environment's telemetry recorder, nil when tracing is
 	// disabled. The same recorder is installed on the hypervisor build,
 	// so everything the environment does lands in one trace.
@@ -108,6 +109,9 @@ func buildEnvironment(p *plan, mem *mm.Memory, v hv.Version, mode Mode, tel *tel
 		if err := inject.Enable(h); err != nil {
 			return nil, err
 		}
+		if err := inject.EnableStateOps(h); err != nil {
+			return nil, err
+		}
 	}
 
 	dom0, err := h.CreateDomain("xen3", DomainFrames, true)
@@ -133,6 +137,7 @@ func buildEnvironment(p *plan, mem *mm.Memory, v hv.Version, mode Mode, tel *tel
 	}
 	if mode == ModeInjection {
 		e.Injector = inject.NewClient(e.Attacker.Domain())
+		e.State = inject.NewStateClient(e.Attacker.Domain())
 	}
 	return e, nil
 }
@@ -153,10 +158,13 @@ func (e *Environment) ScenarioEnv(mode Mode) (*exploits.Env, error) {
 	case ModeExploit:
 		env.Prim = exploits.NewVulnPrimitive(e.Attacker)
 	case ModeInjection:
-		if e.Injector == nil {
+		if e.Injector == nil || e.State == nil {
 			return nil, fmt.Errorf("campaign: environment was not built with an injector")
 		}
 		env.Prim = e.Injector
+		// Assigned only here: an exploit-mode Env must carry a nil State
+		// interface, not a typed-nil client.
+		env.State = e.State
 	default:
 		return nil, fmt.Errorf("campaign: unknown mode %q", mode)
 	}

@@ -13,40 +13,59 @@ type expectation struct {
 	secViol  bool
 }
 
-// paperResults is the ground truth from Sections VI-VIII: the exploit
-// column reproduces "we were able to exploit ... in 4.6" and "we were
-// not able to execute any of the exploits in versions 4.8 and 4.13"; the
-// injection column reproduces Table III plus the 4.6 baseline.
+// Shorthand cell outcomes for the ground-truth table.
+var (
+	full    = map[Mode]expectation{ModeExploit: {true, true}, ModeInjection: {true, true}}    // exploit and injection both violate
+	fixed   = map[Mode]expectation{ModeExploit: {false, false}, ModeInjection: {true, true}}  // PoC blocked, injection violates
+	shield  = map[Mode]expectation{ModeExploit: {false, false}, ModeInjection: {true, false}} // PoC blocked, injected state handled
+	latent  = map[Mode]expectation{ModeExploit: {true, false}, ModeInjection: {true, false}}  // state induced, never felt (handled)
+	blocked = map[Mode]expectation{ModeExploit: {false, false}, ModeInjection: {true, false}} // PoC blocked, injected state handled
+)
+
+// paperResults is the ground truth. The four paper scenarios reproduce
+// Sections VI-VIII: the exploit column reproduces "we were able to
+// exploit ... in 4.6" and "we were not able to execute any of the
+// exploits in versions 4.8 and 4.13"; the injection column reproduces
+// Table III plus the 4.6 baseline. The corpus-extension scenarios pin
+// the same shape for their families: memory-corruption triggers
+// (XSA-387 grant downgrade, MX memory_exchange writes) are blocked on
+// the fixed releases, while event-channel and domctl abuse goes through
+// the legitimate interface and lands on every version.
 var paperResults = map[string]map[string]map[Mode]expectation{
 	"4.6": {
-		"XSA-212-crash": {ModeExploit: {true, true}, ModeInjection: {true, true}},
-		"XSA-212-priv":  {ModeExploit: {true, true}, ModeInjection: {true, true}},
-		"XSA-148-priv":  {ModeExploit: {true, true}, ModeInjection: {true, true}},
-		"XSA-182-test":  {ModeExploit: {true, true}, ModeInjection: {true, true}},
+		"XSA-212-crash": full, "XSA-212-priv": full, "XSA-148-priv": full, "XSA-182-test": full,
+		"XSA-387-leak": full, "XSA-387-x2": full, "XSA-387-x3": full,
+		"EVT-flood-64": full, "EVT-flood-512": full, "EVT-flood-dom0": full,
+		"DOMCTL-pause": full, "DOMCTL-pauseall": full, "DOMCTL-zombie": full, "DOMCTL-exfil": full,
+		"MX-heap-smash": full, "MX-heap-wide": full, "MX-idt-gp": latent,
 	},
 	"4.8": {
-		"XSA-212-crash": {ModeExploit: {false, false}, ModeInjection: {true, true}},
-		"XSA-212-priv":  {ModeExploit: {false, false}, ModeInjection: {true, true}},
-		"XSA-148-priv":  {ModeExploit: {false, false}, ModeInjection: {true, true}},
-		"XSA-182-test":  {ModeExploit: {false, false}, ModeInjection: {true, true}},
+		"XSA-212-crash": fixed, "XSA-212-priv": fixed, "XSA-148-priv": fixed, "XSA-182-test": fixed,
+		"XSA-387-leak": fixed, "XSA-387-x2": fixed, "XSA-387-x3": fixed,
+		"EVT-flood-64": full, "EVT-flood-512": full, "EVT-flood-dom0": full,
+		"DOMCTL-pause": full, "DOMCTL-pauseall": full, "DOMCTL-zombie": full, "DOMCTL-exfil": full,
+		"MX-heap-smash": fixed, "MX-heap-wide": fixed, "MX-idt-gp": blocked,
 	},
 	"4.13": {
-		"XSA-212-crash": {ModeExploit: {false, false}, ModeInjection: {true, true}},
-		"XSA-212-priv":  {ModeExploit: {false, false}, ModeInjection: {true, false}},
-		"XSA-148-priv":  {ModeExploit: {false, false}, ModeInjection: {true, true}},
-		"XSA-182-test":  {ModeExploit: {false, false}, ModeInjection: {true, false}},
+		"XSA-212-crash": fixed, "XSA-212-priv": shield, "XSA-148-priv": fixed, "XSA-182-test": shield,
+		"XSA-387-leak": fixed, "XSA-387-x2": fixed, "XSA-387-x3": fixed,
+		"EVT-flood-64": full, "EVT-flood-512": full, "EVT-flood-dom0": full,
+		"DOMCTL-pause": full, "DOMCTL-pauseall": full, "DOMCTL-zombie": full, "DOMCTL-exfil": full,
+		"MX-heap-smash": fixed, "MX-heap-wide": fixed, "MX-idt-gp": blocked,
 	},
 }
 
-// TestFullMatrixMatchesPaper is the headline integration test: all 24
-// (version, use case, mode) cells produce the paper's reported results.
+// TestFullMatrixMatchesPaper is the headline integration test: all 102
+// (version, use case, mode) cells produce the expected results — the
+// paper's reported numbers for the original scenarios, the pinned
+// family shapes for the corpus extensions.
 func TestFullMatrixMatchesPaper(t *testing.T) {
 	entries, err := RunMatrix()
 	if err != nil {
 		t.Fatalf("RunMatrix: %v", err)
 	}
-	if len(entries) != 24 {
-		t.Fatalf("matrix has %d entries, want 24", len(entries))
+	if len(entries) != 102 {
+		t.Fatalf("matrix has %d entries, want 102", len(entries))
 	}
 	for _, e := range entries {
 		want := paperResults[e.Version][e.UseCase][e.Mode]
@@ -68,8 +87,8 @@ func TestFig4Equivalence(t *testing.T) {
 	if err != nil {
 		t.Fatalf("RunFig4: %v", err)
 	}
-	if len(rows) != 4 {
-		t.Fatalf("fig4 rows = %d, want 4", len(rows))
+	if len(rows) != 17 {
+		t.Fatalf("fig4 rows = %d, want 17", len(rows))
 	}
 	for _, r := range rows {
 		if !r.StatesMatch || !r.ViolationsMatch {
@@ -77,8 +96,11 @@ func TestFig4Equivalence(t *testing.T) {
 				r.UseCase, r.StatesMatch, r.ViolationsMatch,
 				r.Exploit.Verdict, r.Injection.Verdict)
 		}
-		if !r.Exploit.Verdict.ErroneousState || !r.Exploit.Verdict.SecurityViolation {
-			t.Errorf("%s: exploit on 4.6 did not fully succeed: %v", r.UseCase, r.Exploit.Verdict)
+		if !r.Exploit.Verdict.ErroneousState {
+			t.Errorf("%s: exploit on 4.6 induced no state: %v", r.UseCase, r.Exploit.Verdict)
+		}
+		if !r.Exploit.Verdict.SecurityViolation && !r.Exploit.Verdict.Handled {
+			t.Errorf("%s: exploit on 4.6 neither violated nor was handled: %v", r.UseCase, r.Exploit.Verdict)
 		}
 	}
 }
@@ -95,6 +117,20 @@ func TestTable3(t *testing.T) {
 		"XSA-212-priv":  {"4.8": {true, true}, "4.13": {true, false}},
 		"XSA-148-priv":  {"4.8": {true, true}, "4.13": {true, true}},
 		"XSA-182-test":  {"4.8": {true, true}, "4.13": {true, false}},
+	}
+	// Corpus extensions: every injected state lands on both fixed
+	// versions; only the never-dispatched IDT corruption is handled.
+	for _, name := range []string{
+		"XSA-387-leak", "XSA-387-x2", "XSA-387-x3",
+		"EVT-flood-64", "EVT-flood-512", "EVT-flood-dom0",
+		"DOMCTL-pause", "DOMCTL-pauseall", "DOMCTL-zombie", "DOMCTL-exfil",
+		"MX-heap-smash", "MX-heap-wide",
+	} {
+		want[name] = map[string]Table3Cell{"4.8": {true, true}, "4.13": {true, true}}
+	}
+	want["MX-idt-gp"] = map[string]Table3Cell{"4.8": {true, false}, "4.13": {true, false}}
+	if len(rows) != 17 {
+		t.Fatalf("table III rows = %d, want 17", len(rows))
 	}
 	for _, r := range rows {
 		for version, cell := range r.Cells {
@@ -160,9 +196,10 @@ func TestInjectorAbsentOnExploitBuilds(t *testing.T) {
 	}
 }
 
-// TestSecurityBenchmark asserts the aggregate ranking Section VIII's
-// results imply: only 4.13 handles any injected state, with resilience
-// 2/4; all injections succeed everywhere.
+// TestSecurityBenchmark asserts the aggregate ranking over the full
+// corpus: every version handles the latent IDT corruption, 4.13
+// additionally handles XSA-212-priv and XSA-182-test (resilience 3/17);
+// all injections succeed everywhere.
 func TestSecurityBenchmark(t *testing.T) {
 	scores, err := SecurityBenchmark()
 	if err != nil {
@@ -175,16 +212,16 @@ func TestSecurityBenchmark(t *testing.T) {
 		handled    int
 		resilience float64
 	}{
-		"4.6":  {0, 0},
-		"4.8":  {0, 0},
-		"4.13": {2, 0.5},
+		"4.6":  {1, 1.0 / 17},
+		"4.8":  {1, 1.0 / 17},
+		"4.13": {3, 3.0 / 17},
 	}
 	for _, s := range scores {
 		if s.FailedInjections != 0 {
 			t.Errorf("%s: %d failed injections", s.Version, s.FailedInjections)
 		}
-		if s.StatesInjected != 4 {
-			t.Errorf("%s: states = %d, want 4", s.Version, s.StatesInjected)
+		if s.StatesInjected != 17 {
+			t.Errorf("%s: states = %d, want 17", s.Version, s.StatesInjected)
 		}
 		w := want[s.Version]
 		if s.Handled != w.handled || s.Resilience() != w.resilience {

@@ -58,8 +58,8 @@ func TestChaosMatrixEveryCellClassified(t *testing.T) {
 		if err != nil {
 			t.Fatalf("seed %d: matrix failed as a whole under ContinueOnError: %v", seed, err)
 		}
-		if len(entries) != 24 {
-			t.Fatalf("seed %d: %d entries, want 24", seed, len(entries))
+		if len(entries) != 102 {
+			t.Fatalf("seed %d: %d entries, want 102", seed, len(entries))
 		}
 		for _, e := range entries {
 			switch {
@@ -245,8 +245,8 @@ func TestCancellationMidRunSalvagesCompletedProfiles(t *testing.T) {
 	if completed != 4 {
 		t.Errorf("%d cells completed before the wedge, want 4", completed)
 	}
-	if canceled != 20 {
-		t.Errorf("%d cells canceled, want 20", canceled)
+	if canceled != 98 {
+		t.Errorf("%d cells canceled, want 98", canceled)
 	}
 	// The registry retains the completed cells' profiles in completion
 	// order — the salvage path the CLI uses to flush -trace after ^C.

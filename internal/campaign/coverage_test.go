@@ -76,8 +76,8 @@ func TestCoverageForkVsFreshIdentical(t *testing.T) {
 // round trip preserving them.
 func TestCoverageReportShape(t *testing.T) {
 	rep := matrixCoverage(t, 4, -1)
-	if len(rep.Cells) != 24 {
-		t.Fatalf("expected 24 cells, got %d", len(rep.Cells))
+	if len(rep.Cells) != 102 {
+		t.Fatalf("expected 102 cells, got %d", len(rep.Cells))
 	}
 	newSum := 0
 	for _, c := range rep.Cells {
@@ -125,8 +125,8 @@ func TestCoverageReportShape(t *testing.T) {
 // paths and the RQ1 claim needs re-examination.
 const minSharedEdgeFraction = 0.50
 
-// TestCoverageExploitVsInjectionShared pins the RQ1 signal for all 12
-// scenario cells (3 versions × 4 use cases).
+// TestCoverageExploitVsInjectionShared pins the RQ1 signal for all 51
+// scenario cells (17 use cases across their applicable versions).
 func TestCoverageExploitVsInjectionShared(t *testing.T) {
 	rep := matrixCoverage(t, 4, -1)
 	type key struct{ version, useCase string }
@@ -146,8 +146,8 @@ func TestCoverageExploitVsInjectionShared(t *testing.T) {
 		}
 		edges[k][parts[2]] = set
 	}
-	if len(edges) != 12 {
-		t.Fatalf("expected 12 scenario cells, got %d", len(edges))
+	if len(edges) != 51 {
+		t.Fatalf("expected 51 scenario cells, got %d", len(edges))
 	}
 	for k, modes := range edges {
 		ex, in := modes["exploit"], modes["injection"]

@@ -57,8 +57,8 @@ func matrixDropStats(t *testing.T, workers int) map[string][2]uint64 {
 
 func TestDropAccountingDeterministicAcrossWorkerCounts(t *testing.T) {
 	base := matrixDropStats(t, 1)
-	if len(base) != 24 {
-		t.Fatalf("matrix produced %d distinct cells, want 24", len(base))
+	if len(base) != 102 {
+		t.Fatalf("matrix produced %d distinct cells, want 102", len(base))
 	}
 	want := make(map[string]bool, len(sinkFaultedCells))
 	for _, cell := range sinkFaultedCells {

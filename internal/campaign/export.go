@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/exploits"
 	"repro/internal/telemetry"
 )
 
@@ -100,11 +101,27 @@ func (r *Runner) ExportMatrix(w io.Writer) error {
 // when the benchmark's own cells fail (the per-cell records already
 // describe the failures).
 func (r *Runner) ExportMatrixContext(ctx context.Context, w io.Writer) error {
-	entries, err := r.RunMatrixContext(ctx)
+	return r.exportMatrixSpecs(ctx, w, nil)
+}
+
+// ExportMatrixSpecs is ExportMatrixContext scoped to an explicit
+// registry subset, like RunMatrixSpecs. The seed-identity regression
+// uses it to re-derive the frozen pre-expansion JSON artifact.
+func (r *Runner) ExportMatrixSpecs(ctx context.Context, w io.Writer, specs []exploits.Spec) error {
+	return r.exportMatrixSpecs(ctx, w, specs)
+}
+
+// exportMatrixSpecs materializes the artifact; a nil spec list means the
+// full registry.
+func (r *Runner) exportMatrixSpecs(ctx context.Context, w io.Writer, specs []exploits.Spec) error {
+	if specs == nil {
+		specs = campaignPlan().specs
+	}
+	entries, err := r.runMatrixSpecs(ctx, specs)
 	if err != nil {
 		return err
 	}
-	scores, err := r.SecurityBenchmarkContext(ctx)
+	scores, err := r.securityBenchmarkSpecs(ctx, specs)
 	if err != nil {
 		if !r.ContinueOnError {
 			return err

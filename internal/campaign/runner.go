@@ -23,7 +23,8 @@ import (
 
 // The parallel campaign engine. Every cell of the paper's evaluation
 // runs "in a fresh environment" by design — no state is shared between
-// runs — so the 24-run matrix is embarrassingly parallel. The Runner
+// runs — so the registry-sized matrix is embarrassingly parallel. The
+// Runner
 // fans cells out to a worker pool of goroutine-owned environments and
 // reassembles the results in deterministic cell order, so the rendered
 // tables are byte-identical to the serial path no matter how many
@@ -228,10 +229,12 @@ type cell struct {
 
 // plan is the version-independent part of the experimental setup,
 // precomputed once per process instead of once per run: the scenario
-// lookup, the paper-ordered scenario list, and the domain/IP layout of
-// the standard environment. Everything in it is immutable after
-// construction, so concurrent workers may share it freely.
+// registry (declarative specs in campaign order), the derived scenario
+// lookup, and the domain/IP layout of the standard environment.
+// Everything in it is immutable after construction, so concurrent
+// workers may share it freely.
 type plan struct {
+	specs      []exploits.Spec
 	scenarios  map[string]exploits.Scenario
 	order      []exploits.Scenario
 	guestNames []string
@@ -247,6 +250,7 @@ var (
 func campaignPlan() *plan {
 	planOnce.Do(func() {
 		p := &plan{scenarios: make(map[string]exploits.Scenario)}
+		p.specs = exploits.Specs()
 		p.order = exploits.Scenarios()
 		for _, s := range p.order {
 			p.scenarios[s.Name] = s
@@ -640,15 +644,27 @@ func (r *Runner) RunFig4() ([]Fig4Row, error) {
 	return r.RunFig4Context(context.Background())
 }
 
+// applicable filters the registry to the specs scheduling cells on the
+// version.
+func applicable(specs []exploits.Spec, version string) []exploits.Spec {
+	out := make([]exploits.Spec, 0, len(specs))
+	for _, s := range specs {
+		if s.AppliesTo(version) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
 // RunFig4Context is RunFig4 under a context: cancellation stops
 // dispatching cells and reports the first unfinished cell. The figure's
 // rows need every cell, so a failed cell is an error even under
 // ContinueOnError.
 func (r *Runner) RunFig4Context(ctx context.Context) ([]Fig4Row, error) {
 	v := hv.Version46()
-	p := campaignPlan()
-	cells := make([]cell, 0, 2*len(p.order))
-	for _, s := range p.order {
+	specs := applicable(campaignPlan().specs, v.Name)
+	cells := make([]cell, 0, 2*len(specs))
+	for _, s := range specs {
 		cells = append(cells,
 			cell{v, s.Name, ModeExploit},
 			cell{v, s.Name, ModeInjection})
@@ -663,8 +679,8 @@ func (r *Runner) RunFig4Context(ctx context.Context) ([]Fig4Row, error) {
 	if err := firstFailure(cells, cerrs, wrap); err != nil {
 		return nil, err
 	}
-	rows := make([]Fig4Row, 0, len(p.order))
-	for i, s := range p.order {
+	rows := make([]Fig4Row, 0, len(specs))
+	for i, s := range specs {
 		ex, in := results[2*i], results[2*i+1]
 		rows = append(rows, Fig4Row{
 			UseCase:         s.Name,
@@ -688,10 +704,12 @@ func (r *Runner) RunTable3() ([]Table3Row, error) {
 func (r *Runner) RunTable3Context(ctx context.Context) ([]Table3Row, error) {
 	p := campaignPlan()
 	versions := Table3Versions()
-	cells := make([]cell, 0, len(p.order)*len(versions))
-	for _, s := range p.order {
+	cells := make([]cell, 0, len(p.specs)*len(versions))
+	for _, s := range p.specs {
 		for _, v := range versions {
-			cells = append(cells, cell{v, s.Name, ModeInjection})
+			if s.AppliesTo(v.Name) {
+				cells = append(cells, cell{v, s.Name, ModeInjection})
+			}
 		}
 	}
 	wrap := func(c cell, err error) error {
@@ -704,11 +722,16 @@ func (r *Runner) RunTable3Context(ctx context.Context) ([]Table3Row, error) {
 	if err := firstFailure(cells, cerrs, wrap); err != nil {
 		return nil, err
 	}
-	rows := make([]Table3Row, 0, len(p.order))
-	for i, s := range p.order {
+	rows := make([]Table3Row, 0, len(p.specs))
+	next := 0
+	for _, s := range p.specs {
 		row := Table3Row{UseCase: s.Name, Cells: make(map[string]Table3Cell, len(versions))}
-		for j, v := range versions {
-			res := results[i*len(versions)+j]
+		for _, v := range versions {
+			if !s.AppliesTo(v.Name) {
+				continue
+			}
+			res := results[next]
+			next++
 			row.Cells[v.Name] = Table3Cell{
 				ErrState: res.Verdict.ErroneousState,
 				SecViol:  res.Verdict.SecurityViolation,
@@ -719,8 +742,9 @@ func (r *Runner) RunTable3Context(ctx context.Context) ([]Table3Row, error) {
 	return rows, nil
 }
 
-// RunMatrix executes the full 3 versions x 4 use cases x 2 modes
-// campaign (24 runs, each in a fresh environment) across the pool.
+// RunMatrix executes the full campaign — every version, every registry
+// spec applicable to it, both modes, each cell in a fresh environment —
+// across the pool.
 func (r *Runner) RunMatrix() ([]MatrixEntry, error) {
 	return r.RunMatrixContext(context.Background())
 }
@@ -729,10 +753,27 @@ func (r *Runner) RunMatrix() ([]MatrixEntry, error) {
 // it never fails: every cell appears in the returned entries, failed
 // ones carrying their *CellError in Err with a nil Result.
 func (r *Runner) RunMatrixContext(ctx context.Context) ([]MatrixEntry, error) {
-	p := campaignPlan()
+	return r.runMatrixSpecs(ctx, campaignPlan().specs)
+}
+
+// RunMatrixSpecs is RunMatrixContext over an explicit spec list: the
+// same scheduling, dispatch and settle path as the full matrix, scoped
+// to a registry subset. The seed-identity regression uses it to run the
+// original paper scenarios alone and diff their artifacts against the
+// frozen pre-expansion output.
+func (r *Runner) RunMatrixSpecs(ctx context.Context, specs []exploits.Spec) ([]MatrixEntry, error) {
+	return r.runMatrixSpecs(ctx, specs)
+}
+
+// runMatrixSpecs is RunMatrixContext over an explicit spec list, so the
+// seed-identity tests can run the original scenarios alone.
+func (r *Runner) runMatrixSpecs(ctx context.Context, specs []exploits.Spec) ([]MatrixEntry, error) {
 	var cells []cell
 	for _, v := range hv.Versions() {
-		for _, s := range p.order {
+		for _, s := range specs {
+			if !s.AppliesTo(v.Name) {
+				continue
+			}
 			for _, mode := range []Mode{ModeExploit, ModeInjection} {
 				cells = append(cells, cell{v, s.Name, mode})
 			}
@@ -761,12 +802,26 @@ func (r *Runner) SecurityBenchmark() ([]Score, error) {
 // aggregate scores need every cell, so a failed cell is an error even
 // under ContinueOnError.
 func (r *Runner) SecurityBenchmarkContext(ctx context.Context) ([]Score, error) {
-	p := campaignPlan()
+	return r.securityBenchmarkSpecs(ctx, campaignPlan().specs)
+}
+
+// SecurityBenchmarkSpecs is SecurityBenchmarkContext over an explicit
+// spec list, scoped like RunMatrixSpecs.
+func (r *Runner) SecurityBenchmarkSpecs(ctx context.Context, specs []exploits.Spec) ([]Score, error) {
+	return r.securityBenchmarkSpecs(ctx, specs)
+}
+
+// securityBenchmarkSpecs is SecurityBenchmarkContext over an explicit
+// spec list, so the seed-identity tests can score the original
+// scenarios alone.
+func (r *Runner) securityBenchmarkSpecs(ctx context.Context, specs []exploits.Spec) ([]Score, error) {
 	versions := hv.Versions()
-	cells := make([]cell, 0, len(versions)*len(p.order))
+	cells := make([]cell, 0, len(versions)*len(specs))
 	for _, v := range versions {
-		for _, s := range p.order {
-			cells = append(cells, cell{v, s.Name, ModeInjection})
+		for _, s := range specs {
+			if s.AppliesTo(v.Name) {
+				cells = append(cells, cell{v, s.Name, ModeInjection})
+			}
 		}
 	}
 	wrap := func(c cell, err error) error {
@@ -780,10 +835,15 @@ func (r *Runner) SecurityBenchmarkContext(ctx context.Context) ([]Score, error) 
 		return nil, err
 	}
 	scores := make([]Score, 0, len(versions))
-	for i, v := range versions {
+	next := 0
+	for _, v := range versions {
 		s := Score{Version: v.Name}
-		for j := range p.order {
-			verdict := results[i*len(p.order)+j].Verdict
+		for _, sp := range specs {
+			if !sp.AppliesTo(v.Name) {
+				continue
+			}
+			verdict := results[next].Verdict
+			next++
 			if !verdict.ErroneousState {
 				s.FailedInjections++
 				continue

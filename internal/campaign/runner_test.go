@@ -133,8 +133,8 @@ func TestRunnerDefaultWorkers(t *testing.T) {
 	if err != nil {
 		t.Fatalf("zero-value Runner RunFig4: %v", err)
 	}
-	if len(rows) != 4 {
-		t.Errorf("got %d Fig. 4 rows, want 4", len(rows))
+	if len(rows) != 17 {
+		t.Errorf("got %d Fig. 4 rows, want 17", len(rows))
 	}
 }
 

@@ -134,6 +134,9 @@ func (s *envSnapshot) forkEnvironment(tel *telemetry.Recorder, flt *faults.Injec
 		if err := inject.Attach(fh); err != nil {
 			return nil, nil, err
 		}
+		if err := inject.AttachStateOps(fh); err != nil {
+			return nil, nil, err
+		}
 	}
 	net := s.net.Fork()
 
@@ -156,6 +159,7 @@ func (s *envSnapshot) forkEnvironment(tel *telemetry.Recorder, flt *faults.Injec
 	e.Listener = l
 	if s.mode == ModeInjection {
 		e.Injector = inject.NewClient(e.Attacker.Domain())
+		e.State = inject.NewStateClient(e.Attacker.Domain())
 	}
 	return e, func() { s.ms.Recycle(fm) }, nil
 }

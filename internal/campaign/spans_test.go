@@ -41,7 +41,7 @@ func matrixForest(t *testing.T, workers int, opts func(*campaign.Runner)) *span.
 // canonical span forest. It moves only when the simulated stack's
 // event flow changes — which is exactly the kind of change that must
 // be reviewed, not absorbed.
-const matrixForestDigest = "55a5d9392be20faf18bfa7f82163c7273692922df4d231f3150f2a741254ff5f"
+const matrixForestDigest = "d691b31efbf5439e5f824c3757d0089a96de2640beacd2b8c491425a2bdf7dc2"
 
 // The golden canonical subtree of one injection cell, pinned in full:
 // boot's page-table allocations, the three-step arbitrary_access
@@ -85,8 +85,8 @@ func TestMatrixSpanForestDeterministicAcrossWorkerCounts(t *testing.T) {
 	if !strings.Contains(canon, goldenInjectionCell) {
 		t.Errorf("canonical forest lost the pinned 4.6/XSA-148-priv/injection subtree:\n%s", canon)
 	}
-	if cells := serial.Cells(); len(cells) != 24 {
-		t.Errorf("forest has %d cells, want the full 24-cell matrix", len(cells))
+	if cells := serial.Cells(); len(cells) != 102 {
+		t.Errorf("forest has %d cells, want the full 102-cell matrix", len(cells))
 	}
 }
 

@@ -40,8 +40,8 @@ func matrixProfiles(t *testing.T, workers int) map[string][]telemetry.CounterVal
 
 func TestPerCellCountersDeterministicAcrossWorkerCounts(t *testing.T) {
 	base := matrixProfiles(t, 1)
-	if len(base) != 24 {
-		t.Fatalf("matrix produced %d distinct cells, want 24", len(base))
+	if len(base) != 102 {
+		t.Fatalf("matrix produced %d distinct cells, want 102", len(base))
 	}
 	for _, w := range []int{4, 8} {
 		got := matrixProfiles(t, w)
@@ -88,8 +88,8 @@ func TestMatrixTraceCoversEveryCell(t *testing.T) {
 		}
 		kinds[rec.Cell][rec.Kind]++
 	}
-	if len(kinds) != 24 {
-		t.Fatalf("trace covers %d cells, want 24", len(kinds))
+	if len(kinds) != 102 {
+		t.Fatalf("trace covers %d cells, want 102", len(kinds))
 	}
 	for _, e := range entries {
 		cellID := e.Result.Profile.Cell
@@ -174,7 +174,7 @@ func TestExportCarriesTelemetryOnlyWhenProfiled(t *testing.T) {
 	if err := json.Unmarshal(profiled.Bytes(), &artifact); err != nil {
 		t.Fatal(err)
 	}
-	if len(artifact.Runs) != 24 {
+	if len(artifact.Runs) != 102 {
 		t.Fatalf("profiled export has %d runs, want 24", len(artifact.Runs))
 	}
 	for _, run := range artifact.Runs {

@@ -1,0 +1,90 @@
+package fieldstudy
+
+import (
+	"repro/internal/exploits"
+	"repro/internal/inject"
+)
+
+// CorpusRow summarizes one scenario family of the implemented corpus.
+type CorpusRow struct {
+	// Family is the hypercall-interface family the scenarios abuse.
+	Family string
+	// Scenarios counts registry specs in the family.
+	Scenarios int
+	// Cells counts campaign cells the family schedules: one per
+	// (scenario, applicable version, mode).
+	Cells int
+	// Functionalities are the distinct abusive functionalities the
+	// family's scenarios instantiate, in registry order.
+	Functionalities []inject.AbusiveFunctionality
+}
+
+// Corpus relates the implemented scenario corpus back to the field
+// study: how the registry's scenarios and campaign cells distribute
+// over the interface families and over Table I's functionality classes.
+type Corpus struct {
+	// Rows are the per-family counts, ordered by first appearance in
+	// the registry.
+	Rows []CorpusRow
+	// Classes are the per-functionality-class scenario counts in
+	// Table I's class order.
+	Classes []CorpusClassCount
+	// Scenarios is the registry size.
+	Scenarios int
+	// Cells is the full campaign size: sum over scenarios of
+	// (applicable versions x 2 modes).
+	Cells int
+}
+
+// CorpusClassCount is one functionality class's share of the corpus.
+type CorpusClassCount struct {
+	Class     inject.FunctionalityClass
+	Scenarios int
+	Cells     int
+}
+
+// CorpusOf computes the corpus distribution of a scenario registry.
+// The campaign matrix derives from the same specs, so the cell counts
+// here equal the matrix the runner schedules.
+func CorpusOf(specs []exploits.Spec) Corpus {
+	var c Corpus
+	rowIdx := make(map[string]int)
+	classIdx := make(map[inject.FunctionalityClass]int)
+	for _, class := range []inject.FunctionalityClass{
+		inject.ClassMemoryAccess, inject.ClassMemoryManagement,
+		inject.ClassExceptionalConditions, inject.ClassNonMemory,
+	} {
+		classIdx[class] = len(c.Classes)
+		c.Classes = append(c.Classes, CorpusClassCount{Class: class})
+	}
+	for _, s := range specs {
+		cells := 2 * len(s.Versions)
+		c.Scenarios++
+		c.Cells += cells
+
+		i, ok := rowIdx[s.Family]
+		if !ok {
+			i = len(c.Rows)
+			rowIdx[s.Family] = i
+			c.Rows = append(c.Rows, CorpusRow{Family: s.Family})
+		}
+		row := &c.Rows[i]
+		row.Scenarios++
+		row.Cells += cells
+		seen := false
+		for _, f := range row.Functionalities {
+			if f == s.Functionality {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			row.Functionalities = append(row.Functionalities, s.Functionality)
+		}
+
+		cc := &c.Classes[classIdx[s.Functionality.Class()]]
+		cc.Scenarios++
+		cc.Cells += cells
+	}
+	return c
+}

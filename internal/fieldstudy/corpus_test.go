@@ -1,0 +1,97 @@
+package fieldstudy_test
+
+import (
+	"testing"
+
+	"repro/internal/exploits"
+	"repro/internal/fieldstudy"
+	"repro/internal/inject"
+)
+
+// TestCorpusOfRegistry pins the implemented corpus's distribution: 17
+// scenarios over five interface families, 102 campaign cells, and the
+// Table I class split. The numbers are derived from the registry, so
+// this is the one test to update when the corpus grows.
+func TestCorpusOfRegistry(t *testing.T) {
+	c := fieldstudy.CorpusOf(exploits.Specs())
+	if c.Scenarios != 17 || c.Cells != 102 {
+		t.Fatalf("corpus = %d scenarios / %d cells, want 17 / 102", c.Scenarios, c.Cells)
+	}
+
+	wantRows := []fieldstudy.CorpusRow{
+		{Family: exploits.FamilyMemoryExchange, Scenarios: 5, Cells: 30,
+			Functionalities: []inject.AbusiveFunctionality{inject.WriteArbitraryMemory}},
+		{Family: exploits.FamilyPageTable, Scenarios: 2, Cells: 12,
+			Functionalities: []inject.AbusiveFunctionality{inject.GuestWritablePageTableEntry}},
+		{Family: exploits.FamilyGrantTable, Scenarios: 3, Cells: 18,
+			Functionalities: []inject.AbusiveFunctionality{inject.KeepPageAccess}},
+		{Family: exploits.FamilyEventChannel, Scenarios: 3, Cells: 18,
+			Functionalities: []inject.AbusiveFunctionality{inject.UncontrolledInterruptRequests}},
+		{Family: exploits.FamilyDomctl, Scenarios: 4, Cells: 24,
+			Functionalities: []inject.AbusiveFunctionality{
+				inject.InduceHangState, inject.DecreasePageMappingAvailability, inject.ReadUnauthorizedMemory}},
+	}
+	if len(c.Rows) != len(wantRows) {
+		t.Fatalf("rows = %d, want %d", len(c.Rows), len(wantRows))
+	}
+	for i, want := range wantRows {
+		got := c.Rows[i]
+		if got.Family != want.Family || got.Scenarios != want.Scenarios || got.Cells != want.Cells {
+			t.Errorf("row %d = %s %d/%d, want %s %d/%d",
+				i, got.Family, got.Scenarios, got.Cells, want.Family, want.Scenarios, want.Cells)
+		}
+		if len(got.Functionalities) != len(want.Functionalities) {
+			t.Errorf("%s: functionalities = %v, want %v", want.Family, got.Functionalities, want.Functionalities)
+			continue
+		}
+		for j := range want.Functionalities {
+			if got.Functionalities[j] != want.Functionalities[j] {
+				t.Errorf("%s: functionality %d = %v, want %v",
+					want.Family, j, got.Functionalities[j], want.Functionalities[j])
+			}
+		}
+	}
+
+	wantClasses := []fieldstudy.CorpusClassCount{
+		{Class: inject.ClassMemoryAccess, Scenarios: 6, Cells: 36},
+		{Class: inject.ClassMemoryManagement, Scenarios: 6, Cells: 36},
+		{Class: inject.ClassExceptionalConditions, Scenarios: 0, Cells: 0},
+		{Class: inject.ClassNonMemory, Scenarios: 5, Cells: 30},
+	}
+	if len(c.Classes) != len(wantClasses) {
+		t.Fatalf("classes = %d, want %d", len(c.Classes), len(wantClasses))
+	}
+	for i, want := range wantClasses {
+		if c.Classes[i] != want {
+			t.Errorf("class %d = %+v, want %+v", i, c.Classes[i], want)
+		}
+	}
+
+	// The per-family and per-class counts are partitions of the corpus.
+	var rowS, rowC, clsS, clsC int
+	for _, r := range c.Rows {
+		rowS += r.Scenarios
+		rowC += r.Cells
+	}
+	for _, cc := range c.Classes {
+		clsS += cc.Scenarios
+		clsC += cc.Cells
+	}
+	if rowS != c.Scenarios || rowC != c.Cells || clsS != c.Scenarios || clsC != c.Cells {
+		t.Errorf("partitions do not add up: rows %d/%d classes %d/%d total %d/%d",
+			rowS, rowC, clsS, clsC, c.Scenarios, c.Cells)
+	}
+}
+
+// TestCorpusOfEmpty covers the degenerate input.
+func TestCorpusOfEmpty(t *testing.T) {
+	c := fieldstudy.CorpusOf(nil)
+	if c.Scenarios != 0 || c.Cells != 0 || len(c.Rows) != 0 {
+		t.Errorf("empty corpus = %+v", c)
+	}
+	for _, cc := range c.Classes {
+		if cc.Scenarios != 0 || cc.Cells != 0 {
+			t.Errorf("empty corpus counts class %v", cc)
+		}
+	}
+}

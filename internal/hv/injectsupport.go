@@ -59,6 +59,35 @@ func (h *Hypervisor) InjectEventFlood(victim *Domain, port, count int) error {
 	return nil
 }
 
+// InjectDomainPause suspends the victim with no toolstack involvement —
+// the management-plane state a compromised toolstack's domctl pause
+// leaves behind, induced directly.
+func (h *Hypervisor) InjectDomainPause(victim *Domain) error {
+	if h.crashed {
+		return ErrCrashed
+	}
+	victim.paused = true
+	h.Logf("injected pause state: dom%d suspended", victim.id)
+	return nil
+}
+
+// InjectZombie tears the victim down exactly as an unreaped destroy
+// leaves it: destroyed, paused, delisted from the domain table, frames
+// still allocated.
+func (h *Hypervisor) InjectZombie(victim *Domain) error {
+	if h.crashed {
+		return ErrCrashed
+	}
+	if victim.privileged {
+		return fmt.Errorf("%w: refusing to destroy dom0", ErrInval)
+	}
+	victim.destroyed = true
+	victim.paused = true
+	delete(h.domains, victim.id)
+	h.Logf("injected zombie state: dom%d destroyed, frames linger unreaped", victim.id)
+	return nil
+}
+
 // InjectHang wedges the hypervisor in a non-terminating handler — the
 // "Induce a Hang State" erroneous state. The machine keeps its memory
 // contents but stops making progress.

@@ -32,6 +32,11 @@ const (
 	OpHangState
 	// OpFatalException drives execution into an abort path.
 	OpFatalException
+	// OpDomainPause suspends a victim domain with no toolstack intent.
+	OpDomainPause
+	// OpZombieDomain destroys a victim domain and withholds the reap,
+	// leaving its frames allocated to a domain that no longer exists.
+	OpZombieDomain
 )
 
 // String returns the operation name.
@@ -45,6 +50,10 @@ func (o StateOp) String() string {
 		return "HANG_STATE"
 	case OpFatalException:
 		return "FATAL_EXCEPTION"
+	case OpDomainPause:
+		return "DOMAIN_PAUSE"
+	case OpZombieDomain:
+		return "ZOMBIE_DOMAIN"
 	default:
 		return fmt.Sprintf("StateOp(%d)", uint8(o))
 	}
@@ -53,7 +62,8 @@ func (o StateOp) String() string {
 // StateArgs is the state-injection hypercall argument.
 type StateArgs struct {
 	Op StateOp
-	// Victim selects the target domain for OpInterruptFlood.
+	// Victim selects the target domain for OpInterruptFlood,
+	// OpDomainPause and OpZombieDomain.
 	Victim mm.DomID
 	// Port and Count parameterize OpInterruptFlood.
 	Port  int
@@ -68,6 +78,18 @@ type StateArgs struct {
 // EnableStateOps compiles the state injector into the build alongside
 // (or independently of) the arbitrary-access injector.
 func EnableStateOps(h *hv.Hypervisor) error {
+	if err := AttachStateOps(h); err != nil {
+		return err
+	}
+	h.Logf("state injector enabled (hypercall %d)", HypercallStateInject)
+	return nil
+}
+
+// AttachStateOps registers the state-injection hypercall without
+// logging. Snapshot forks use it: the prototype's console already
+// carries the boot-time "state injector enabled" line, so a fork
+// re-attaching the handler must not log a second one.
+func AttachStateOps(h *hv.Hypervisor) error {
 	handler := func(d *hv.Domain, arg any) error {
 		a, ok := arg.(*StateArgs)
 		if !ok {
@@ -85,7 +107,6 @@ func EnableStateOps(h *hv.Hypervisor) error {
 	if err := h.RegisterHypercall(HypercallStateInject, handler); err != nil {
 		return fmt.Errorf("inject: enabling state injector: %w", err)
 	}
-	h.Logf("state injector enabled (hypercall %d)", HypercallStateInject)
 	return nil
 }
 
@@ -114,6 +135,18 @@ func stateInject(h *hv.Hypervisor, d *hv.Domain, a *StateArgs) error {
 		}
 		h.InjectFatalException(site)
 		return nil
+	case OpDomainPause:
+		victim, err := h.Domain(a.Victim)
+		if err != nil {
+			return err
+		}
+		return h.InjectDomainPause(victim)
+	case OpZombieDomain:
+		victim, err := h.Domain(a.Victim)
+		if err != nil {
+			return err
+		}
+		return h.InjectZombie(victim)
 	default:
 		return fmt.Errorf("%w: state op %d", hv.ErrInval, a.Op)
 	}
@@ -152,4 +185,14 @@ func (c *StateClient) HangState() error {
 // FatalException drives the hypervisor into an abort path.
 func (c *StateClient) FatalException(site string) error {
 	return c.d.Hypercall(HypercallStateInject, &StateArgs{Op: OpFatalException, Site: site})
+}
+
+// PauseDomain suspends the victim with no toolstack intent.
+func (c *StateClient) PauseDomain(victim mm.DomID) error {
+	return c.d.Hypercall(HypercallStateInject, &StateArgs{Op: OpDomainPause, Victim: victim})
+}
+
+// ZombieDomain destroys the victim and withholds the reap.
+func (c *StateClient) ZombieDomain(victim mm.DomID) error {
+	return c.d.Hypercall(HypercallStateInject, &StateArgs{Op: OpZombieDomain, Victim: victim})
 }

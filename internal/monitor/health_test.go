@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/hv"
-	"repro/internal/inject"
 	"repro/internal/mm"
 	"repro/internal/monitor"
 	"repro/internal/pagetable"
@@ -46,10 +45,8 @@ func TestProbeDetectsInjectedStates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := inject.EnableStateOps(e.HV); err != nil {
-		t.Fatal(err)
-	}
-	sc := inject.NewStateClient(e.Attacker.Domain())
+	// Injection-mode environments carry the state injector already.
+	sc := e.State
 	if _, err := sc.KeepPageAccess(); err != nil {
 		t.Fatal(err)
 	}

@@ -85,6 +85,24 @@ func Assess(h *hv.Hypervisor, guests []*guest.Kernel, o *exploits.Outcome) *Verd
 		assess148Priv(h, guests, o, v)
 	case "XSA-182-test":
 		assess182Test(h, o, v)
+	case "XSA-387-leak":
+		assessGrantLeak(h, o, v, 1)
+	case "XSA-387-x2":
+		assessGrantLeak(h, o, v, 2)
+	case "XSA-387-x3":
+		assessGrantLeak(h, o, v, 3)
+	case "EVT-flood-64", "EVT-flood-512", "EVT-flood-dom0":
+		assessEventFlood(h, o, v)
+	case "DOMCTL-pause", "DOMCTL-pauseall":
+		assessDomainPause(h, o, v)
+	case "DOMCTL-zombie":
+		assessZombie(guests, o, v)
+	case "DOMCTL-exfil":
+		assessExfil(guests, o, v)
+	case "MX-heap-smash", "MX-heap-wide":
+		assessHeapWrite(h, o, v)
+	case "MX-idt-gp":
+		assessIDTGP(h, o, v)
 	default:
 		v.addf("no auditor for use case %q", o.UseCase)
 	}
@@ -190,6 +208,208 @@ func assess148Priv(h *hv.Hypervisor, guests []*guest.Kernel, o *exploits.Outcome
 			v.addf("dom0 (%s) shows no reverse-shell activity", k.Hostname())
 		}
 	}
+}
+
+// assessGrantLeak re-reads the grant-table state of the leaking domain:
+// the erroneous state holds when the table is back at v1 yet still
+// references at least want hypervisor-owned status frames.
+func assessGrantLeak(h *hv.Hypervisor, o *exploits.Outcome, v *Verdict, want int) {
+	d, err := h.Domain(o.Artifacts.LeakDom)
+	if err != nil {
+		v.addf("leak domain gone: %v", err)
+		return
+	}
+	frames := d.GrantStatusFrames()
+	if d.GrantTableVersion() == 1 && len(frames) >= want {
+		v.ErroneousState = true
+		v.addfState("grant table at v1 with %d hypervisor status frame(s) still referenced", len(frames))
+		v.SecurityViolation = true
+		v.addf("domain keeps access to hypervisor-owned memory after release")
+	} else {
+		v.addf("no retained status frames (table v%d, %d frame(s))", d.GrantTableVersion(), len(frames))
+	}
+}
+
+// assessEventFlood re-counts the victim's pending events: the erroneous
+// state holds when at least the flood size is still unconsumed.
+func assessEventFlood(h *hv.Hypervisor, o *exploits.Outcome, v *Verdict) {
+	want := o.Artifacts.FloodCount
+	if want <= 0 {
+		v.addf("scenario recorded no flood size")
+		return
+	}
+	d, err := h.Domain(o.Artifacts.FloodDom)
+	if err != nil {
+		v.addf("flood victim gone: %v", err)
+		return
+	}
+	pending := d.PendingEvents()
+	if pending >= want {
+		v.ErroneousState = true
+		v.addfState("%d unsolicited event(s) pending on the victim's ports", pending)
+		v.SecurityViolation = true
+		v.addf("interrupt flood saturates the victim's event ports")
+	} else {
+		v.addf("no pending-event backlog (%d of %d pending)", pending, want)
+	}
+}
+
+// assessDomainPause re-reads the scheduler state of every swept domain:
+// the erroneous state holds when all of them are suspended.
+func assessDomainPause(h *hv.Hypervisor, o *exploits.Outcome, v *Verdict) {
+	if len(o.Artifacts.PausedDoms) == 0 {
+		v.addf("scenario recorded no paused domains")
+		return
+	}
+	paused := 0
+	for _, id := range o.Artifacts.PausedDoms {
+		d, err := h.Domain(id)
+		if err != nil {
+			v.addf("swept domain gone: %v", err)
+			return
+		}
+		if d.Paused() {
+			paused++
+		}
+	}
+	if paused == len(o.Artifacts.PausedDoms) {
+		v.ErroneousState = true
+		v.addfState("%d domain(s) suspended with no toolstack intent", paused)
+		v.SecurityViolation = true
+		v.addf("victim execution denied while peers keep running")
+	} else {
+		v.addf("sweep incomplete: %d of %d domain(s) paused", paused, len(o.Artifacts.PausedDoms))
+	}
+}
+
+// assessZombie checks the destroyed-but-unreaped state through the
+// victim's retained kernel handle — the domain is delisted from the
+// hypervisor, so only the kernel still reaches it.
+func assessZombie(guests []*guest.Kernel, o *exploits.Outcome, v *Verdict) {
+	if o.Artifacts.ZombieFrames == 0 {
+		v.addf("scenario recorded no zombie domain")
+		return
+	}
+	for _, k := range guests {
+		if k.Domain().ID() != o.Artifacts.ZombieDom {
+			continue
+		}
+		if k.Domain().Destroyed() && k.Domain().Frames() >= o.Artifacts.ZombieFrames {
+			v.ErroneousState = true
+			v.addfState("destroyed domain still holds %d frame(s) (zombie, unreaped)", k.Domain().Frames())
+			v.SecurityViolation = true
+			v.addf("zombie reservation withholds memory from the allocator")
+		} else {
+			v.addf("victim not in the zombie state (destroyed=%v, %d frame(s))",
+				k.Domain().Destroyed(), k.Domain().Frames())
+		}
+		return
+	}
+	v.addf("zombie victim's kernel handle not found")
+}
+
+// assessExfil verifies the confidentiality breach end to end: the secret
+// is still live in the victim's page, and an exact copy sits in the
+// attacker's filesystem.
+func assessExfil(guests []*guest.Kernel, o *exploits.Outcome, v *Verdict) {
+	if o.Artifacts.ExfilPath == "" {
+		v.addf("scenario recorded no exfiltration artifacts")
+		return
+	}
+	var victim, dst *guest.Kernel
+	for _, k := range guests {
+		switch k.Domain().ID() {
+		case o.Artifacts.ExfilDom:
+			victim = k
+		case o.Artifacts.ExfilDst:
+			dst = k
+		}
+	}
+	if victim == nil || dst == nil {
+		v.addf("exfiltration endpoints not found")
+		return
+	}
+	live, err := victim.PeekU64(victim.Domain().PhysmapVA(o.Artifacts.ExfilPFN))
+	if err != nil || live != o.Artifacts.ExfilValue {
+		v.addf("victim page no longer carries the staged secret")
+		return
+	}
+	content, err := dst.ReadFile(o.Artifacts.ExfilPath, guest.UIDRoot)
+	if err != nil || content != fmt.Sprintf("%#x", o.Artifacts.ExfilValue) {
+		v.addf("no copy of the secret outside the victim (read err=%v)", err)
+		return
+	}
+	v.ErroneousState = true
+	v.addfState("victim page contents recovered outside the domain: copy staged at %s", o.Artifacts.ExfilPath)
+	v.SecurityViolation = true
+	v.addf("guest confidentiality breached across the domain boundary")
+}
+
+// assessHeapWrite reads the targeted heap frame back through the
+// hypervisor's own accessor and matches the planted pattern.
+func assessHeapWrite(h *hv.Hypervisor, o *exploits.Outcome, v *Verdict) {
+	if o.Artifacts.HeapVA == 0 || o.Artifacts.HeapQwords == 0 {
+		v.addf("scenario recorded no heap target")
+		return
+	}
+	matched := 0
+	for i := 0; i < o.Artifacts.HeapQwords; i++ {
+		raw := make([]byte, 8)
+		if err := h.ReadHV(o.Artifacts.HeapVA+8*uint64(i), raw); err != nil {
+			v.addf("heap frame unreadable: %v", err)
+			return
+		}
+		if leU64(raw) == o.Artifacts.HeapPattern+uint64(i) {
+			matched++
+		}
+	}
+	if matched == o.Artifacts.HeapQwords {
+		v.ErroneousState = true
+		v.addfState("hypervisor heap frame %#x carries the injected %d-qword pattern",
+			uint64(o.Artifacts.HeapFrame), o.Artifacts.HeapQwords)
+		v.SecurityViolation = true
+		v.addf("hypervisor heap integrity lost")
+	} else {
+		v.addf("heap frame clean (%d of %d qword(s) match)", matched, o.Artifacts.HeapQwords)
+	}
+}
+
+// assessIDTGP checks the #BP descriptor bytes; with the vector
+// never dispatched the hypervisor stays alive, so an induced state with
+// no crash grades as handled.
+func assessIDTGP(h *hv.Hypervisor, o *exploits.Outcome, v *Verdict) {
+	if o.Artifacts.GPDescriptorAddr == 0 {
+		v.addf("scenario recorded no descriptor address")
+		return
+	}
+	raw := make([]byte, cpu.DescriptorSize)
+	if err := h.ReadHV(o.Artifacts.GPDescriptorAddr, raw); err == nil {
+		gate, derr := cpu.DecodeGate(raw)
+		if derr == nil && !gate.Valid() {
+			v.ErroneousState = true
+			v.addfState("IDT #GP descriptor at %#x decodes invalid (corrupted): % x",
+				o.Artifacts.GPDescriptorAddr, raw[:8])
+		} else {
+			v.addf("IDT #GP descriptor still valid")
+		}
+	} else {
+		v.addf("IDT unreadable: %v", err)
+	}
+	if h.Crashed() {
+		v.SecurityViolation = true
+		v.addf("hypervisor crashed: %s", h.CrashReason())
+	} else {
+		v.addf("hypervisor alive; the corrupted vector was never dispatched")
+	}
+}
+
+// leU64 decodes 8 little-endian bytes.
+func leU64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
 }
 
 // assess182Test checks the self-map entry flags and re-performs the

@@ -108,7 +108,7 @@ func TestServerLiveCampaign(t *testing.T) {
 	}()
 
 	// Scrape /cells live until the campaign settles every cell. The
-	// matrix is 24 cells; poll with a deadline so a wedged campaign
+	// matrix is 102 cells; poll with a deadline so a wedged campaign
 	// fails loudly instead of hanging the test.
 	deadline := time.Now().Add(30 * time.Second)
 	var cells []CellState
@@ -130,7 +130,7 @@ func TestServerLiveCampaign(t *testing.T) {
 				settled++
 			}
 		}
-		if len(cells) == 24 && settled == 24 {
+		if len(cells) == 102 && settled == 102 {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -163,7 +163,7 @@ func TestServerLiveCampaign(t *testing.T) {
 		t.Errorf("/metrics content type %q", ctype)
 	}
 	for _, want := range []string{
-		"repro_cell_wall_ns_count 24",
+		"repro_cell_wall_ns_count 102",
 		"repro_hypercall_mmu_update_total",
 		`repro_cell_wall_ns_quantile{quantile="0.99"}`,
 	} {

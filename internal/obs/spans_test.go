@@ -75,8 +75,8 @@ func TestWriteMetricsEverySeriesDocumented(t *testing.T) {
 		t.Fatal("campaign registry exposed no samples")
 	}
 	// The RQ3 histogram must be among them, fed by the span layer.
-	if !strings.Contains(out, "repro_detection_latency_events_count 24") {
-		t.Errorf("detection-latency histogram missing or not fed by all 24 cells:\n%s", out)
+	if !strings.Contains(out, "repro_detection_latency_events_count 102") {
+		t.Errorf("detection-latency histogram missing or not fed by all 102 cells:\n%s", out)
 	}
 }
 

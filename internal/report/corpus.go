@@ -1,0 +1,36 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/fieldstudy"
+)
+
+// Corpus renders the implemented-corpus distribution: how the scenario
+// registry's campaign cells spread over the hypercall-interface
+// families and over Table I's functionality classes.
+func Corpus(c fieldstudy.Corpus) string {
+	var b strings.Builder
+	b.WriteString("SCENARIO CORPUS: registry distribution over interface families\n")
+	b.WriteString(rule(72) + "\n")
+	b.WriteString(fmt.Sprintf("%-18s %9s %6s  %s\n", "Family", "Scenarios", "Cells", "Abusive Functionalities"))
+	b.WriteString(rule(72) + "\n")
+	for _, row := range c.Rows {
+		names := make([]string, 0, len(row.Functionalities))
+		for _, f := range row.Functionalities {
+			names = append(names, f.String())
+		}
+		b.WriteString(fmt.Sprintf("%-18s %9d %6d  %s\n",
+			row.Family, row.Scenarios, row.Cells, strings.Join(names, ", ")))
+	}
+	b.WriteString(rule(72) + "\n")
+	b.WriteString("By Table I functionality class:\n")
+	for _, cc := range c.Classes {
+		b.WriteString(fmt.Sprintf("  %-34s %2d scenario(s) %3d cell(s)\n",
+			cc.Class, cc.Scenarios, cc.Cells))
+	}
+	b.WriteString(rule(72) + "\n")
+	b.WriteString(fmt.Sprintf("Total: %d scenarios, %d campaign cells\n", c.Scenarios, c.Cells))
+	return b.String()
+}

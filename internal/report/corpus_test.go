@@ -1,0 +1,33 @@
+package report_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/exploits"
+	"repro/internal/fieldstudy"
+	"repro/internal/report"
+)
+
+// TestCorpusRendering pins the corpus-distribution report over the live
+// registry: every family row, the Table I class split, and the totals
+// line the CLI's -corpus output ends with.
+func TestCorpusRendering(t *testing.T) {
+	out := report.Corpus(fieldstudy.CorpusOf(exploits.Specs()))
+	for _, want := range []string{
+		"SCENARIO CORPUS: registry distribution over interface families",
+		"memory-exchange            5     30  Write Unauthorized Arbitrary Memory",
+		"page-table                 2     12  Guest-Writable Page Table Entry",
+		"grant-table                3     18  Keep Page Access",
+		"event-channel              3     18  Uncontrolled Arbitrary Interrupts Requests",
+		"domctl                     4     24  Induce a Hang State, Decrease Page Mapping Availability, Read Unauthorized Memory",
+		"By Table I functionality class:",
+		"Memory Access                       6 scenario(s)  36 cell(s)",
+		"Exceptional Conditions              0 scenario(s)   0 cell(s)",
+		"Total: 17 scenarios, 102 campaign cells",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("corpus report missing %q:\n%s", want, out)
+		}
+	}
+}

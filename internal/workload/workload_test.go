@@ -75,8 +75,10 @@ func TestWorkloadRejectsZeroOps(t *testing.T) {
 }
 
 // TestAvailabilityUnderInjection asserts the dependability view of
-// Table III: crash-class injections zero out a bystander guest's
-// service; the others leave it fully available.
+// Table III over the full corpus: crash-class injections zero out a
+// bystander guest's service; DOMCTL-pauseall suspends the bystander
+// itself, degrading (but not stopping) its workload; every other
+// injected state leaves it fully available.
 func TestAvailabilityUnderInjection(t *testing.T) {
 	for _, v := range []hv.Version{hv.Version48(), hv.Version413()} {
 		t.Run(v.Name, func(t *testing.T) {
@@ -84,8 +86,8 @@ func TestAvailabilityUnderInjection(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if len(rows) != 4 {
-				t.Fatalf("rows = %d", len(rows))
+			if len(rows) != 17 {
+				t.Fatalf("rows = %d, want 17", len(rows))
 			}
 			for _, r := range rows {
 				if !r.Injected {
@@ -95,6 +97,13 @@ func TestAvailabilityUnderInjection(t *testing.T) {
 				case "XSA-212-crash":
 					if r.VictimCompletion != 0 || !r.Stopped {
 						t.Errorf("%s: bystander survived a host crash: %v", r.UseCase, r)
+					}
+				case "DOMCTL-pauseall":
+					// The bystander is one of the paused victims: its
+					// console-bound ops fail while compute ops complete.
+					if r.Stopped || r.VictimCompletion <= 0 || r.VictimCompletion >= 1 {
+						t.Errorf("%s: paused bystander availability = %.2f stopped=%v, want partial completion",
+							r.UseCase, r.VictimCompletion, r.Stopped)
 					}
 				default:
 					if r.VictimCompletion != 1.0 {
