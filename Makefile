@@ -36,6 +36,14 @@
 # any new or lost hypervisor behaviour edge fails the build with the
 # edge named and the cell that first witnessed it (cov-diff.txt is left
 # behind for CI to attach on failure).
+# `ledger-diff` is the run-record regression gate: it journals a fresh
+# full matrix into ledger-ci/ and diffs the settled record against the
+# committed LEDGER_baseline.json with `tracecheck runs diff` — a verdict
+# flip or a lost coverage edge fails the build (tier changes and drift
+# are reported but pass). ledger-diff.txt and the ledger-ci/ record
+# directory are left behind for CI to attach on failure.
+# `ledger-baseline` regenerates LEDGER_baseline.json after an
+# intentional behaviour change (review the runs diff first).
 
 GO ?= go
 
@@ -48,7 +56,7 @@ MATRIX_BENCHES   = ^BenchmarkFullMatrix$$|^BenchmarkMatrixParallel$$|^BenchmarkM
 OBS_BENCHES      = ^BenchmarkMatrixTelemetry$$
 SNAPSHOT_BENCHES = ^BenchmarkBootEnvironment$$|^BenchmarkSnapshotBuild$$|^BenchmarkCellFork$$
 
-.PHONY: all build test race vet bench benchdiff check trace-demo chaos equivalence spans lint-scenarios cover-matrix clean
+.PHONY: all build test race vet bench benchdiff check trace-demo chaos equivalence spans lint-scenarios cover-matrix ledger-diff ledger-baseline clean
 
 all: check
 
@@ -118,9 +126,25 @@ cover-matrix:
 	$(GO) run ./cmd/tracecheck cov cov-matrix.json
 	@$(GO) run ./cmd/tracecheck cov COVERAGE_matrix.json cov-matrix.json > cov-diff.txt 2>&1; rc=$$?; cat cov-diff.txt; exit $$rc
 
-check: build vet lint-scenarios test race chaos equivalence spans cover-matrix
+# The ledger gate mirrors cover-matrix's artifact discipline: the diff
+# output lands in ledger-diff.txt and the fresh run's record directory
+# stays in ledger-ci/ for the CI upload, while tracecheck's exit code
+# is preserved.
+ledger-diff:
+	rm -rf ledger-ci
+	$(GO) run ./cmd/repro -matrix -workers 4 -ledger ledger-ci > /dev/null
+	@$(GO) run ./cmd/tracecheck runs diff LEDGER_baseline.json ledger-ci > ledger-diff.txt 2>&1; rc=$$?; cat ledger-diff.txt; exit $$rc
+
+ledger-baseline:
+	rm -rf ledger-ci
+	$(GO) run ./cmd/repro -matrix -workers 4 -ledger ledger-ci > /dev/null
+	cp ledger-ci/*/record.json LEDGER_baseline.json
+	@echo "wrote LEDGER_baseline.json"
+
+check: build vet lint-scenarios test race chaos equivalence spans cover-matrix ledger-diff
 
 clean:
 	rm -f BENCH_matrix.json BENCH_obs.json BENCH_snapshot.json trace-demo.jsonl flight-*.jsonl spans-demo.json spans-summary.txt
-	rm -f BENCH_matrix.new.json BENCH_snapshot.new.json cov-matrix.json cov-diff.txt
+	rm -f BENCH_matrix.new.json BENCH_snapshot.new.json cov-matrix.json cov-diff.txt ledger-diff.txt
+	rm -rf ledger-ci
 	$(GO) clean ./...

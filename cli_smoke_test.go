@@ -352,6 +352,97 @@ func TestCLISmoke(t *testing.T) {
 		}
 	})
 
+	// The run ledger end to end: a journaled campaign, a no-op resume, the
+	// tracecheck runs surface, and an interrupted run resumed from its
+	// journal.
+	t.Run("ledger", func(t *testing.T) {
+		store := filepath.Join(t.TempDir(), "runs")
+		out, err := exec.Command(filepath.Join(dir, "repro"),
+			"-matrix", "-workers", "4", "-ledger", store).CombinedOutput()
+		if err != nil {
+			t.Fatalf("repro -ledger: %v\n%s", err, out)
+		}
+		for _, want := range []string{"FULL CAMPAIGN MATRIX", "settled 102/102 cells (record digest "} {
+			if !strings.Contains(string(out), want) {
+				t.Errorf("ledger output missing %q:\n%s", want, out)
+			}
+		}
+
+		// A same-config resume finds everything recorded and reruns nothing.
+		out, err = exec.Command(filepath.Join(dir, "repro"),
+			"-matrix", "-ledger", store, "-resume").CombinedOutput()
+		if err != nil {
+			t.Fatalf("repro -resume: %v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "102 cells reused, 0 to execute") {
+			t.Errorf("no-op resume output:\n%s", out)
+		}
+
+		// tracecheck runs: list the store, show the record, self-diff clean.
+		out, err = exec.Command(filepath.Join(dir, "tracecheck"), "runs", "list", store).CombinedOutput()
+		if err != nil {
+			t.Fatalf("tracecheck runs list: %v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "102/102 cells  settled") {
+			t.Errorf("runs list output:\n%s", out)
+		}
+		out, err = exec.Command(filepath.Join(dir, "tracecheck"), "runs", "show", store).CombinedOutput()
+		if err != nil {
+			t.Fatalf("tracecheck runs show: %v\n%s", err, out)
+		}
+		for _, want := range []string{"102 settled of 102 expected, 0 failed", "rq2=", "cov="} {
+			if !strings.Contains(string(out), want) {
+				t.Errorf("runs show output missing %q:\n%s", want, out)
+			}
+		}
+		out, err = exec.Command(filepath.Join(dir, "tracecheck"), "runs", "diff", store, store).CombinedOutput()
+		if err != nil {
+			t.Fatalf("tracecheck runs diff: %v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "no differences") {
+			t.Errorf("self runs diff:\n%s", out)
+		}
+
+		// Flag validation: -resume requires -ledger; live captures refuse.
+		out, err = exec.Command(filepath.Join(dir, "repro"), "-resume").CombinedOutput()
+		if err == nil || !strings.Contains(string(out), "-resume: requires -ledger") {
+			t.Errorf("bare -resume: err=%v output:\n%s", err, out)
+		}
+		out, err = exec.Command(filepath.Join(dir, "repro"),
+			"-ledger", store, "-trace", "x.jsonl").CombinedOutput()
+		if err == nil || !strings.Contains(string(out), "cannot merge") {
+			t.Errorf("-ledger -trace: err=%v output:\n%s", err, out)
+		}
+
+		// SIGINT mid-campaign, then resume: the journal carries the settled
+		// cells and the merged record settles the full matrix.
+		scratch := filepath.Join(t.TempDir(), "runs")
+		cmd := exec.Command(filepath.Join(dir, "repro"),
+			"-matrix", "-workers", "1", "-ledger", scratch)
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(50 * time.Millisecond)
+		_ = cmd.Process.Signal(os.Interrupt)
+		_ = cmd.Wait() // either interrupted or already complete; both resume cleanly
+		out, err = exec.Command(filepath.Join(dir, "repro"),
+			"-matrix", "-workers", "4", "-ledger", scratch, "-resume").CombinedOutput()
+		if err != nil {
+			t.Fatalf("resume after SIGINT: %v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "settled 102/102 cells") {
+			t.Errorf("resumed run did not settle the full matrix:\n%s", out)
+		}
+		out, err = exec.Command(filepath.Join(dir, "tracecheck"), "runs", "diff",
+			store, scratch).CombinedOutput()
+		if err != nil {
+			t.Fatalf("cross-store diff after resume: %v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "no differences") {
+			t.Errorf("resumed record differs from the uninterrupted one:\n%s", out)
+		}
+	})
+
 	// The observability pipeline end to end: one profiled cell, a JSONL
 	// trace on disk, the metrics summary, and tracecheck's validation.
 	t.Run("trace-and-metrics", func(t *testing.T) {

@@ -74,6 +74,22 @@
 //	repro -matrix -listen :8080 -spans spans.json   # adds /spans
 //	repro -matrix -listen :8080 -coverage cov.json  # adds /coverage
 //
+// Run ledger & regression diffs:
+//
+//	repro -ledger runs            # journal the matrix into a run-record store
+//	repro -ledger runs -resume    # delta rerun: only absent or changed cells
+//
+// -ledger gives the campaign a deterministic, content-addressed run ID
+// (digest of the scenario-registry digest, version set, chaos seed,
+// mode flags and build version) and journals every cell's settled
+// outcome — verdict, equivalence tier, coverage digest and edges,
+// detection latency, span makespan, failure class — live into
+// <dir>/<run-id>/ as cells settle. The settled record is byte-identical
+// at any -workers count and fork path; -resume re-executes only cells
+// whose key is absent or whose registry spec changed and merges to
+// artifacts byte-identical to a full run. Inspect and diff records with
+// "tracecheck runs list|show|diff".
+//
 // Robustness:
 //
 //	repro -matrix -chaos 7 -continue-on-error   # seeded substrate faults
@@ -118,6 +134,7 @@ import (
 	"repro/internal/fieldstudy"
 	"repro/internal/hv"
 	"repro/internal/inject"
+	"repro/internal/ledger"
 	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/span"
@@ -186,6 +203,8 @@ func run(out io.Writer) (err error) {
 	spansOut := flag.String("spans", "", "capture per-cell causal span trees, write them as Chrome trace-event JSON to this file, and print the span summary")
 	noSnapshot := flag.Bool("no-snapshot", false, "boot every campaign cell fresh instead of forking the sealed (version, mode) snapshot")
 	covOut := flag.String("coverage", "", "accumulate per-cell coverage maps and write the campaign coverage report (JSON) to this file")
+	ledgerDir := flag.String("ledger", "", "journal the campaign into a content-addressed run-record store at this directory (implies the full matrix)")
+	resume := flag.Bool("resume", false, "with -ledger: load the latest compatible run record and re-execute only absent or changed cells")
 	version := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
 
@@ -215,6 +234,22 @@ func run(out io.Writer) (err error) {
 	if *workers < 0 {
 		return fmt.Errorf("-workers: want 0 (one per CPU) or a positive pool size, got %d", *workers)
 	}
+	if *resume && *ledgerDir == "" {
+		return errors.New("-resume: requires -ledger")
+	}
+	if *ledgerDir != "" {
+		// The ledger records exactly the full campaign matrix; selection
+		// flags would record a different experiment under the same run
+		// identity. Live-only captures (-trace, -spans) are rejected too:
+		// a delta rerun executes only a subset of cells, so those
+		// artifacts could not merge to a full run's.
+		if *table != 0 || *figure != 0 || *fuzz != 0 || *score || *jsonOut || *avail || *corpus || *cellSpec != "" {
+			return errors.New("-ledger: runs the full matrix; drop -table/-figure/-fuzz/-score/-json/-availability/-corpus/-cell")
+		}
+		if *traceOut != "" || *spansOut != "" {
+			return errors.New("-ledger: -trace and -spans are live captures and cannot merge across delta reruns")
+		}
+	}
 
 	if *cpuProfile != "" {
 		f, cerr := os.Create(*cpuProfile)
@@ -240,9 +275,10 @@ func run(out io.Writer) (err error) {
 	defer stop()
 
 	runner := &campaign.Runner{Workers: *workers, ContinueOnError: *contOnErr}
-	if *traceOut != "" || *metrics || *equivalence || *listenAddr != "" {
+	if *traceOut != "" || *metrics || *equivalence || *listenAddr != "" || *ledgerDir != "" {
 		// -equivalence needs every cell's event trace; -listen needs the
-		// registry behind /metrics.
+		// registry behind /metrics; -ledger persists each cell's
+		// canonical streams so equivalence regrades from the record.
 		runner.Telemetry = telemetry.NewRegistry()
 	}
 	if *spansOut != "" {
@@ -259,6 +295,40 @@ func run(out io.Writer) (err error) {
 		defer plan.ReleaseAll()
 	}
 
+	// Run identity: every campaign of this configuration shares one
+	// content-addressed run ID (worker count and the fork path are
+	// excluded by construction — they cannot change the outcome). The ID
+	// namespaces flight-recorder dumps and is exported by /healthz and
+	// /metrics even when no ledger directory is given.
+	runCfg := ledger.CurrentConfig(*chaos, *contOnErr)
+	runID := runCfg.RunID()
+
+	var (
+		ledgerStore *ledger.Store
+		ledgerW     *ledger.Writer
+		ledgerPrev  *ledger.Record
+		delta       ledger.Delta
+	)
+	if *ledgerDir != "" {
+		store, lerr := ledger.Open(*ledgerDir)
+		if lerr != nil {
+			return lerr
+		}
+		if *resume {
+			ledgerPrev, lerr = store.LatestMatching(runCfg)
+			if lerr != nil {
+				return fmt.Errorf("-resume: %w", lerr)
+			}
+		}
+		delta = ledger.PlanDelta(ledgerPrev, runCfg)
+		w, lerr := store.NewWriter(runCfg, delta.Expected)
+		if lerr != nil {
+			return lerr
+		}
+		runner.Observer = w
+		ledgerStore, ledgerW = store, w
+	}
+
 	// Live observers: the HTTP server (-listen) and the flight recorder
 	// (armed whenever the campaign is allowed to outlive failing cells,
 	// so their last events land on disk the moment the engine settles
@@ -269,11 +339,13 @@ func run(out io.Writer) (err error) {
 		server := obs.NewServer(runner.Telemetry)
 		server.SetSpans(runner.Spans)
 		server.SetCoverage(runner.Coverage)
+		server.SetRunID(runID)
+		server.SetLedger(ledgerStore)
 		addr, lerr := server.Listen(*listenAddr)
 		if lerr != nil {
 			return lerr
 		}
-		log.Printf("observability server on http://%s (/metrics /healthz /cells /spans /coverage)", addr)
+		log.Printf("observability server on http://%s (/metrics /healthz /cells /spans /coverage /runs)", addr)
 		defer func() {
 			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 			defer cancel()
@@ -284,7 +356,7 @@ func run(out io.Writer) (err error) {
 		observers = append(observers, server)
 	}
 	if *contOnErr || *chaos != 0 {
-		flight = &obs.FlightRecorder{}
+		flight = &obs.FlightRecorder{RunID: runID}
 		runner.SalvageProfiles = true
 		observers = append(observers, flight)
 	}
@@ -304,7 +376,7 @@ func run(out io.Writer) (err error) {
 		}
 	}
 
-	all := *table == 0 && *figure == 0 && !*matrix && *fuzz == 0 && !*score && !*jsonOut && !*avail && *cellSpec == "" && !*equivalence && !*corpus
+	all := *table == 0 && *figure == 0 && !*matrix && *fuzz == 0 && !*score && !*jsonOut && !*avail && *cellSpec == "" && !*equivalence && !*corpus && *ledgerDir == ""
 	body := func() error {
 		if *cellSpec != "" {
 			v, useCase, mode, err := parseCell(*cellSpec)
@@ -367,7 +439,78 @@ func run(out io.Writer) (err error) {
 			}
 			fmt.Fprintln(out, report.Fig4(rows))
 		}
-		if all || *matrix {
+		if *ledgerDir != "" {
+			// The ledger flow: execute the delta (the full matrix on a
+			// fresh run), settle the record, grade equivalence from the
+			// persisted streams, and render every artifact from the
+			// settled record — full runs and resumed reruns share one
+			// rendering source, so merged artifacts are byte-identical.
+			if ledgerPrev != nil {
+				log.Printf("ledger: resume from run %s: %d cells reused, %d to execute (%d stale)",
+					ledgerPrev.RunID, len(delta.Reused), len(delta.Rerun), delta.Stale)
+				if ledgerPrev.RunID != runID {
+					ledgerW.Import(delta.Reused)
+				}
+			} else if *resume {
+				log.Print("ledger: no compatible prior run; executing the full matrix")
+			}
+			if len(delta.Rerun) > 0 {
+				entries, err := runner.RunCellRefs(ctx, delta.Rerun)
+				if err != nil {
+					// Close flushes what settled; a later -resume picks
+					// the journal up from exactly here.
+					ledgerW.Close()
+					return fmt.Errorf("ledger campaign: %w", err)
+				}
+				for _, e := range entries {
+					collect(e.Result)
+				}
+			}
+			if snap := ledgerW.Snapshot(); snap.Complete() && snap.Failed() == 0 {
+				verdicts, eqErr := ledger.Equivalence(snap)
+				if eqErr != nil {
+					ledgerW.Close()
+					return fmt.Errorf("ledger equivalence: %w", eqErr)
+				}
+				ledgerW.RecordEquivalence(verdicts)
+			} else {
+				// A partial or failed matrix cannot carry verdicts
+				// inherited from a prior fully graded run.
+				ledgerW.StripEquivalence()
+			}
+			rec, lerr := ledgerW.Close()
+			if lerr != nil {
+				return fmt.Errorf("ledger: %w", lerr)
+			}
+			log.Printf("ledger: run %s settled %d/%d cells (record digest %s) in %s",
+				rec.RunID, rec.Completed, rec.Cells, rec.Digest, ledgerStore.RunDir(rec.RunID))
+			fmt.Fprintln(out, report.Matrix(rec.MatrixEntries()))
+			if *equivalence {
+				verdicts, ok := rec.EquivalenceVerdicts()
+				if !ok {
+					return errors.New("equivalence: run record is not fully graded (failed or missing cells)")
+				}
+				fmt.Fprintln(out, report.TraceEquivalence(verdicts))
+				divergent := 0
+				for _, cv := range verdicts {
+					if !cv.Equivalent() {
+						divergent++
+					}
+				}
+				if divergent > 0 {
+					return fmt.Errorf("equivalence: %d of %d cells divergent", divergent, len(verdicts))
+				}
+			}
+			if *covOut != "" {
+				rep := rec.CoverageReport()
+				if werr := writeCoverage(*covOut, rep); werr != nil {
+					return werr
+				}
+				log.Printf("wrote coverage report (%d edges, digest %s) to %s", rep.TotalEdges, rep.Digest, *covOut)
+				fmt.Fprintln(out, report.CoverageSummary(rep))
+			}
+		}
+		if (all || *matrix) && *ledgerDir == "" {
 			entries, err := runner.RunMatrixContext(ctx)
 			if err != nil {
 				return fmt.Errorf("full matrix: %w", err)
@@ -377,7 +520,7 @@ func run(out io.Writer) (err error) {
 			}
 			fmt.Fprintln(out, report.Matrix(entries))
 		}
-		if *equivalence {
+		if *equivalence && *ledgerDir == "" {
 			entries, err := runner.RunMatrixContext(ctx)
 			if err != nil {
 				return fmt.Errorf("equivalence matrix: %w", err)
@@ -490,7 +633,7 @@ func run(out io.Writer) (err error) {
 		}
 		fmt.Fprintln(out, report.SpanSummary(forest, poolSize))
 	}
-	if *covOut != "" {
+	if *covOut != "" && *ledgerDir == "" {
 		rep := runner.Coverage.Report()
 		if werr := writeCoverage(*covOut, rep); werr != nil {
 			flushErrs = append(flushErrs, werr)

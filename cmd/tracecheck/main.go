@@ -38,6 +38,15 @@
 //	tracecheck spans <spans.json>
 //	tracecheck cov [-digest] <cov.json>
 //	tracecheck cov <a.json> <b.json>
+//	tracecheck runs list <store-dir>
+//	tracecheck runs show <record.json|run-dir|store-dir>
+//	tracecheck runs diff <a> <b>
+//
+// Runs mode works with campaign run records produced by `repro
+// -ledger`: list shows a store's run history, show prints one settled
+// record, and diff renders the canonical cross-run regression report,
+// exiting non-zero on a verdict flip or a lost coverage edge — the
+// gate `make ledger-diff` enforces against the committed baseline.
 package main
 
 import (
@@ -51,13 +60,15 @@ import (
 )
 
 func usage() {
-	log.Fatalf("usage: tracecheck <trace.jsonl> | tracecheck diff <a.jsonl> <b.jsonl> | tracecheck spans <spans.json> | tracecheck cov [-digest] <cov.json> | tracecheck cov <a.json> <b.json>")
+	log.Fatalf("usage: tracecheck <trace.jsonl> | tracecheck diff <a.jsonl> <b.jsonl> | tracecheck spans <spans.json> | tracecheck cov [-digest] <cov.json> | tracecheck cov <a.json> <b.json> | tracecheck runs list|show|diff ...")
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tracecheck: ")
 	switch {
+	case len(os.Args) >= 2 && os.Args[1] == "runs":
+		runsMain(os.Args[2:])
 	case len(os.Args) == 2 && os.Args[1] != "diff" && os.Args[1] != "spans" && os.Args[1] != "cov":
 		validate(os.Args[1])
 	case len(os.Args) == 4 && os.Args[1] == "diff":

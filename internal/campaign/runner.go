@@ -109,6 +109,31 @@ type Runner struct {
 	// to feed its map; results and rendered tables stay byte-identical
 	// to an uninstrumented run. Nil disables coverage.
 	Coverage *coverage.Collector
+
+	// Observer, when set, receives every settled cell's full outcome —
+	// verdict or failure record, coverage map, detection latency, span
+	// length, wall time — exactly once, the persistence hook the run
+	// ledger implements. Unlike Progress it sees the result itself, not
+	// just the telemetry profile. Setting it gives every cell a
+	// recorder, a coverage map and a span tree (as with SalvageProfiles
+	// / Coverage / Spans), which leaves results and rendered tables
+	// byte-identical to an unobserved run. Implementations must be safe
+	// for concurrent use.
+	Observer CellObserver
+}
+
+// CellObserver observes settled cells with their full outcomes. The
+// hook fires on the worker goroutine that settled the cell — once per
+// cell, every outcome class included (canceled cells carry only their
+// failure record) — so implementations must synchronize internally and
+// return quickly.
+type CellObserver interface {
+	// CellSettled delivers one cell's settled outcome. Exactly one of
+	// res/cerr is non-nil. cov is the cell's coverage map (nil for
+	// abandoned cells), lat its RQ3 detection latency, spanV the
+	// virtual-time length of its span tree, and wall the observed wall
+	// time (not deterministic).
+	CellSettled(cell string, res *RunResult, cerr *CellError, cov *coverage.Map, lat span.Latency, spanV uint64, wall time.Duration)
 }
 
 // Progress observes a running campaign. The hooks fire on the worker
@@ -405,15 +430,15 @@ func (r *Runner) runGuarded(ctx context.Context, c cell, worker int) cellOutcome
 		var rec *telemetry.Recorder
 		var tree *span.Tree
 		var start time.Time
-		if r.Telemetry != nil || r.SalvageProfiles || r.Spans != nil || r.Coverage != nil {
+		if r.Telemetry != nil || r.SalvageProfiles || r.Spans != nil || r.Coverage != nil || r.Observer != nil {
 			rec = telemetry.NewRecorder(0)
 			rec.AttachFaults(inj)
 			start = time.Now()
 		}
-		if r.Coverage != nil {
+		if r.Coverage != nil || r.Observer != nil {
 			rec.AttachCoverage(coverage.NewMap())
 		}
-		if r.Spans != nil {
+		if r.Spans != nil || r.Observer != nil {
 			tree = span.NewTree(id, rec.Emitted)
 		}
 		salvage := func() *telemetry.CellProfile {
@@ -441,6 +466,11 @@ func (r *Runner) runGuarded(ctx context.Context, c cell, worker int) cellOutcome
 			return
 		}
 		tree.Finish()
+		if res.Profile == nil && r.Observer != nil {
+			// An observer receives the full outcome even without a
+			// registry: the ledger persists the profile's effect stream.
+			res.Profile = salvage()
+		}
 		done <- cellOutcome{res: res, profile: res.Profile, tree: tree, latency: span.DetectionLatency(tree, rec.Events()), cov: rec.Coverage()}
 	})
 
@@ -476,10 +506,26 @@ func (r *Runner) settle(id string, wall time.Duration, out cellOutcome) cellOutc
 	if r.Coverage != nil {
 		r.Coverage.FinishCell(id, out.cov)
 	}
+	if r.Observer != nil {
+		r.Observer.CellSettled(id, out.res, out.err, out.cov, out.latency, rootSpanV(out.tree), wall)
+	}
 	if r.Progress != nil {
 		r.Progress.CellFinished(id, wall, out.profile, out.err)
 	}
 	return out
+}
+
+// rootSpanV is the virtual-time length of a settled cell's span tree
+// (its root span's duration), 0 for abandoned cells that kept no tree.
+func rootSpanV(t *span.Tree) uint64 {
+	if t == nil {
+		return 0
+	}
+	spans := t.Spans()
+	if len(spans) == 0 {
+		return 0
+	}
+	return spans[0].EndV - spans[0].StartV
 }
 
 // settleSpans is settle for cells that actually started: it also files
@@ -763,6 +809,44 @@ func (r *Runner) RunMatrixContext(ctx context.Context) ([]MatrixEntry, error) {
 // frozen pre-expansion output.
 func (r *Runner) RunMatrixSpecs(ctx context.Context, specs []exploits.Spec) ([]MatrixEntry, error) {
 	return r.runMatrixSpecs(ctx, specs)
+}
+
+// CellRef identifies one campaign cell by name — the resumable-campaign
+// currency: a run-ledger delta plan is a list of refs in dispatch order.
+type CellRef struct {
+	Version string
+	UseCase string
+	Mode    Mode
+}
+
+// RunCellRefs executes an explicit cell list, the delta-rerun entry
+// point behind `repro -ledger -resume`. Refs run in the given order
+// through the same dispatch and settle path as a full matrix, so a
+// subset rerun is deterministic exactly like the campaign it patches —
+// callers must pass refs in dispatch order (version-major, registry
+// spec order, exploit before injection) for the settled artifacts to
+// merge byte-identically. An unknown version name is an error before
+// anything runs.
+func (r *Runner) RunCellRefs(ctx context.Context, refs []CellRef) ([]MatrixEntry, error) {
+	cells := make([]cell, 0, len(refs))
+	for _, ref := range refs {
+		v, err := hv.VersionByName(ref.Version)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: cell ref %s/%s/%s: %w", ref.Version, ref.UseCase, ref.Mode, err)
+		}
+		cells = append(cells, cell{v, ref.UseCase, ref.Mode})
+	}
+	results, cerrs, err := r.runCells(ctx, cells, func(c cell, err error) error {
+		return fmt.Errorf("campaign: matrix %s/%s/%s: %w", c.version.Name, c.useCase, c.mode, err)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]MatrixEntry, len(cells))
+	for i, c := range cells {
+		out[i] = MatrixEntry{Version: c.version.Name, UseCase: c.useCase, Mode: c.mode, Result: results[i], Err: cerrs[i]}
+	}
+	return out, nil
 }
 
 // runMatrixSpecs is RunMatrixContext over an explicit spec list, so the

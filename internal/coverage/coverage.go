@@ -250,6 +250,21 @@ func (m *Map) DomctlOp(op string) {
 	m.bump(h, FamDomctl, op, "", "")
 }
 
+// FromEdges reconstructs a map from a settled edge list, for replaying
+// persisted per-cell coverage (the campaign run ledger) back through
+// the campaign aggregation. The reconstructed map renders and digests
+// identically to the live one: Edges() output depends only on the
+// (family, name, count) triples, not on the identity hashes used for
+// in-map dedupe.
+func FromEdges(edges []Edge) *Map {
+	m := NewMap()
+	for _, e := range edges {
+		h := fnvString(seed(e.Family), e.Name)
+		m.edges[h] = &edge{family: e.Family, name: e.Name, count: e.Count}
+	}
+	return m
+}
+
 // Len reports the number of distinct edges observed.
 func (m *Map) Len() int {
 	if m == nil {

@@ -79,6 +79,45 @@ func TestFlightRecorderDumpsFailedCell(t *testing.T) {
 	}
 }
 
+// TestFlightRecorderRunIDNamespacesAndKeepsCollisions pins the dump
+// naming contract: a run ID namespaces the file, and a second failure
+// of the same cell — two consecutive failing runs of the same
+// configuration dumping into the same directory — keeps both dumps
+// instead of truncating the first.
+func TestFlightRecorderRunIDNamespacesAndKeepsCollisions(t *testing.T) {
+	const cell = "4.6/XSA-182-test/exploit"
+	dir := t.TempDir()
+	profile := &telemetry.CellProfile{Cell: cell}
+	cerr := &campaign.CellError{Cell: cell, Class: "error", Message: "boom"}
+
+	for run := 0; run < 2; run++ {
+		fr := &FlightRecorder{Dir: dir, RunID: "f21da3650bd2e9ae"}
+		fr.CellFinished(cell, time.Millisecond, profile, cerr)
+		for _, err := range fr.Errors() {
+			t.Errorf("run %d: flight recorder error: %v", run, err)
+		}
+		if dumps := fr.Dumps(); len(dumps) != 1 {
+			t.Fatalf("run %d: got %d dumps %v", run, len(dumps), dumps)
+		}
+	}
+
+	for _, want := range []string{
+		"flight-f21da3650bd2e9ae-4.6-XSA-182-test-exploit.jsonl",
+		"flight-f21da3650bd2e9ae-4.6-XSA-182-test-exploit-2.jsonl",
+	} {
+		if _, err := os.Stat(filepath.Join(dir, want)); err != nil {
+			t.Errorf("missing dump %s: %v", want, err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Errorf("flight dir holds %d files, want both runs' dumps", len(entries))
+	}
+}
+
 // TestFlightRecorderSkips pins the two no-dump cases: a clean cell
 // (no error) and a hung/canceled cell (error but no salvaged profile,
 // its goroutine was abandoned holding the recorder).

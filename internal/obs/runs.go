@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/ledger"
+)
+
+// The run-record endpoints. When the campaign runs with -ledger, the
+// server exposes the store's history:
+//
+//	/runs               — run metadata, newest first
+//	/runs/{id}          — one run's settled canonical record
+//	/runs/diff?a=&b=    — canonical text diff of two records
+//
+// Records are rebuilt from the journal on each request, so /runs/{id}
+// of the live campaign shows exactly the cells that have settled so
+// far — the same crash-consistent view a resume would start from.
+
+func (s *Server) handleRuns(w http.ResponseWriter, _ *http.Request) {
+	if s.ledger == nil {
+		http.Error(w, "run ledger is disabled (run with -ledger)", http.StatusNotFound)
+		return
+	}
+	runs, err := s.ledger.Runs()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(runs)
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if s.ledger == nil {
+		http.Error(w, "run ledger is disabled (run with -ledger)", http.StatusNotFound)
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/runs/")
+	if id == "" || strings.Contains(id, "/") || strings.Contains(id, ".") {
+		http.Error(w, "want /runs/{run-id}", http.StatusBadRequest)
+		return
+	}
+	rec, err := s.ledger.Load(id)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(rec)
+}
+
+func (s *Server) handleRunsDiff(w http.ResponseWriter, r *http.Request) {
+	if s.ledger == nil {
+		http.Error(w, "run ledger is disabled (run with -ledger)", http.StatusNotFound)
+		return
+	}
+	a, b := r.URL.Query().Get("a"), r.URL.Query().Get("b")
+	if a == "" || b == "" {
+		http.Error(w, "want /runs/diff?a={run-id}&b={run-id}", http.StatusBadRequest)
+		return
+	}
+	recA, err := s.ledger.Load(a)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	recB, err := s.ledger.Load(b)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, ledger.Diff(recA, recB).Render())
+}
+
+// writeRunInfo renders the repro_run_info gauge: always 1, the run's
+// content-addressed identity in the label (the build_info idiom), so
+// scrapes from concurrent campaigns are distinguishable.
+func writeRunInfo(w io.Writer, runID string) {
+	fmt.Fprintf(w, "# HELP repro_run_info Content-addressed identity of the serving campaign run (value is always 1).\n")
+	fmt.Fprintf(w, "# TYPE repro_run_info gauge\n")
+	fmt.Fprintf(w, "repro_run_info{run_id=%q} 1\n", runID)
+}
+
+// writeLedgerMetrics renders the latest recorded run's summary gauges
+// from the attached store: expected and completed cell counts plus the
+// failure count, labelled by run ID.
+func writeLedgerMetrics(w io.Writer, st *ledger.Store) {
+	runs, err := st.Runs()
+	if err != nil || len(runs) == 0 {
+		return
+	}
+	latest := runs[0]
+	rec, err := st.Load(latest.RunID)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "# HELP repro_last_run_cells Expected cell count of the latest recorded run.\n")
+	fmt.Fprintf(w, "# TYPE repro_last_run_cells gauge\n")
+	fmt.Fprintf(w, "repro_last_run_cells{run_id=%q} %d\n", rec.RunID, rec.Cells)
+	fmt.Fprintf(w, "# HELP repro_last_run_completed Settled (non-canceled) cells of the latest recorded run.\n")
+	fmt.Fprintf(w, "# TYPE repro_last_run_completed gauge\n")
+	fmt.Fprintf(w, "repro_last_run_completed{run_id=%q} %d\n", rec.RunID, rec.Completed)
+	fmt.Fprintf(w, "# HELP repro_last_run_failed Failed cells of the latest recorded run.\n")
+	fmt.Fprintf(w, "# TYPE repro_last_run_failed gauge\n")
+	fmt.Fprintf(w, "repro_last_run_failed{run_id=%q} %d\n", rec.RunID, rec.Failed())
+}

@@ -1,0 +1,153 @@
+package obs
+
+// Contract of the run-ledger endpoints: /runs listing, /runs/{id}
+// records, /runs/diff rendering, the run_id in /healthz, and the
+// repro_run_info / last-run gauges on /metrics.
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/ledger"
+	"repro/internal/telemetry"
+)
+
+// seedStore writes one tiny settled run into a fresh store and returns
+// the store with its run ID.
+func seedStore(t *testing.T) (*ledger.Store, string) {
+	t.Helper()
+	store, err := ledger.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ledger.Config{
+		RegistryDigest: "0123456789abcdef",
+		Versions:       []string{"4.6"},
+		BuildVersion:   "test",
+	}
+	w, err := store.NewWriter(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Import([]*ledger.Entry{
+		{Scenario: "XSA-212-crash", Version: "4.6", Mode: "exploit",
+			Verdict: &ledger.VerdictRecord{ErroneousState: true, SecurityViolation: true}},
+		{Scenario: "XSA-212-crash", Version: "4.6", Mode: "injection",
+			Verdict: &ledger.VerdictRecord{ErroneousState: true, SecurityViolation: true}},
+	})
+	if _, err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return store, cfg.RunID()
+}
+
+func TestRunsEndpoints(t *testing.T) {
+	store, runID := seedStore(t)
+	srv := NewServer(telemetry.NewRegistry())
+	srv.SetLedger(store)
+	srv.SetRunID(runID)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+	base := "http://" + addr.String()
+
+	// /runs: the run history as JSON.
+	status, ctype, body := get(t, base+"/runs")
+	if status != 200 || !strings.Contains(ctype, "application/json") {
+		t.Fatalf("/runs: status %d, content type %q", status, ctype)
+	}
+	var runs []ledger.Run
+	if err := json.Unmarshal([]byte(body), &runs); err != nil {
+		t.Fatalf("/runs is not JSON: %v\n%s", err, body)
+	}
+	if len(runs) != 1 || runs[0].RunID != runID {
+		t.Errorf("/runs = %+v, want the seeded run %s", runs, runID)
+	}
+
+	// /runs/{id}: the settled record, rebuilt from the journal.
+	status, ctype, body = get(t, base+"/runs/"+runID)
+	if status != 200 || !strings.Contains(ctype, "application/json") {
+		t.Fatalf("/runs/{id}: status %d, content type %q", status, ctype)
+	}
+	var rec ledger.Record
+	if err := json.Unmarshal([]byte(body), &rec); err != nil {
+		t.Fatalf("/runs/{id} is not JSON: %v\n%s", err, body)
+	}
+	if rec.RunID != runID || rec.Completed != 2 {
+		t.Errorf("/runs/{id} = run %s with %d cells, want %s with 2", rec.RunID, rec.Completed, runID)
+	}
+	if err := rec.Verify(); err != nil {
+		t.Errorf("/runs/{id} record fails verification: %v", err)
+	}
+
+	// Unknown run: 404.
+	if status, _, _ = get(t, base+"/runs/ffffffffffffffff"); status != 404 {
+		t.Errorf("/runs/unknown: status %d, want 404", status)
+	}
+
+	// /runs/diff of a run against itself: canonical text, no differences.
+	status, ctype, body = get(t, base+"/runs/diff?a="+runID+"&b="+runID)
+	if status != 200 || !strings.Contains(ctype, "text/plain") {
+		t.Fatalf("/runs/diff: status %d, content type %q", status, ctype)
+	}
+	if !strings.Contains(body, "no differences") {
+		t.Errorf("/runs/diff self-diff:\n%s", body)
+	}
+	if status, _, body = get(t, base+"/runs/diff?a="+runID); status != 400 {
+		t.Errorf("/runs/diff without b: status %d body %q, want 400", status, body)
+	}
+
+	// /healthz carries the serving run's identity.
+	_, _, body = get(t, base+"/healthz")
+	var hi HealthInfo
+	if err := json.Unmarshal([]byte(body), &hi); err != nil {
+		t.Fatal(err)
+	}
+	if hi.RunID != runID {
+		t.Errorf("/healthz run_id = %q, want %q", hi.RunID, runID)
+	}
+
+	// /metrics exposes the run-info gauge and the last-run summary.
+	_, _, metrics := get(t, base+"/metrics")
+	for _, want := range []string{
+		`repro_run_info{run_id="` + runID + `"} 1`,
+		`repro_last_run_cells{run_id="` + runID + `"} 2`,
+		`repro_last_run_completed{run_id="` + runID + `"} 2`,
+		`repro_last_run_failed{run_id="` + runID + `"} 0`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+// TestRunsDisabled pins the no-ledger shape: 404 naming the flag, no
+// run gauges on /metrics, no run_id in /healthz.
+func TestRunsDisabled(t *testing.T) {
+	srv := NewServer(telemetry.NewRegistry())
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+	base := "http://" + addr.String()
+
+	for _, path := range []string{"/runs", "/runs/abc", "/runs/diff?a=x&b=y"} {
+		status, _, body := get(t, base+path)
+		if status != 404 || !strings.Contains(body, "-ledger") {
+			t.Errorf("%s disabled: status %d body %q, want 404 naming -ledger", path, status, body)
+		}
+	}
+	_, _, metrics := get(t, base+"/metrics")
+	if strings.Contains(metrics, "repro_run_info") || strings.Contains(metrics, "repro_last_run") {
+		t.Errorf("/metrics exposes run gauges without a ledger:\n%s", metrics)
+	}
+	_, _, body := get(t, base+"/healthz")
+	if strings.Contains(body, "run_id") {
+		t.Errorf("/healthz carries run_id without one set: %s", body)
+	}
+}

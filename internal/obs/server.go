@@ -21,6 +21,7 @@ import (
 	"repro/internal/buildinfo"
 	"repro/internal/campaign"
 	"repro/internal/coverage"
+	"repro/internal/ledger"
 	"repro/internal/span"
 	"repro/internal/telemetry"
 )
@@ -55,9 +56,11 @@ type CellState struct {
 // campaign.Progress; install it on the Runner and Listen before the
 // campaign starts. All methods are safe for concurrent use.
 type Server struct {
-	reg   *telemetry.Registry
-	spans *span.Collector
-	cov   *coverage.Collector
+	reg    *telemetry.Registry
+	spans  *span.Collector
+	cov    *coverage.Collector
+	runID  string
+	ledger *ledger.Store
 
 	mu    sync.Mutex
 	cells map[string]*CellState
@@ -77,9 +80,24 @@ func NewServer(reg *telemetry.Registry) *Server {
 	mux.HandleFunc("/cells", s.handleCells)
 	mux.HandleFunc("/spans", s.handleSpans)
 	mux.HandleFunc("/coverage", s.handleCoverage)
+	mux.HandleFunc("/runs", s.handleRuns)
+	mux.HandleFunc("/runs/", s.handleRun)
+	mux.HandleFunc("/runs/diff", s.handleRunsDiff)
 	s.srv = &http.Server{Handler: mux}
 	return s
 }
+
+// SetRunID installs the campaign's content-addressed run identity;
+// /healthz reports it and /metrics exports the repro_run_info gauge so
+// scrapes from concurrent campaigns are distinguishable. Call before
+// Listen.
+func (s *Server) SetRunID(id string) { s.runID = id }
+
+// SetLedger installs the campaign's run-record store; the /runs
+// endpoints serve its records (live — the journal is written as cells
+// settle). Call before Listen; nil (the default) makes /runs report
+// that the ledger is disabled.
+func (s *Server) SetLedger(st *ledger.Store) { s.ledger = st }
 
 // SetSpans installs the campaign's span collector; /spans serves its
 // live forest. Call before Listen; nil (the default) makes /spans
@@ -177,6 +195,9 @@ type HealthInfo struct {
 	Version          string `json:"version"`
 	GoVersion        string `json:"go_version"`
 	SnapshotsEnabled bool   `json:"snapshots_enabled"`
+	// RunID is the campaign's content-addressed run identity, empty when
+	// the serving binary did not compute one.
+	RunID string `json:"run_id,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -188,6 +209,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		Version:          buildinfo.Version,
 		GoVersion:        buildinfo.GoVersion(),
 		SnapshotsEnabled: campaign.SnapshotsEnabled(),
+		RunID:            s.runID,
 	})
 }
 
@@ -212,9 +234,15 @@ func (s *Server) handleCells(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	WriteBuildInfo(w)
+	if s.runID != "" {
+		writeRunInfo(w, s.runID)
+	}
 	WriteMetrics(w, s.reg)
 	if s.cov != nil {
 		writeCoverageMetrics(w, s.cov.Report())
+	}
+	if s.ledger != nil {
+		writeLedgerMetrics(w, s.ledger)
 	}
 }
 
