@@ -44,6 +44,12 @@
 # directory are left behind for CI to attach on failure.
 # `ledger-baseline` regenerates LEDGER_baseline.json after an
 # intentional behaviour change (review the runs diff first).
+# `stream-demo` is the live-observability gate: the event-bus suite
+# (slow-consumer drops, Last-Event-ID replay, SSE shutdown drain) runs
+# under the race detector, then a full matrix writes the wall schedule
+# (sched-demo.json, Perfetto-loadable) and its occupancy summary, which
+# `tracecheck sched` re-validates lane by lane. Both artifacts are left
+# behind for CI to attach on failure.
 
 GO ?= go
 
@@ -56,7 +62,7 @@ MATRIX_BENCHES   = ^BenchmarkFullMatrix$$|^BenchmarkMatrixParallel$$|^BenchmarkM
 OBS_BENCHES      = ^BenchmarkMatrixTelemetry$$
 SNAPSHOT_BENCHES = ^BenchmarkBootEnvironment$$|^BenchmarkSnapshotBuild$$|^BenchmarkCellFork$$
 
-.PHONY: all build test race vet bench benchdiff check trace-demo chaos equivalence spans lint-scenarios cover-matrix ledger-diff ledger-baseline clean
+.PHONY: all build test race vet bench benchdiff check trace-demo chaos equivalence spans lint-scenarios cover-matrix ledger-diff ledger-baseline stream-demo clean
 
 all: check
 
@@ -135,16 +141,26 @@ ledger-diff:
 	$(GO) run ./cmd/repro -matrix -workers 4 -ledger ledger-ci > /dev/null
 	@$(GO) run ./cmd/tracecheck runs diff LEDGER_baseline.json ledger-ci > ledger-diff.txt 2>&1; rc=$$?; cat ledger-diff.txt; exit $$rc
 
+stream-demo:
+	$(GO) test -race ./internal/events/
+	$(GO) test -race -run 'Events|Stream|Sched' ./internal/obs/ ./internal/campaign/
+	$(GO) run ./cmd/repro -matrix -workers 4 -schedule sched-demo.json > sched-summary.txt
+	@grep -q 'WALL SCHEDULE SUMMARY' sched-summary.txt
+	@grep -q 'utilization:' sched-summary.txt
+	@grep -q 'wall critical path:' sched-summary.txt
+	$(GO) run ./cmd/tracecheck sched sched-demo.json
+
 ledger-baseline:
 	rm -rf ledger-ci
 	$(GO) run ./cmd/repro -matrix -workers 4 -ledger ledger-ci > /dev/null
 	cp ledger-ci/*/record.json LEDGER_baseline.json
 	@echo "wrote LEDGER_baseline.json"
 
-check: build vet lint-scenarios test race chaos equivalence spans cover-matrix ledger-diff
+check: build vet lint-scenarios test race chaos equivalence spans stream-demo cover-matrix ledger-diff
 
 clean:
 	rm -f BENCH_matrix.json BENCH_obs.json BENCH_snapshot.json trace-demo.jsonl flight-*.jsonl spans-demo.json spans-summary.txt
 	rm -f BENCH_matrix.new.json BENCH_snapshot.new.json cov-matrix.json cov-diff.txt ledger-diff.txt
+	rm -f sched-demo.json sched-summary.txt
 	rm -rf ledger-ci
 	$(GO) clean ./...

@@ -13,6 +13,7 @@ import (
 	"repro/internal/coverage"
 	"repro/internal/cpu"
 	"repro/internal/device"
+	"repro/internal/events"
 	"repro/internal/exploits"
 	"repro/internal/fieldstudy"
 	"repro/internal/hv"
@@ -137,13 +138,17 @@ func BenchmarkMatrixParallel(b *testing.B) {
 // under the server mutex, plus a goroutine accepting scrapes). The
 // "off" sub-benchmark is the guard for the disabled-sink contract: it
 // must stay within noise of BenchmarkMatrixParallel's pre-telemetry
-// numbers; "server" tracks the -listen overhead recorded in
-// BENCH_obs.json; "coverage" tracks the cost of the per-cell coverage
-// maps on top of plain telemetry (the -coverage flag's overhead —
-// with coverage disabled, "on" is the baseline that must not move).
+// numbers (the same guard covers the event bus — a nil Sched hook is
+// the same predicted-not-taken nil branch); "server" tracks the
+// -listen overhead recorded in BENCH_obs.json; "coverage" tracks the
+// cost of the per-cell coverage maps on top of plain telemetry (the
+// -coverage flag's overhead — with coverage disabled, "on" is the
+// baseline that must not move); "stream" tracks the event-bus +
+// scheduler-timeline overhead (-listen's bus with no subscriber
+// draining it, the common case of a campaign nobody is watching).
 func BenchmarkMatrixTelemetry(b *testing.B) {
-	run := func(b *testing.B, reg *telemetry.Registry, progress campaign.Progress, cov *coverage.Collector) {
-		r := &campaign.Runner{Workers: 4, Telemetry: reg, Progress: progress, Coverage: cov}
+	run := func(b *testing.B, reg *telemetry.Registry, progress campaign.Progress, cov *coverage.Collector, sched campaign.SchedObserver) {
+		r := &campaign.Runner{Workers: 4, Telemetry: reg, Progress: progress, Coverage: cov, Sched: sched}
 		for i := 0; i < b.N; i++ {
 			entries, err := r.RunMatrix()
 			if err != nil {
@@ -155,8 +160,8 @@ func BenchmarkMatrixTelemetry(b *testing.B) {
 			}
 		}
 	}
-	b.Run("off", func(b *testing.B) { run(b, nil, nil, nil) })
-	b.Run("on", func(b *testing.B) { run(b, telemetry.NewRegistry(), nil, nil) })
+	b.Run("off", func(b *testing.B) { run(b, nil, nil, nil, nil) })
+	b.Run("on", func(b *testing.B) { run(b, telemetry.NewRegistry(), nil, nil, nil) })
 	b.Run("server", func(b *testing.B) {
 		reg := telemetry.NewRegistry()
 		srv := obs.NewServer(reg)
@@ -165,10 +170,16 @@ func BenchmarkMatrixTelemetry(b *testing.B) {
 		}
 		defer srv.Shutdown(context.Background())
 		b.ResetTimer()
-		run(b, reg, srv, nil)
+		run(b, reg, srv, nil, nil)
 	})
 	b.Run("coverage", func(b *testing.B) {
-		run(b, telemetry.NewRegistry(), nil, coverage.NewCollector())
+		run(b, telemetry.NewRegistry(), nil, coverage.NewCollector(), nil)
+	})
+	b.Run("stream", func(b *testing.B) {
+		bus := events.NewBus(0, 0)
+		defer bus.Close()
+		run(b, telemetry.NewRegistry(), nil, nil,
+			events.Fanout{&events.Publisher{Bus: bus}, events.NewTimeline()})
 	})
 }
 

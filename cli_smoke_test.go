@@ -1,9 +1,15 @@
 package repro
 
 import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 	"time"
@@ -71,6 +77,7 @@ func TestCLISmoke(t *testing.T) {
 			{[]string{"-figure", "9"}, "-figure: want 1..4"},
 			{[]string{"-fuzz", "-1"}, "-fuzz: want a positive trial count"},
 			{[]string{"-workers", "-2", "-matrix"}, "-workers: want 0 (one per CPU) or a positive pool size"},
+			{[]string{"-serve", "-matrix"}, "-serve: requires -listen"},
 		}
 		for _, u := range usage {
 			out, err := exec.Command(filepath.Join(dir, "repro"), u.args...).CombinedOutput()
@@ -463,6 +470,204 @@ func TestCLISmoke(t *testing.T) {
 		}
 		if !strings.Contains(string(out), "ok:") {
 			t.Errorf("tracecheck output missing ok: %s", out)
+		}
+	})
+
+	// The wall schedule end to end: -schedule writes a Perfetto-loadable
+	// trace plus prints the occupancy summary, tracecheck's sched mode
+	// validates it, and -log emits parseable JSON lines with the run ID.
+	t.Run("sched-and-log", func(t *testing.T) {
+		tmp := t.TempDir()
+		sched := filepath.Join(tmp, "sched.json")
+		logFile := filepath.Join(tmp, "run.log")
+		out, err := exec.Command(filepath.Join(dir, "repro"),
+			"-matrix", "-workers", "4", "-schedule", sched, "-log", logFile).CombinedOutput()
+		if err != nil {
+			t.Fatalf("repro -matrix -schedule -log: %v\n%s", err, out)
+		}
+		for _, want := range []string{"WALL SCHEDULE SUMMARY", "utilization:", "wall critical path:", "FULL CAMPAIGN MATRIX"} {
+			if !strings.Contains(string(out), want) {
+				t.Errorf("schedule output missing %q:\n%s", want, out)
+			}
+		}
+		out, err = exec.Command(filepath.Join(dir, "tracecheck"), "sched", sched).CombinedOutput()
+		if err != nil {
+			t.Fatalf("tracecheck sched: %v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "ok: 102 cells across 4 worker tracks") {
+			t.Errorf("tracecheck sched output missing the ok line:\n%s", out)
+		}
+		raw, err := os.ReadFile(logFile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+		if len(lines) < 2 {
+			t.Fatalf("log file carries %d lines, want at least the start/done pair:\n%s", len(lines), raw)
+		}
+		sawDone := false
+		for i, line := range lines {
+			var rec map[string]any
+			if err := json.Unmarshal([]byte(line), &rec); err != nil {
+				t.Fatalf("log line %d is not JSON: %v\n%s", i+1, err, line)
+			}
+			if id, _ := rec["run_id"].(string); id == "" {
+				t.Fatalf("log line %d has no run_id: %s", i+1, line)
+			}
+			if rec["msg"] == "campaign done" {
+				sawDone = true
+			}
+		}
+		if !sawDone {
+			t.Errorf("log file never recorded campaign done:\n%s", raw)
+		}
+	})
+
+	// The live observability surface: -serve keeps the server up after
+	// the campaign, /events replays the retained stream over SSE,
+	// /schedule reports the worker occupancy, pprof is mounted, and
+	// Ctrl-C shuts the whole thing down cleanly.
+	t.Run("serve-endpoints", func(t *testing.T) {
+		tmp := t.TempDir()
+		stderrFile := filepath.Join(tmp, "stderr.txt")
+		ef, err := os.Create(stderrFile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ef.Close()
+		cmd := exec.Command(filepath.Join(dir, "repro"),
+			"-matrix", "-workers", "4", "-listen", "127.0.0.1:0", "-serve")
+		cmd.Stdout = ef
+		cmd.Stderr = ef
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer cmd.Process.Kill()
+
+		// The bound address is logged as soon as the listener is up.
+		addrRE := regexp.MustCompile(`observability server on http://(127\.0\.0\.1:\d+)`)
+		var base string
+		deadline := time.Now().Add(30 * time.Second)
+		for base == "" {
+			if time.Now().After(deadline) {
+				raw, _ := os.ReadFile(stderrFile)
+				t.Fatalf("server address never logged:\n%s", raw)
+			}
+			raw, _ := os.ReadFile(stderrFile)
+			if m := addrRE.FindSubmatch(raw); m != nil {
+				base = "http://" + string(m[1])
+			} else {
+				time.Sleep(20 * time.Millisecond)
+			}
+		}
+		// Wait for the campaign itself to finish so the stream is fully
+		// retained and the schedule is final; -serve keeps everything up.
+		for {
+			if time.Now().After(deadline) {
+				raw, _ := os.ReadFile(stderrFile)
+				t.Fatalf("campaign never reported completion:\n%s", raw)
+			}
+			raw, _ := os.ReadFile(stderrFile)
+			if strings.Contains(string(raw), "still serving") {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+
+		// /events with Last-Event-ID: 0 replays the whole retained run.
+		func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			req, err := http.NewRequestWithContext(ctx, "GET", base+"/events", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			req.Header.Set("Last-Event-ID", "0")
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatalf("GET /events: %v", err)
+			}
+			defer resp.Body.Close()
+			if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+				t.Fatalf("/events Content-Type = %q", ct)
+			}
+			var starts, finishes int
+			sawDone := false
+			sc := bufio.NewScanner(resp.Body)
+			for sc.Scan() && !sawDone {
+				line := sc.Text()
+				switch {
+				case strings.HasPrefix(line, "event: cell_started"):
+					starts++
+				case strings.HasPrefix(line, "event: cell_finished"):
+					finishes++
+				case strings.HasPrefix(line, "event: campaign_done"):
+					sawDone = true
+				}
+			}
+			if !sawDone {
+				t.Fatalf("replay never reached campaign_done (starts %d finishes %d): %v", starts, finishes, sc.Err())
+			}
+			if starts != 102 || finishes != 102 {
+				t.Errorf("replayed %d starts / %d finishes, want 102/102", starts, finishes)
+			}
+		}()
+
+		// /schedule reports the finished run's occupancy.
+		resp, err := http.Get(base + "/schedule")
+		if err != nil {
+			t.Fatalf("GET /schedule: %v", err)
+		}
+		var s struct {
+			Total     int `json:"total"`
+			Completed int `json:"completed"`
+			Workers   []struct {
+				Cells int `json:"cells"`
+			} `json:"workers"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&s)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("/schedule decode: %v", err)
+		}
+		if s.Total != 102 || s.Completed != 102 || len(s.Workers) != 4 {
+			t.Errorf("/schedule = total %d completed %d workers %d, want 102/102/4", s.Total, s.Completed, len(s.Workers))
+		}
+
+		// pprof and the runtime gauges are mounted.
+		resp, err = http.Get(base + "/debug/pprof/")
+		if err != nil {
+			t.Fatalf("GET /debug/pprof/: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("/debug/pprof/ status %d", resp.StatusCode)
+		}
+		resp, err = http.Get(base + "/metrics")
+		if err != nil {
+			t.Fatalf("GET /metrics: %v", err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		for _, want := range []string{"repro_events_published_total", "repro_sched_utilization", "repro_go_goroutines"} {
+			if !strings.Contains(string(raw), want) {
+				t.Errorf("/metrics missing %q", want)
+			}
+		}
+
+		// Ctrl-C tears the server down and the process exits cleanly.
+		_ = cmd.Process.Signal(os.Interrupt)
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+		select {
+		case err := <-done:
+			if err != nil {
+				raw, _ := os.ReadFile(stderrFile)
+				t.Fatalf("repro -serve exited with %v after SIGINT:\n%s", err, raw)
+			}
+		case <-time.After(30 * time.Second):
+			_ = cmd.Process.Kill()
+			t.Fatal("repro -serve did not exit after SIGINT")
 		}
 	})
 }

@@ -73,6 +73,41 @@
 //	repro -matrix -listen :8080    # /metrics /healthz /cells while running
 //	repro -matrix -listen :8080 -spans spans.json   # adds /spans
 //	repro -matrix -listen :8080 -coverage cov.json  # adds /coverage
+//	repro -matrix -listen :8080 -serve              # keep serving after the run
+//	curl -N http://localhost:8080/events            # live SSE event stream
+//
+// -listen also serves the live campaign event stream: /events is an
+// SSE endpoint carrying batch/cell lifecycle events with monotonic
+// IDs — a reconnecting client sends Last-Event-ID and replays the
+// retained ring gaplessly — plus /schedule (the wall-clock worker
+// schedule as JSON) and /debug/pprof (the Go profiling endpoints).
+// Slow /events consumers lose events instead of slowing the campaign;
+// the loss is counted per connection and surfaced in-band. -serve
+// keeps the server (and /events replay, /runs, pprof) up after the
+// campaign completes until Ctrl-C.
+//
+// Wall schedule:
+//
+//	repro -matrix -workers 4 -schedule sched.json   # Perfetto wall schedule
+//
+// -schedule records which worker ran which cell, each cell's queue
+// wait and run time, writes the schedule as Chrome trace-event JSON
+// (load it in ui.perfetto.dev; one track per worker) with the summary
+// snapshot embedded, and prints the utilization / queue-wait / wall
+// critical-path summary. It complements -spans: spans measure the
+// deterministic virtual clock, -schedule measures the wall clock, and
+// nothing it observes feeds a deterministic artifact. Validate and
+// summarize a schedule file with "tracecheck sched sched.json".
+//
+// Structured logging:
+//
+//	repro -matrix -log run.log             # JSON logs (run_id on every line)
+//	repro -matrix -log - -log-level debug  # per-cell dispatch/settle to stderr
+//
+// -log threads log/slog through the command and the campaign engine:
+// batch queueing at Info, per-cell dispatch/settle with worker,
+// queue-wait and verdict attrs at Debug, failures with their class at
+// Warn. The default (no -log) stays completely silent.
 //
 // Run ledger & regression diffs:
 //
@@ -118,6 +153,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"runtime"
@@ -129,6 +165,7 @@ import (
 	"repro/internal/buildinfo"
 	"repro/internal/campaign"
 	"repro/internal/coverage"
+	"repro/internal/events"
 	"repro/internal/exploits"
 	"repro/internal/faults"
 	"repro/internal/fieldstudy"
@@ -199,7 +236,11 @@ func run(out io.Writer) (err error) {
 	chaos := flag.Int64("chaos", 0, "arm a seeded substrate fault plan with this seed (0 = off)")
 	contOnErr := flag.Bool("continue-on-error", false, "record per-cell failure classifications instead of stopping at the first failing cell")
 	equivalence := flag.Bool("equivalence", false, "run the full matrix in both modes and report per-cell trace equivalence (RQ2); exits non-zero on any divergent cell")
-	listenAddr := flag.String("listen", "", "serve live observability on this address (/metrics, /healthz, /cells, /spans) for the duration of the run")
+	listenAddr := flag.String("listen", "", "serve live observability on this address (/metrics, /healthz, /cells, /spans, /events, /schedule, /debug/pprof) for the duration of the run")
+	serve := flag.Bool("serve", false, "with -listen: keep the observability server up after the campaign completes (for /runs, /events replay, pprof) until interrupted")
+	scheduleOut := flag.String("schedule", "", "write the wall-clock worker schedule as Chrome trace-event JSON to this file and print the schedule summary")
+	logOut := flag.String("log", "", "write structured JSON run logs to this file (\"-\" = stderr; silent by default)")
+	logLevel := flag.String("log-level", "info", "minimum structured log level with -log: debug, info, warn or error")
 	spansOut := flag.String("spans", "", "capture per-cell causal span trees, write them as Chrome trace-event JSON to this file, and print the span summary")
 	noSnapshot := flag.Bool("no-snapshot", false, "boot every campaign cell fresh instead of forking the sealed (version, mode) snapshot")
 	covOut := flag.String("coverage", "", "accumulate per-cell coverage maps and write the campaign coverage report (JSON) to this file")
@@ -236,6 +277,9 @@ func run(out io.Writer) (err error) {
 	}
 	if *resume && *ledgerDir == "" {
 		return errors.New("-resume: requires -ledger")
+	}
+	if *serve && *listenAddr == "" {
+		return errors.New("-serve: requires -listen")
 	}
 	if *ledgerDir != "" {
 		// The ledger records exactly the full campaign matrix; selection
@@ -303,6 +347,58 @@ func run(out io.Writer) (err error) {
 	runCfg := ledger.CurrentConfig(*chaos, *contOnErr)
 	runID := runCfg.RunID()
 
+	// Structured run logging (-log): slog threads through the runner and
+	// this command with the run identity on every line. Silent (and
+	// free) unless requested.
+	var logger *slog.Logger
+	if *logOut != "" {
+		var lvl slog.Level
+		if lerr := lvl.UnmarshalText([]byte(*logLevel)); lerr != nil {
+			return fmt.Errorf("-log-level: %w", lerr)
+		}
+		lw := io.Writer(os.Stderr)
+		if *logOut != "-" {
+			f, lerr := os.Create(*logOut)
+			if lerr != nil {
+				return fmt.Errorf("log: %w", lerr)
+			}
+			defer func() {
+				if cerr := f.Close(); cerr != nil && err == nil {
+					err = fmt.Errorf("log: %w", cerr)
+				}
+			}()
+			lw = f
+		}
+		logger = slog.New(slog.NewJSONHandler(lw, &slog.HandlerOptions{Level: lvl})).With("run_id", runID)
+		runner.Log = logger
+		logger.Info("campaign starting",
+			"version", buildinfo.Version, "workers", *workers,
+			"chaos", *chaos, "continue_on_error", *contOnErr)
+	}
+
+	// The wall-clock observability plane: the scheduler timeline backs
+	// -schedule and /schedule, the event bus backs the SSE /events
+	// stream. Both hang off the runner's Sched hook and observe wall
+	// time only — none of it can reach a deterministic artifact.
+	var (
+		bus       *events.Bus
+		publisher *events.Publisher
+		timeline  *events.Timeline
+	)
+	if *scheduleOut != "" || *listenAddr != "" {
+		timeline = events.NewTimeline()
+	}
+	if *listenAddr != "" {
+		bus = events.NewBus(0, 0)
+		publisher = &events.Publisher{Bus: bus}
+	}
+	switch {
+	case publisher != nil && timeline != nil:
+		runner.Sched = events.Fanout{publisher, timeline}
+	case timeline != nil:
+		runner.Sched = timeline
+	}
+
 	var (
 		ledgerStore *ledger.Store
 		ledgerW     *ledger.Writer
@@ -341,11 +437,16 @@ func run(out io.Writer) (err error) {
 		server.SetCoverage(runner.Coverage)
 		server.SetRunID(runID)
 		server.SetLedger(ledgerStore)
+		server.SetBus(bus)
+		server.SetSchedule(timeline)
 		addr, lerr := server.Listen(*listenAddr)
 		if lerr != nil {
 			return lerr
 		}
-		log.Printf("observability server on http://%s (/metrics /healthz /cells /spans /coverage /runs)", addr)
+		log.Printf("observability server on http://%s (/metrics /healthz /cells /spans /coverage /runs /events /schedule /debug/pprof)", addr)
+		if logger != nil {
+			logger.Info("observability server listening", "addr", addr.String())
+		}
 		defer func() {
 			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 			defer cancel()
@@ -585,6 +686,21 @@ func run(out io.Writer) (err error) {
 	if bodyErr != nil && ctx.Err() != nil {
 		log.Print("interrupted; flushing partial artifacts")
 	}
+	if publisher != nil {
+		// The stream's terminal event: subscribers learn the campaign is
+		// over without waiting for the connection to close.
+		s := timeline.Snapshot()
+		publisher.CampaignDone(s.Completed, s.Failed)
+	}
+	if logger != nil {
+		attrs := []any{"ok", bodyErr == nil}
+		if timeline != nil {
+			s := timeline.Snapshot()
+			attrs = append(attrs, "cells", s.Completed, "failed", s.Failed,
+				"makespan_ns", s.MakespanNS, "utilization", s.Utilization)
+		}
+		logger.Info("campaign done", attrs...)
+	}
 	if flight != nil {
 		for _, p := range flight.Dumps() {
 			log.Printf("flight recorder: dumped %s", p)
@@ -642,10 +758,32 @@ func run(out io.Writer) (err error) {
 		}
 		fmt.Fprintln(out, report.CoverageSummary(rep))
 	}
+	if *scheduleOut != "" {
+		if werr := writeSchedule(*scheduleOut, timeline); werr != nil {
+			flushErrs = append(flushErrs, werr)
+		} else {
+			log.Printf("wrote wall schedule to %s (open in ui.perfetto.dev)", *scheduleOut)
+		}
+		fmt.Fprintln(out, events.RenderSummary(timeline.Snapshot()))
+	}
 	if *memProfile != "" {
 		if err := writeHeapProfile(*memProfile); err != nil {
 			flushErrs = append(flushErrs, err)
 		}
+	}
+	if *serve && ctx.Err() == nil {
+		// -serve: the campaign is done but the observability surfaces
+		// (/runs, /events replay, /schedule, pprof) stay inspectable
+		// until Ctrl-C. The deferred Shutdown then terminates live SSE
+		// subscribers so the drain completes promptly.
+		log.Print("campaign done; observability server still serving (Ctrl-C to exit)")
+		<-ctx.Done()
+		log.Print("interrupt; shutting down observability server")
+	}
+	if bus != nil {
+		// End-of-stream for every connected subscriber: their channels
+		// close, the SSE handlers emit the `end` notice and return.
+		bus.Close()
 	}
 	return errors.Join(append([]error{bodyErr}, flushErrs...)...)
 }
@@ -676,6 +814,21 @@ func writeSpans(path string, f *span.Forest) error {
 	}
 	if err := fh.Close(); err != nil {
 		return fmt.Errorf("spans: %w", err)
+	}
+	return nil
+}
+
+func writeSchedule(path string, t *events.Timeline) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("schedule: %w", err)
+	}
+	if err := t.WriteChrome(f); err != nil {
+		f.Close()
+		return fmt.Errorf("schedule: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("schedule: %w", err)
 	}
 	return nil
 }

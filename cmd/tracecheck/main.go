@@ -36,11 +36,17 @@
 //	tracecheck <trace.jsonl>
 //	tracecheck diff <a.jsonl> <b.jsonl>
 //	tracecheck spans <spans.json>
+//	tracecheck sched <sched.json>
 //	tracecheck cov [-digest] <cov.json>
 //	tracecheck cov <a.json> <b.json>
 //	tracecheck runs list <store-dir>
 //	tracecheck runs show <record.json|run-dir|store-dir>
 //	tracecheck runs diff <a> <b>
+//
+// Sched mode validates a wall-schedule file produced by `repro
+// -schedule` — Chrome trace-event JSON with the Schedule snapshot
+// embedded — cross-checks the two against each other, and prints the
+// utilization / queue-wait / wall-critical-path summary.
 //
 // Runs mode works with campaign run records produced by `repro
 // -ledger`: list shows a store's run history, show prints one settled
@@ -60,7 +66,7 @@ import (
 )
 
 func usage() {
-	log.Fatalf("usage: tracecheck <trace.jsonl> | tracecheck diff <a.jsonl> <b.jsonl> | tracecheck spans <spans.json> | tracecheck cov [-digest] <cov.json> | tracecheck cov <a.json> <b.json> | tracecheck runs list|show|diff ...")
+	log.Fatalf("usage: tracecheck <trace.jsonl> | tracecheck diff <a.jsonl> <b.jsonl> | tracecheck spans <spans.json> | tracecheck sched <sched.json> | tracecheck cov [-digest] <cov.json> | tracecheck cov <a.json> <b.json> | tracecheck runs list|show|diff ...")
 }
 
 func main() {
@@ -69,12 +75,14 @@ func main() {
 	switch {
 	case len(os.Args) >= 2 && os.Args[1] == "runs":
 		runsMain(os.Args[2:])
-	case len(os.Args) == 2 && os.Args[1] != "diff" && os.Args[1] != "spans" && os.Args[1] != "cov":
+	case len(os.Args) == 2 && os.Args[1] != "diff" && os.Args[1] != "spans" && os.Args[1] != "sched" && os.Args[1] != "cov":
 		validate(os.Args[1])
 	case len(os.Args) == 4 && os.Args[1] == "diff":
 		diff(os.Args[2], os.Args[3])
 	case len(os.Args) == 3 && os.Args[1] == "spans":
 		validateSpans(os.Args[2])
+	case len(os.Args) == 3 && os.Args[1] == "sched":
+		validateSched(os.Args[2])
 	case len(os.Args) == 3 && os.Args[1] == "cov":
 		covValidate(os.Args[2], false)
 	case len(os.Args) == 4 && os.Args[1] == "cov" && os.Args[2] == "-digest":

@@ -7,7 +7,7 @@ package buildinfo
 import "runtime"
 
 // Version is the repro build version, bumped per released PR.
-const Version = "0.8.0"
+const Version = "0.9.0"
 
 // GoVersion reports the toolchain the binary was built with.
 func GoVersion() string { return runtime.Version() }

@@ -3,6 +3,7 @@ package campaign
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"regexp"
 	"runtime"
 	"runtime/debug"
@@ -110,6 +111,18 @@ type Runner struct {
 	// to an uninstrumented run. Nil disables coverage.
 	Coverage *coverage.Collector
 
+	// Sched, when set, observes the wall-clock schedule: batch queueing
+	// and per-cell dispatch/settle with worker identity, queue wait and
+	// run time. It feeds the live event bus and the scheduler timeline —
+	// pure observation, never deterministic artifacts. Implementations
+	// must be safe for concurrent use. Nil disables it at no cost.
+	Sched SchedObserver
+
+	// Log, when set, receives structured scheduling logs (cell
+	// dispatched/settled/failed with worker and verdict attrs) at Debug
+	// and Warn. Nil (the default) is silent and free.
+	Log *slog.Logger
+
 	// Observer, when set, receives every settled cell's full outcome —
 	// verdict or failure record, coverage map, detection latency, span
 	// length, wall time — exactly once, the persistence hook the run
@@ -134,6 +147,27 @@ type CellObserver interface {
 	// virtual-time length of its span tree, and wall the observed wall
 	// time (not deterministic).
 	CellSettled(cell string, res *RunResult, cerr *CellError, cov *coverage.Map, lat span.Latency, spanV uint64, wall time.Duration)
+}
+
+// SchedObserver observes the engine's wall-clock scheduling decisions:
+// which worker ran which cell, how long the cell waited in the queue,
+// and how long it ran. The hooks fire on the worker goroutines, so
+// implementations must synchronize internally and return quickly.
+// Everything it sees is wall-clock observability — feeding it back into
+// campaign results or artifacts would break their determinism.
+type SchedObserver interface {
+	// BatchQueued announces the cells about to be dispatched, in cell
+	// order, before any of them runs.
+	BatchQueued(cells []string)
+	// CellDispatched fires when a worker picks the cell up. queueNS is
+	// the wall time the cell spent announced-but-undispatched.
+	CellDispatched(cell string, worker int, queueNS int64)
+	// CellSettled fires when the engine settles the cell — exactly once
+	// per cell, every outcome class included. worker is -1 and queueNS 0
+	// for cells canceled before any worker picked them up. runNS is the
+	// observed run time; profile is the cell's telemetry snapshot when
+	// one was salvaged (nil otherwise); cerr is nil on success.
+	CellSettled(cell string, worker int, queueNS, runNS int64, profile *telemetry.CellProfile, cerr *CellError)
 }
 
 // Progress observes a running campaign. The hooks fire on the worker
@@ -396,10 +430,10 @@ type cellOutcome struct {
 // can abandon it; an abandoned body parks on a buffered channel and
 // exits when it eventually finishes (or is released from a wedge), so
 // nothing leaks once the campaign's injectors are released.
-func (r *Runner) runGuarded(ctx context.Context, c cell, worker int) cellOutcome {
+func (r *Runner) runGuarded(ctx context.Context, c cell, worker int, queuedAt time.Time) cellOutcome {
 	id := c.String()
 	if err := ctx.Err(); err != nil {
-		return r.settle(id, 0, cellOutcome{err: &CellError{Cell: id, Class: FailCanceled, Message: err.Error(), cause: err}})
+		return r.settle(id, -1, 0, 0, cellOutcome{err: &CellError{Cell: id, Class: FailCanceled, Message: err.Error(), cause: err}})
 	}
 	var inj *faults.Injector
 	if r.Faults != nil {
@@ -409,6 +443,16 @@ func (r *Runner) runGuarded(ctx context.Context, c cell, worker int) cellOutcome
 		r.Progress.CellStarted(id)
 	}
 	began := time.Now()
+	queueNS := began.Sub(queuedAt).Nanoseconds()
+	if queueNS < 0 {
+		queueNS = 0
+	}
+	if r.Sched != nil {
+		r.Sched.CellDispatched(id, worker, queueNS)
+	}
+	if r.Log != nil {
+		r.Log.Debug("cell dispatched", "cell", id, "worker", worker, "queue_ns", queueNS)
+	}
 	done := make(chan cellOutcome, 1)
 	// abandoned flips once the worker stops waiting (watchdog, cancel):
 	// from then on the cell body, should it ever finish, must not
@@ -482,17 +526,17 @@ func (r *Runner) runGuarded(ctx context.Context, c cell, worker int) cellOutcome
 	}
 	select {
 	case out := <-done:
-		return r.settleSpans(id, worker, began, time.Since(began), out)
+		return r.settleSpans(id, worker, began, queueNS, time.Since(began), out)
 	case <-watchdog:
 		abandoned.Store(true)
-		return r.settleSpans(id, worker, began, time.Since(began), cellOutcome{err: &CellError{
+		return r.settleSpans(id, worker, began, queueNS, time.Since(began), cellOutcome{err: &CellError{
 			Cell:    id,
 			Class:   FailHang,
 			Message: fmt.Sprintf("cell exceeded the %s watchdog deadline", r.cellTimeout()),
 		}})
 	case <-ctx.Done():
 		abandoned.Store(true)
-		return r.settleSpans(id, worker, began, time.Since(began), cellOutcome{err: &CellError{Cell: id, Class: FailCanceled, Message: ctx.Err().Error(), cause: ctx.Err()}})
+		return r.settleSpans(id, worker, began, queueNS, time.Since(began), cellOutcome{err: &CellError{Cell: id, Class: FailCanceled, Message: ctx.Err().Error(), cause: ctx.Err()}})
 	}
 }
 
@@ -502,7 +546,7 @@ func (r *Runner) runGuarded(ctx context.Context, c cell, worker int) cellOutcome
 // funnels through here, so the coverage collector sees exactly one
 // FinishCell per cell (abandoned cells file a nil map, which settles
 // as empty coverage deterministically).
-func (r *Runner) settle(id string, wall time.Duration, out cellOutcome) cellOutcome {
+func (r *Runner) settle(id string, worker int, queueNS int64, wall time.Duration, out cellOutcome) cellOutcome {
 	if r.Coverage != nil {
 		r.Coverage.FinishCell(id, out.cov)
 	}
@@ -511,6 +555,20 @@ func (r *Runner) settle(id string, wall time.Duration, out cellOutcome) cellOutc
 	}
 	if r.Progress != nil {
 		r.Progress.CellFinished(id, wall, out.profile, out.err)
+	}
+	if r.Sched != nil {
+		r.Sched.CellSettled(id, worker, queueNS, wall.Nanoseconds(), out.profile, out.err)
+	}
+	if r.Log != nil {
+		if out.err != nil {
+			r.Log.Warn("cell failed", "cell", id, "worker", worker,
+				"wall_ns", wall.Nanoseconds(), "class", string(out.err.Class), "error", out.err.Message)
+		} else {
+			r.Log.Debug("cell settled", "cell", id, "worker", worker,
+				"wall_ns", wall.Nanoseconds(),
+				"err_state", out.res.Verdict.ErroneousState,
+				"sec_viol", out.res.Verdict.SecurityViolation)
+		}
 	}
 	return out
 }
@@ -533,7 +591,7 @@ func rootSpanV(t *span.Tree) uint64 {
 // detection-latency histogram. Abandoned cells (hang, cancel while
 // running) carry no tree — the stub records only worker, wall placement
 // and failure class, and the racing goroutine keeps its tree.
-func (r *Runner) settleSpans(id string, worker int, began time.Time, wall time.Duration, out cellOutcome) cellOutcome {
+func (r *Runner) settleSpans(id string, worker int, began time.Time, queueNS int64, wall time.Duration, out cellOutcome) cellOutcome {
 	if r.Spans != nil {
 		cs := &span.CellSpans{
 			Cell:     id,
@@ -551,7 +609,7 @@ func (r *Runner) settleSpans(id string, worker int, began time.Time, wall time.D
 			r.Telemetry.Histogram(telemetry.DetectionLatencyHistogram).Observe(uint64(out.latency.Events))
 		}
 	}
-	return r.settle(id, wall, out)
+	return r.settle(id, worker, queueNS, wall, out)
 }
 
 // runCellsDetailed executes a batch of cells and returns one outcome
@@ -560,7 +618,7 @@ func (r *Runner) settleSpans(id string, worker int, began time.Time, wall time.D
 // never dispatched are marked FailCanceled without running.
 func (r *Runner) runCellsDetailed(ctx context.Context, cells []cell) []cellOutcome {
 	outs := make([]cellOutcome, len(cells))
-	if r.Progress != nil || r.Spans != nil || r.Coverage != nil {
+	if r.Progress != nil || r.Spans != nil || r.Coverage != nil || r.Sched != nil || r.Log != nil {
 		ids := make([]string, len(cells))
 		for i, c := range cells {
 			ids[i] = c.String()
@@ -574,14 +632,24 @@ func (r *Runner) runCellsDetailed(ctx context.Context, cells []cell) []cellOutco
 		if r.Coverage != nil {
 			r.Coverage.StartBatch(ids)
 		}
+		if r.Sched != nil {
+			r.Sched.BatchQueued(ids)
+		}
+		if r.Log != nil {
+			r.Log.Info("batch queued", "cells", len(ids), "workers", r.workers())
+		}
 	}
+	// queuedAt anchors every cell's queue-wait measurement: a cell is
+	// runnable from the moment its batch is announced, so its dispatch
+	// latency is pickup time minus this.
+	queuedAt := time.Now()
 	n := r.workers()
 	if n > len(cells) {
 		n = len(cells)
 	}
 	if n <= 1 {
 		for i, c := range cells {
-			outs[i] = r.runGuarded(ctx, c, 0)
+			outs[i] = r.runGuarded(ctx, c, 0, queuedAt)
 		}
 		return outs
 	}
@@ -592,7 +660,7 @@ func (r *Runner) runCellsDetailed(ctx context.Context, cells []cell) []cellOutco
 		go func(w int) {
 			defer wg.Done()
 			for i := range next {
-				outs[i] = r.runGuarded(ctx, cells[i], w)
+				outs[i] = r.runGuarded(ctx, cells[i], w, queuedAt)
 			}
 		}(w)
 	}
@@ -602,7 +670,7 @@ func (r *Runner) runCellsDetailed(ctx context.Context, cells []cell) []cellOutco
 		case <-ctx.Done():
 			err := ctx.Err()
 			for j := i; j < len(cells); j++ {
-				outs[j] = r.settle(cells[j].String(), 0, cellOutcome{err: &CellError{
+				outs[j] = r.settle(cells[j].String(), -1, 0, 0, cellOutcome{err: &CellError{
 					Cell: cells[j].String(), Class: FailCanceled, Message: err.Error(), cause: err,
 				}})
 			}
@@ -674,7 +742,7 @@ func (r *Runner) Run(v hv.Version, useCase string, mode Mode) (*RunResult, error
 // RunContext is Run under a context: cancellation classifies the cell
 // as canceled instead of letting it run to completion.
 func (r *Runner) RunContext(ctx context.Context, v hv.Version, useCase string, mode Mode) (*RunResult, error) {
-	out := r.runGuarded(ctx, cell{version: v, useCase: useCase, mode: mode}, 0)
+	out := r.runGuarded(ctx, cell{version: v, useCase: useCase, mode: mode}, 0, time.Now())
 	if out.err != nil {
 		if out.err.Class == FailError {
 			return nil, out.err.cause

@@ -1,0 +1,81 @@
+package events
+
+import (
+	"repro/internal/campaign"
+	"repro/internal/telemetry"
+)
+
+// Publisher adapts the engine's scheduler hook onto the bus: it
+// implements campaign.SchedObserver and turns every scheduling
+// decision into a bus event. It holds no state of its own — ordering
+// and IDs come from the bus — so it is safe for the concurrent worker
+// notifications the hook contract requires.
+type Publisher struct {
+	Bus *Bus
+}
+
+var _ campaign.SchedObserver = (*Publisher)(nil)
+
+// BatchQueued implements campaign.SchedObserver.
+func (p *Publisher) BatchQueued(cells []string) {
+	p.Bus.Publish(Event{Type: TypeBatchStarted, Worker: -1, Cells: len(cells)})
+}
+
+// CellDispatched implements campaign.SchedObserver.
+func (p *Publisher) CellDispatched(cell string, worker int, queueNS int64) {
+	p.Bus.Publish(Event{Type: TypeCellStarted, Cell: cell, Worker: worker, QueueNS: queueNS})
+}
+
+// CellSettled implements campaign.SchedObserver. Every outcome class
+// produces exactly one terminal event per cell: successes carry the
+// cell's telemetry activity when profiled, failures their class and
+// message (panicked, hung and canceled cells included).
+func (p *Publisher) CellSettled(cell string, worker int, queueNS, runNS int64, profile *telemetry.CellProfile, cerr *campaign.CellError) {
+	ev := Event{Type: TypeCellFinished, Cell: cell, Worker: worker, QueueNS: queueNS, WallNS: runNS}
+	if profile != nil {
+		// Emitted ≈ retained + overwritten: the ring keeps the newest
+		// events and counts what it evicted.
+		ev.Events = uint64(len(profile.Events)) + profile.DroppedEvents
+		ev.Dropped = profile.DroppedEvents
+	}
+	if cerr != nil {
+		ev.Class = string(cerr.Class)
+		ev.Error = cerr.Message
+	}
+	p.Bus.Publish(ev)
+}
+
+// CampaignDone publishes the stream's terminal event: how many cells
+// settled and how many failed, so a subscriber knows the run is over
+// without watching for the connection to close.
+func (p *Publisher) CampaignDone(cells, failed int) {
+	p.Bus.Publish(Event{Type: TypeCampaignDone, Worker: -1, Cells: cells, Failed: failed})
+}
+
+// Fanout dispatches every scheduler hook to each observer in order,
+// letting the CLI install the bus publisher and the timeline side by
+// side on the runner's single Sched slot.
+type Fanout []campaign.SchedObserver
+
+var _ campaign.SchedObserver = (Fanout)(nil)
+
+// BatchQueued implements campaign.SchedObserver.
+func (f Fanout) BatchQueued(cells []string) {
+	for _, o := range f {
+		o.BatchQueued(cells)
+	}
+}
+
+// CellDispatched implements campaign.SchedObserver.
+func (f Fanout) CellDispatched(cell string, worker int, queueNS int64) {
+	for _, o := range f {
+		o.CellDispatched(cell, worker, queueNS)
+	}
+}
+
+// CellSettled implements campaign.SchedObserver.
+func (f Fanout) CellSettled(cell string, worker int, queueNS, runNS int64, profile *telemetry.CellProfile, cerr *campaign.CellError) {
+	for _, o := range f {
+		o.CellSettled(cell, worker, queueNS, runNS, profile, cerr)
+	}
+}

@@ -1,0 +1,74 @@
+package events
+
+import (
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/telemetry"
+)
+
+func TestPublisherEventShapes(t *testing.T) {
+	b := NewBus(64, 64)
+	sub := b.Subscribe()
+	p := &Publisher{Bus: b}
+
+	p.BatchQueued([]string{"a", "b"})
+	p.CellDispatched("a", 2, 123)
+	rec := telemetry.NewRecorder(0)
+	rec.HypercallEnter(1, 1, "mmu_update")
+	rec.HypercallExit(1, 1, "mmu_update", nil)
+	profile := rec.Profile("a", 456)
+	p.CellSettled("a", 2, 123, 789, profile, nil)
+	p.CellSettled("b", 1, 50, 60, nil,
+		&campaign.CellError{Cell: "b", Class: campaign.FailHang, Message: "watchdog"})
+	p.CampaignDone(2, 1)
+
+	got := drain(sub)
+	if len(got) != 5 {
+		t.Fatalf("published %d events, want 5", len(got))
+	}
+	if got[0].Type != TypeBatchStarted || got[0].Cells != 2 || got[0].Worker != -1 {
+		t.Fatalf("batch event = %+v", got[0])
+	}
+	if got[1].Type != TypeCellStarted || got[1].Cell != "a" || got[1].Worker != 2 || got[1].QueueNS != 123 {
+		t.Fatalf("start event = %+v", got[1])
+	}
+	fin := got[2]
+	if fin.Type != TypeCellFinished || fin.Cell != "a" || fin.WallNS != 789 || fin.Class != "" {
+		t.Fatalf("finish event = %+v", fin)
+	}
+	if fin.Events == 0 {
+		t.Fatalf("finish event lost the profile's telemetry count: %+v", fin)
+	}
+	fail := got[3]
+	if fail.Class != string(campaign.FailHang) || fail.Error != "watchdog" {
+		t.Fatalf("failure event = %+v", fail)
+	}
+	if fail.Events != 0 || fail.Dropped != 0 {
+		t.Fatalf("unprofiled failure carries telemetry counts: %+v", fail)
+	}
+	done := got[4]
+	if done.Type != TypeCampaignDone || done.Cells != 2 || done.Failed != 1 {
+		t.Fatalf("done event = %+v", done)
+	}
+}
+
+// TestFanoutOrder verifies the CLI's bus+timeline composition: every
+// hook reaches every observer.
+func TestFanoutOrder(t *testing.T) {
+	b := NewBus(16, 16)
+	sub := b.Subscribe()
+	tl := NewTimeline()
+	f := Fanout{&Publisher{Bus: b}, tl}
+
+	f.BatchQueued([]string{"a"})
+	f.CellDispatched("a", 0, 1)
+	f.CellSettled("a", 0, 1, 2, nil, nil)
+
+	if got := len(drain(sub)); got != 3 {
+		t.Fatalf("bus saw %d events, want 3", got)
+	}
+	if s := tl.Snapshot(); s.Total != 1 || s.Completed != 1 {
+		t.Fatalf("timeline saw total %d completed %d, want 1/1", s.Total, s.Completed)
+	}
+}

@@ -1,0 +1,143 @@
+package events
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+)
+
+func TestTimelineSnapshot(t *testing.T) {
+	tl := NewTimeline()
+	tl.BatchQueued([]string{"a", "b", "c", "d"})
+	tl.CellDispatched("a", 0, 100)
+	tl.CellDispatched("b", 1, 200)
+	tl.CellSettled("a", 0, 100, 1000, nil, nil)
+	tl.CellSettled("b", 1, 200, 2000, nil, &campaign.CellError{Cell: "b", Class: campaign.FailPanic, Message: "boom"})
+	tl.CellDispatched("c", 0, 300)
+
+	s := tl.Snapshot()
+	if s.Total != 4 || s.Completed != 2 || s.Running != 1 || s.Queued != 1 || s.Failed != 1 {
+		t.Fatalf("snapshot counts = total %d completed %d running %d queued %d failed %d",
+			s.Total, s.Completed, s.Running, s.Queued, s.Failed)
+	}
+	if s.AvgQueueNS != 150 || s.AvgRunNS != 1500 {
+		t.Fatalf("avg queue %d avg run %d, want 150/1500", s.AvgQueueNS, s.AvgRunNS)
+	}
+	if s.Utilization < 0 || s.Utilization > 1 {
+		t.Fatalf("utilization %v out of [0,1]", s.Utilization)
+	}
+	if s.ETANS <= 0 {
+		t.Fatalf("ETA %d, want > 0 with 2 cells remaining", s.ETANS)
+	}
+	if len(s.Workers) != 2 {
+		t.Fatalf("%d worker lanes, want 2", len(s.Workers))
+	}
+	w0 := s.Workers[0]
+	if w0.Worker != 0 || w0.Cells != 1 {
+		t.Fatalf("lane 0 = %+v, want worker 0 with 1 settled cell", w0)
+	}
+	if w0.BusyNS < 1000 {
+		t.Fatalf("lane 0 busy %d, want >= 1000 (settled run plus the in-flight cell)", w0.BusyNS)
+	}
+	found := false
+	for _, slot := range s.Workers[1].Slots {
+		if slot.Cell == "b" && slot.Class == string(campaign.FailPanic) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("failed cell b missing its failure class in lane 1")
+	}
+}
+
+// TestTimelineUndispatchedCancel mirrors the engine's cancel path:
+// cells settled without a dispatch land on the synthetic -1 lane and
+// still count toward completion.
+func TestTimelineUndispatchedCancel(t *testing.T) {
+	tl := NewTimeline()
+	tl.BatchQueued([]string{"a", "b"})
+	tl.CellDispatched("a", 0, 10)
+	tl.CellSettled("a", 0, 10, 500, nil, nil)
+	tl.CellSettled("b", -1, 0, 0, nil, &campaign.CellError{Cell: "b", Class: campaign.FailCanceled, Message: "ctx"})
+
+	s := tl.Snapshot()
+	if s.Completed != 2 || s.Failed != 1 || s.Queued != 0 || s.Running != 0 {
+		t.Fatalf("counts = %+v", s)
+	}
+	if len(s.Workers) != 2 || s.Workers[0].Worker != -1 {
+		t.Fatalf("want a -1 lane first, got %+v", s.Workers)
+	}
+	// The undispatched lane never contributes occupancy.
+	if s.Workers[0].BusyNS != 0 {
+		t.Fatalf("-1 lane busy %d, want 0", s.Workers[0].BusyNS)
+	}
+	sum := RenderSummary(s)
+	if !strings.Contains(sum, "undispatched: 1 cells canceled before pickup") {
+		t.Fatalf("summary missing the undispatched line:\n%s", sum)
+	}
+}
+
+func TestTimelineWriteChrome(t *testing.T) {
+	tl := NewTimeline()
+	tl.BatchQueued([]string{"a", "b", "c"})
+	for i, c := range []string{"a", "b", "c"} {
+		w := i % 2
+		tl.CellDispatched(c, w, int64(i)*100)
+		tl.CellSettled(c, w, int64(i)*100, int64(i+1)*1000, nil, nil)
+	}
+	var buf bytes.Buffer
+	if err := tl.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Schedule    Schedule         `json:"schedule"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var xEvents, meta int
+	for _, ev := range f.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			xEvents++
+			if ev["cat"] != "cell" {
+				t.Fatalf("X event without cell cat: %+v", ev)
+			}
+		case "M":
+			meta++
+		}
+	}
+	if xEvents != 3 {
+		t.Fatalf("%d complete events, want 3", xEvents)
+	}
+	if meta != 3 { // process_name + 2 worker tracks
+		t.Fatalf("%d metadata events, want 3", meta)
+	}
+	if f.Schedule.Completed != 3 {
+		t.Fatalf("embedded schedule settled %d, want 3", f.Schedule.Completed)
+	}
+}
+
+func TestRenderSummary(t *testing.T) {
+	tl := NewTimeline()
+	tl.BatchQueued([]string{"a"})
+	tl.CellDispatched("a", 0, 50)
+	tl.CellSettled("a", 0, 50, 1000, nil, nil)
+	sum := RenderSummary(tl.Snapshot())
+	for _, want := range []string{
+		"WALL SCHEDULE SUMMARY",
+		"cells: 1 settled, 0 failed",
+		"wall critical path: worker 0",
+		"worker 0: 1 cells",
+		"utilization:",
+		"avg queue wait:",
+	} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary missing %q:\n%s", want, sum)
+		}
+	}
+}

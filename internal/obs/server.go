@@ -14,6 +14,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	httppprof "net/http/pprof"
 	"strings"
 	"sync"
 	"time"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/buildinfo"
 	"repro/internal/campaign"
 	"repro/internal/coverage"
+	"repro/internal/events"
 	"repro/internal/ledger"
 	"repro/internal/span"
 	"repro/internal/telemetry"
@@ -50,6 +52,10 @@ type CellState struct {
 	// Class and Error describe the failure for StatusError cells.
 	Class string `json:"class,omitempty"`
 	Error string `json:"error,omitempty"`
+	// Events and Dropped carry the cell's telemetry activity — emitted
+	// event count and ring/sink losses — when the runner profiled it.
+	Events  uint64 `json:"events,omitempty"`
+	Dropped uint64 `json:"dropped,omitempty"`
 }
 
 // Server is the observability HTTP server. It implements
@@ -61,19 +67,23 @@ type Server struct {
 	cov    *coverage.Collector
 	runID  string
 	ledger *ledger.Store
+	bus    *events.Bus
+	sched  *events.Timeline
 
 	mu    sync.Mutex
 	cells map[string]*CellState
 	order []string
 
-	srv *http.Server
-	ln  net.Listener
+	srv  *http.Server
+	ln   net.Listener
+	quit chan struct{}
+	stop sync.Once
 }
 
 // NewServer creates a server over the given registry (nil is allowed:
 // /metrics then exposes no series until cells carry profiles).
 func NewServer(reg *telemetry.Registry) *Server {
-	s := &Server{reg: reg, cells: make(map[string]*CellState)}
+	s := &Server{reg: reg, cells: make(map[string]*CellState), quit: make(chan struct{})}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -83,6 +93,15 @@ func NewServer(reg *telemetry.Registry) *Server {
 	mux.HandleFunc("/runs", s.handleRuns)
 	mux.HandleFunc("/runs/", s.handleRun)
 	mux.HandleFunc("/runs/diff", s.handleRunsDiff)
+	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/schedule", s.handleSchedule)
+	// The pprof handlers normally self-register on DefaultServeMux;
+	// mount them explicitly since this server owns its own mux.
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
 	s.srv = &http.Server{Handler: mux}
 	return s
 }
@@ -127,8 +146,12 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 	return ln.Addr(), nil
 }
 
-// Shutdown drains in-flight requests and stops the server.
+// Shutdown drains in-flight requests and stops the server. SSE
+// subscribers are actively terminated first — Shutdown waits for
+// in-flight handlers, and a streaming handler would otherwise hold its
+// connection open until the client walked away.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.stop.Do(func() { close(s.quit) })
 	return s.srv.Shutdown(ctx)
 }
 
@@ -149,12 +172,19 @@ func (s *Server) CellStarted(cell string) {
 	s.track(cell).Status = StatusRunning
 }
 
-// CellFinished implements campaign.Progress.
-func (s *Server) CellFinished(cell string, wall time.Duration, _ *telemetry.CellProfile, cerr *campaign.CellError) {
+// CellFinished implements campaign.Progress. The profile, when the
+// runner salvaged one, enriches /cells with the cell's live telemetry
+// activity: how many events it emitted and how many its bounded ring
+// (or streaming sink) lost.
+func (s *Server) CellFinished(cell string, wall time.Duration, profile *telemetry.CellProfile, cerr *campaign.CellError) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := s.track(cell)
 	st.WallNS = wall.Nanoseconds()
+	if profile != nil {
+		st.Events = uint64(len(profile.Events)) + profile.DroppedEvents
+		st.Dropped = profile.DroppedEvents
+	}
 	if cerr != nil {
 		st.Status = StatusError
 		st.Class = string(cerr.Class)
@@ -244,6 +274,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	if s.ledger != nil {
 		writeLedgerMetrics(w, s.ledger)
 	}
+	if s.bus != nil {
+		writeBusMetrics(w, s.bus.Stats())
+	}
+	if s.sched != nil {
+		writeSchedMetrics(w, s.sched.Snapshot())
+	}
+	writeRuntimeMetrics(w)
 }
 
 // WriteBuildInfo renders the repro_build_info gauge: always 1, with
